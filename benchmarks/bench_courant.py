@@ -1,0 +1,90 @@
+"""TXT-COURANT -- the Courant condition arithmetic.
+
+Paper, section 3: "the simulations must not proceed faster than
+electromagnetic information could physically flow through mesh
+elements.  To satisfy the Courant Condition, simulating 100
+nanoseconds in the real world requires millions of time steps";
+section 3.4: the 12-cell structure reaches steady state at ~40 ns =
+326,700 steps.
+
+Measured: dt vs mesh resolution (dt ~ 1/resolution), steps for a
+fixed physical duration across resolutions, step cost, and the
+paper's own numbers recomputed: with the paper's implied cell size,
+40 ns does take ~326,700 steps.
+"""
+
+import numpy as np
+import pytest
+
+from common import record
+
+from repro.fields.geometry import make_pillbox
+from repro.fields.solver import TimeDomainSolver, courant_dt
+
+C_LIGHT = 299_792_458.0
+RESOLUTIONS = [4.0, 8.0, 16.0]
+
+
+@pytest.mark.parametrize("cells_per_unit", RESOLUTIONS)
+def test_step_cost(benchmark, cells_per_unit):
+    s = make_pillbox(n_xy=4, n_z_per_unit=3)
+    solver = TimeDomainSolver(s, cells_per_unit=cells_per_unit)
+    benchmark(solver.step)
+    benchmark.extra_info["grid"] = solver.shape
+    benchmark.extra_info["dt"] = solver.dt
+
+
+def test_courant_report(benchmark):
+    def measure():
+        rows = []
+        for res in RESOLUTIONS:
+            s = make_pillbox(n_xy=4, n_z_per_unit=3)
+            solver = TimeDomainSolver(s, cells_per_unit=res)
+            rows.append((res, solver.dt, solver.steps_for(10.0)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "paper: Courant condition forces millions of steps for 100 ns;",
+        "       40 ns of the 12-cell run = 326,700 steps",
+        "measured (cells/unit -> dt, steps per 10 time units):",
+    ]
+    for res, dt, steps in rows:
+        lines.append(f"  {res:5.1f}: dt={dt:.5f}, steps={steps}")
+    # dt halves when resolution doubles
+    ratio01 = rows[0][1] / rows[1][1]
+    ratio12 = rows[1][1] / rows[2][1]
+    lines.append(f"  dt ratio across 2x refinements: {ratio01:.2f}, {ratio12:.2f}")
+
+    # recompute the paper's arithmetic: 40 ns / 326,700 steps gives the
+    # implied Courant dt, hence the implied cell size of their mesh
+    dt_paper = 40e-9 / 326_700
+    implied_cell = dt_paper * C_LIGHT * np.sqrt(3.0)  # cubic-cell Courant
+    steps_100ns = int(np.ceil(100e-9 / dt_paper))
+    lines.append(
+        f"  paper arithmetic check: dt = 40 ns / 326,700 = {dt_paper * 1e15:.1f} fs"
+        f" -> implied cell ~{implied_cell * 1e3:.2f} mm;"
+        f" 100 ns would need {steps_100ns:,} steps ('millions': "
+        f"{steps_100ns >= 800_000})"
+    )
+    record("TXT-COURANT", lines)
+    assert 1.7 < ratio01 < 2.3 and 1.7 < ratio12 < 2.3
+    assert steps_100ns > 800_000
+
+
+def test_courant_instability_demo(benchmark):
+    """Violating the Courant limit must blow up -- the 'must not
+    proceed faster' physics, demonstrated."""
+    def measure():
+        s = make_pillbox(n_xy=4, n_z_per_unit=3)
+        solver = TimeDomainSolver(s, cells_per_unit=8.0, drive_amplitude=0.0)
+        nz = solver.ez.shape
+        solver.ez[nz[0] // 2, nz[1] // 2, nz[2] // 2] = 1.0
+        solver.ez *= solver._mask["ez"]
+        solver.dt = courant_dt(*solver.d, cfl=1.0) * 1.2  # 20% over the limit
+        with np.errstate(over="ignore", invalid="ignore"):
+            solver.run(200)
+            return solver.energy()
+
+    energy = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert not np.isfinite(energy) or energy > 1e6

@@ -1,0 +1,82 @@
+"""TXT-EXTRACT -- extraction speed and the size/threshold tradeoff.
+
+Paper, section 2.3: extraction "is a fast process"; the threshold
+balances file size against visual accuracy ("A high threshold value
+will yield large file sizes ...  A low threshold value will yield
+smaller file sizes"); "different hybrid representations can be
+created and discarded as needed"; the point payload is a contiguous
+prefix copy, "no computation is necessary for the particles".
+
+Measured: extraction time (vs the one-time partition), the size sweep
+across thresholds, and the prefix-copy property timing (extraction
+cost is dominated by volume binning, independent of how many points
+are kept).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from common import record
+
+from repro.octree.extraction import extract, extraction_sizes
+from repro.octree.partition import partition
+
+PERCENTILES = [10, 30, 50, 70, 90, 99]
+
+
+def test_extract_speed(benchmark, beam_partitioned):
+    thr = float(np.percentile(beam_partitioned.nodes["density"], 60))
+    benchmark(lambda: extract(beam_partitioned, thr, volume_resolution=32))
+
+
+def test_extract_vs_partition_cost(benchmark, beam_partitioned, beam_particles):
+    """Extraction must be much cheaper than partitioning -- that is
+    the point of the two-phase design."""
+
+    def measure():
+        t0 = time.perf_counter()
+        partition(beam_particles, "xyz", max_level=6, capacity=48)
+        t_part = time.perf_counter() - t0
+        thr = float(np.percentile(beam_partitioned.nodes["density"], 60))
+        t0 = time.perf_counter()
+        extract(beam_partitioned, thr, volume_resolution=32)
+        t_extract = time.perf_counter() - t0
+        return t_part, t_extract
+
+    t_part, t_extract = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert t_extract < t_part
+
+
+def test_extraction_report(benchmark, beam_partitioned):
+    def measure():
+        thresholds = [
+            float(np.percentile(beam_partitioned.nodes["density"], p))
+            for p in PERCENTILES
+        ]
+        table = extraction_sizes(beam_partitioned, thresholds, volume_resolution=32)
+        times = []
+        for t in thresholds:
+            t0 = time.perf_counter()
+            extract(beam_partitioned, t, volume_resolution=32)
+            times.append(time.perf_counter() - t0)
+        return thresholds, table, times
+
+    thresholds, table, times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    raw_bytes = beam_partitioned.n_particles * 48
+    lines = [
+        "paper: threshold balances file size vs accuracy; extraction is fast",
+        f"raw frame: {raw_bytes / 1e6:.1f} MB ({beam_partitioned.n_particles} particles)",
+        "threshold percentile -> points, hybrid MB, extract ms:",
+    ]
+    for p, row, t in zip(PERCENTILES, table, times):
+        lines.append(
+            f"  p{p:02d}: {row['n_points']:7d} pts, "
+            f"{row['total_bytes'] / 1e6:6.2f} MB "
+            f"({raw_bytes / row['total_bytes']:5.1f}x smaller), {t * 1e3:6.1f} ms"
+        )
+    record("TXT-EXTRACT", lines)
+    sizes = [row["total_bytes"] for row in table]
+    assert sizes == sorted(sizes)
+    assert all(row["total_bytes"] < raw_bytes for row in table[:-1])

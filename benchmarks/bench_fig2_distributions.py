@@ -1,0 +1,59 @@
+"""FIG2 -- the four phase-space distributions of one time step.
+
+Paper, Figure 2: "(x,y,z), (x,Px,y), (x,Px,z), and (Px,Py,Pz) of the
+data at time step 180" -- one partitioned run per plot type, rendered
+hybrid.  Measured: partition + extract + render time per plot type,
+and that each plot type yields a distinct, non-trivial image.
+"""
+
+import numpy as np
+import pytest
+
+from common import record
+
+from repro.hybrid.renderer import HybridRenderer
+from repro.octree.extraction import extract
+from repro.octree.partition import partition
+from repro.render.camera import Camera
+from repro.render.image import coverage
+
+PLOT_TYPES = ["xyz", "xpxy", "xpxz", "pxpypz"]
+IMAGE = 128
+
+
+def _make_image(particles, plot_type):
+    pf = partition(particles, plot_type, max_level=6, capacity=48)
+    thr = float(np.percentile(pf.nodes["density"], 70))
+    h = extract(pf, thr, volume_resolution=24)
+    cam = Camera.fit_bounds(h.lo, h.hi, width=IMAGE, height=IMAGE)
+    return HybridRenderer(n_slices=24).render(h, cam).to_rgb8()
+
+
+@pytest.mark.parametrize("plot_type", PLOT_TYPES)
+def test_fig2_plot_type(benchmark, beam_particles, plot_type):
+    img = benchmark.pedantic(
+        _make_image, args=(beam_particles, plot_type), rounds=1, iterations=1
+    )
+    cov = coverage(img)
+    benchmark.extra_info["plot_type"] = plot_type
+    benchmark.extra_info["coverage"] = cov
+    assert cov > 0.005, f"{plot_type} rendering is blank"
+
+
+def test_fig2_report(benchmark, beam_particles):
+    def build_all():
+        return {pt: _make_image(beam_particles, pt) for pt in PLOT_TYPES}
+
+    images = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    lines = [
+        "paper: four distributions of one step rendered hybrid",
+        f"measured (n={len(beam_particles)}):",
+    ]
+    for pt, img in images.items():
+        lines.append(f"  {pt:8s} coverage {coverage(img):.3f}")
+    # distinct plot types must give distinct images
+    keys = list(images)
+    for i in range(len(keys)):
+        for j in range(i + 1, len(keys)):
+            assert not np.array_equal(images[keys[i]], images[keys[j]])
+    record("FIG2", lines)

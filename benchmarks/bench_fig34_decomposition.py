@@ -1,0 +1,88 @@
+"""FIG3 + FIG4 -- the hybrid decomposition and linked transfer functions.
+
+Paper, Figure 3: the hybrid image is the combination of a
+volume-rendered region and a point-rendered region selected by two
+transfer functions that may overlap and are inverses of each other.
+Figure 4: the volume part, the combined image, and the point part of
+one rendering shown separately.
+
+Measured: the three images of Figure 4 (as coverage numbers), the
+inverse-pair identity across boundary edits, and the cost of moving
+the boundary (a re-render, no re-extraction -- the paper's
+interactivity argument).
+"""
+
+import numpy as np
+import pytest
+
+from common import record
+
+from repro.hybrid.renderer import HybridRenderer
+from repro.hybrid.transfer import LinkedTransferFunctions
+from repro.octree.extraction import extract
+from repro.render.camera import Camera
+from repro.render.image import coverage
+
+IMAGE = 128
+
+
+@pytest.fixture(scope="module")
+def setup(beam_partitioned):
+    thr = float(np.percentile(beam_partitioned.nodes["density"], 80))
+    h = extract(beam_partitioned, thr, volume_resolution=24)
+    cam = Camera.fit_bounds(h.lo, h.hi, width=IMAGE, height=IMAGE)
+    return h, cam
+
+
+def test_fig4_decomposition(benchmark, setup):
+    h, cam = setup
+    renderer = HybridRenderer(n_slices=24)
+
+    def decompose():
+        return (
+            renderer.render_volume_part(h, cam).to_rgb8(),
+            renderer.render(h, cam).to_rgb8(),
+            renderer.render_point_part(h, cam, opaque=True).to_rgb8(),
+        )
+
+    vol, combined, pts = benchmark.pedantic(decompose, rounds=1, iterations=1)
+    cov = [coverage(i) for i in (vol, combined, pts)]
+    benchmark.extra_info["coverage_vol_combined_points"] = cov
+    record(
+        "FIG3+FIG4",
+        [
+            "paper: volume part / combined hybrid / point part (Fig 4)",
+            f"measured coverage: volume {cov[0]:.3f}, combined {cov[1]:.3f}, points {cov[2]:.3f}",
+            "combined covers at least each part (union property): "
+            f"{cov[1] >= max(cov[0], cov[2]) * 0.9}",
+        ],
+    )
+    assert cov[1] > 0
+
+
+def test_fig3_boundary_edit_rerenders_only(benchmark, setup):
+    """Moving the linked boundary is a pure re-render: no partition or
+    extraction work, so it happens at interactive rates."""
+    h, cam = setup
+    tf = LinkedTransferFunctions(boundary=0.35, ramp=0.1)
+    renderer = HybridRenderer(transfer=tf, n_slices=16)
+    boundaries = iter(np.linspace(0.1, 0.9, 200))
+
+    def edit_and_render():
+        tf.set_boundary(next(boundaries))
+        assert tf.is_inverse_pair()
+        return renderer.render(h, cam)
+
+    benchmark(edit_and_render)
+
+
+def test_fig3_overlap_region(setup, benchmark):
+    """With a ramp, some densities appear in both regions."""
+    h, cam = setup
+
+    def check():
+        tf = LinkedTransferFunctions(boundary=0.5, ramp=0.3)
+        t = np.linspace(0, 1, 512)
+        return ((tf.point(t) > 0) & (tf.volume.weight(t) > 0)).any()
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

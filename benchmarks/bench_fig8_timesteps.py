@@ -1,0 +1,102 @@
+"""FIG8 -- time-varying field lines: RF waves propagating through.
+
+Paper, Figure 8: "Selected time steps which show RF waves propagate
+in through the input ports (left) and out through the output ports
+(right)"; section 3.4: "The ability to animate field lines in the
+temporal domain is particularly valuable ... scientists can examine
+and verify the propagation of the RF waves."
+
+Measured: a 3-cell time-domain solve with snapshots; per-snapshot
+field energy marching downstream (the propagation signature), lines
+re-seeded per snapshot, and the cost of a snapshot (solve + seed +
+render).
+"""
+
+import numpy as np
+import pytest
+
+from common import record, scaled
+
+from repro.fieldlines.seeding import seed_density_proportional
+from repro.fieldlines.sos import build_strips, render_strips
+from repro.fields.geometry import make_multicell_structure
+from repro.fields.sampling import YeeSampler
+from repro.fields.solver import TimeDomainSolver
+from repro.render.camera import Camera
+
+N_SNAPSHOTS = 4
+
+
+@pytest.fixture(scope="module")
+def run():
+    """Solve and capture samplers + per-cell energies at snapshots."""
+    s = make_multicell_structure(3, n_xy=5, n_z_per_unit=5)
+    solver = TimeDomainSolver(s, cells_per_unit=8.0)
+    total_time = 2.5 * s.length  # a couple of transits
+    per_snap = solver.steps_for(total_time / N_SNAPSHOTS)
+    snapshots = []
+    for _ in range(N_SNAPSHOTS):
+        solver.run(per_snap)
+        sampler = YeeSampler(solver, "E")
+        # per-cell field energy proxy: mean |E|^2 at cell centers
+        probes = []
+        for i in range(3):
+            z0, z1 = s.profile.cell_z_range(i)
+            zs = np.linspace(z0, z1, 9)
+            pts = np.column_stack([np.zeros(9), np.zeros(9), zs])
+            probes.append(float(np.mean(sampler.magnitude(pts) ** 2)))
+        snapshots.append((solver.time, sampler, probes))
+    return s, solver, snapshots
+
+
+def test_fig8_snapshot_lines(benchmark, run):
+    s, solver, snapshots = run
+    _, sampler, _ = snapshots[-1]
+    solver.fields_on_mesh()
+
+    def seed():
+        return seed_density_proportional(
+            s.mesh, sampler, total_lines=scaled(40), field_name="E",
+            max_steps=100, rng=np.random.default_rng(0),
+        )
+
+    ordered = benchmark.pedantic(seed, rounds=1, iterations=1)
+    assert len(ordered) > 0
+
+
+def test_fig8_report(benchmark, run):
+    def measure():
+        s, solver, snapshots = run
+        solver.fields_on_mesh()
+        cam = Camera.fit_bounds(*s.bounds(), width=96, height=96)
+        rendered = []
+        for t, sampler, probes in snapshots:
+            ordered = seed_density_proportional(
+                s.mesh, sampler, total_lines=scaled(30), field_name="E",
+                max_steps=80, rng=np.random.default_rng(1),
+            )
+            strips = build_strips(ordered.lines, cam, width=0.03)
+            img = render_strips(cam, strips).to_rgb8()
+            rendered.append((t, probes, (img.sum(axis=2) > 0).mean()))
+        return rendered
+
+    rendered = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines_rep = [
+        "paper: 4 snapshots show RF waves entering at the input ports and",
+        "       propagating downstream cell by cell",
+        "measured (time, per-cell mean |E|^2, line-frame coverage):",
+    ]
+    for t, probes, cov in rendered:
+        cells = " ".join(f"{p:.2e}" for p in probes)
+        lines_rep.append(f"  t={t:6.2f}: cells [{cells}], coverage {cov:.3f}")
+    first_cells = rendered[0][1]
+    last_cells = rendered[-1][1]
+    lines_rep.append(
+        f"  downstream growth (cell 3 late/early): "
+        f"x{last_cells[2] / max(first_cells[2], 1e-30):.1f}"
+    )
+    record("FIG8", lines_rep)
+    # the downstream cell must gain energy over the run
+    assert last_cells[2] > first_cells[2]
+    # every snapshot produced a visible frame
+    assert all(cov > 0 for _, _, cov in rendered)

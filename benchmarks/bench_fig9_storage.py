@@ -1,0 +1,129 @@
+"""FIG9 -- the 12-cell structure and its storage arithmetic.
+
+Paper, Figure 9 / section 3.4: a 12-cell structure with 1.6 M mesh
+elements; steady state at ~40 ns = 326,700 time steps; ~80 MB to
+store one step of E+B, so "over 26 terabytes ... for the overall data
+set"; storing pre-integrated field lines instead saves "about a
+factor of 25"; the front half of the mesh is cut away to see inside;
+port asymmetry appears in the electric field.
+
+Measured: our (scaled) 12-cell mesh, its raw bytes/step, the packed
+field-line bytes, the measured compression factor, the cutaway
+rendering, and the port-asymmetry signature -- plus the arithmetic
+extrapolated to the paper's 1.6 M elements and 326,700 steps.
+"""
+
+import numpy as np
+import pytest
+
+from common import record, scaled
+
+from repro.core.metrics import human_bytes
+from repro.fieldlines.compact import compression_report, pack_lines
+from repro.fieldlines.seeding import seed_density_proportional
+from repro.fieldlines.sos import build_strips, render_strips
+from repro.fieldlines.transparency import cutaway
+from repro.fields.geometry import make_multicell_structure
+from repro.fields.modes import multicell_standing_wave
+from repro.fields.sampling import AnalyticSampler
+from repro.render.camera import Camera
+
+PAPER_ELEMENTS = 1_600_000
+PAPER_STEPS = 326_700
+PAPER_BYTES_PER_STEP = 80e6
+
+
+@pytest.fixture(scope="module")
+def twelve_cell():
+    s = make_multicell_structure(12, n_xy=8, n_z_per_unit=6)
+    mode = multicell_standing_wave(s)
+    s.mesh.set_field("E", mode.e_field(s.mesh.vertices, 0.0))
+    s.mesh.set_field(
+        "B", mode.b_field(s.mesh.vertices, np.pi / (2 * mode.omega))
+    )
+    sampler = AnalyticSampler(mode, "E", t=0.0, structure=s)
+    return s, sampler
+
+
+@pytest.fixture(scope="module")
+def lines12(twelve_cell):
+    s, sampler = twelve_cell
+    return seed_density_proportional(
+        s.mesh, sampler, total_lines=scaled(150), field_name="E",
+        max_steps=120, rng=np.random.default_rng(4),
+    )
+
+
+def test_fig9_pack(benchmark, lines12):
+    benchmark(lambda: pack_lines(lines12.lines))
+
+
+def test_fig9_cutaway_render(benchmark, twelve_cell, lines12):
+    s, _ = twelve_cell
+    cam = Camera.fit_bounds(*s.bounds(), width=160, height=160,
+                            direction=(0.0, 0.9, 0.35))
+    front_half = cutaway(
+        lines12.lines, plane_point=[0, 0, 0], plane_normal=[0, 1, 0]
+    )
+
+    def render():
+        strips = build_strips(front_half, cam, width=0.02)
+        return render_strips(cam, strips, colormap="electric")
+
+    fb = benchmark.pedantic(render, rounds=1, iterations=1)
+    assert fb.to_rgb8().sum() > 0
+
+
+def test_fig9_port_asymmetry(benchmark, twelve_cell):
+    """Port bumps break the radial symmetry of the geometry (and thus
+    of any field solved inside it)."""
+    def measure():
+        s, _ = twelve_cell
+        z0, z1 = s.profile.cell_z_range(0)
+        zmid = np.full(1, (z0 + z1) / 2)
+        r_port = s.wall_radius(np.array([np.pi / 2]), zmid)[0]
+        r_side = s.wall_radius(np.array([0.0]), zmid)[0]
+        return r_port, r_side
+
+    r_port, r_side = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert r_port > 1.05 * r_side
+
+
+def test_fig9_report(benchmark, twelve_cell, lines12):
+    def measure():
+        s, _ = twelve_cell
+        rep = compression_report(s.mesh, lines12.lines)
+        return s, rep
+
+    s, rep = benchmark.pedantic(measure, rounds=1, iterations=1)
+    factor = rep["compression_factor"]
+    paper_raw_total = PAPER_BYTES_PER_STEP * PAPER_STEPS
+    # the number of *viewable* lines stays roughly constant as the mesh
+    # grows (it is a perceptual budget, not a mesh property), so at the
+    # paper's mesh the same line set compresses far harder; the paper's
+    # quoted 25x corresponds to a richer line set:
+    lines_at_25x = PAPER_BYTES_PER_STEP / 25.0
+    implied_lines = (
+        lines_at_25x / (rep["line_bytes_per_step"] / max(len(lines12), 1))
+    )
+    our_lines_at_paper_mesh = PAPER_BYTES_PER_STEP / rep["line_bytes_per_step"]
+    record(
+        "FIG9",
+        [
+            "paper: 12 cells, 1.6 M elements, 326,700 steps to 40 ns,",
+            "       80 MB/step -> 26 TB raw; pre-integrated lines ~25x smaller",
+            f"measured: {s.mesh.n_elements} elements ({s.n_cells} cells), "
+            f"{len(lines12)} lines",
+            f"  raw E+B/step: {human_bytes(rep['raw_bytes_per_step'])}, "
+            f"packed lines: {human_bytes(rep['line_bytes_per_step'])}",
+            f"  compression factor x{factor:.1f} at our mesh scale "
+            "(grows ~linearly with element count at a fixed line budget)",
+            f"  extrapolation: total raw data {human_bytes(paper_raw_total)} "
+            "(paper: >26 TB);",
+            f"  at the paper's 80 MB/step mesh our {len(lines12)}-line set "
+            f"compresses x{our_lines_at_paper_mesh:.0f}; their quoted x25 "
+            f"implies ~{implied_lines:.0f} lines/step "
+            f"({human_bytes(lines_at_25x)}) -- a dense interactive view",
+        ],
+    )
+    assert factor > 5.0, "pre-integrated lines must be much smaller than raw"

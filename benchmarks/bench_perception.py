@@ -1,0 +1,98 @@
+"""Section 3.3 -- the perception toolkit and its costs.
+
+Paper, section 3.3: enhanced lighting "carries no significant
+performance penalty"; halos clarify overlap; self-orienting strips
+beat scaled-up haloed lines on cross-section smoothness; transparency
+(and cutaway) reveal interior structure.
+
+Measured: render cost with each cue toggled, the cross-section
+smoothness comparison, and the interior-visibility gain from
+region-emphasis transparency.
+"""
+
+import numpy as np
+import pytest
+
+from common import record
+
+from repro.fieldlines.halo import (
+    haloed_line_cross_section,
+    smoothness,
+    strip_cross_section,
+)
+from repro.fieldlines.sos import build_strips, render_strips
+from repro.fieldlines.transparency import render_with_emphasis
+from repro.render.camera import Camera
+
+IMAGE = 128
+WIDTH = 0.03
+
+
+@pytest.fixture(scope="module")
+def cam(structure3):
+    return Camera.fit_bounds(*structure3.bounds(), width=IMAGE, height=IMAGE)
+
+
+@pytest.fixture(scope="module")
+def strips(cam, seeded_lines):
+    return build_strips(seeded_lines.lines, cam, width=WIDTH)
+
+
+def test_lighting_flat(benchmark, cam, strips):
+    benchmark(lambda: render_strips(cam, strips, shading="flat", halo_core=None))
+
+
+def test_lighting_bump(benchmark, cam, strips):
+    benchmark(lambda: render_strips(cam, strips, shading="bump", halo_core=None))
+
+
+def test_halo_on(benchmark, cam, strips):
+    benchmark(lambda: render_strips(cam, strips, halo_core=0.7))
+
+
+def test_transparency(benchmark, cam, strips):
+    benchmark(lambda: render_strips(cam, strips, base_alpha=0.3))
+
+
+def test_perception_report(benchmark, cam, strips, seeded_lines, structure3):
+    def measure():
+        import time
+
+        costs = {}
+        for name, kw in [
+            ("flat", dict(shading="flat", halo_core=None)),
+            ("bump-lit", dict(shading="bump", halo_core=None)),
+            ("bump+halo", dict(shading="bump", halo_core=0.7)),
+            ("transparent", dict(base_alpha=0.3)),
+        ]:
+            t0 = time.perf_counter()
+            render_strips(cam, strips, **kw)
+            costs[name] = time.perf_counter() - t0
+        s_strip = smoothness(strip_cross_section(64))
+        s_line = smoothness(haloed_line_cross_section(64))
+
+        center = np.array([0.0, 0.0, structure3.length / 2])
+        fb = render_with_emphasis(
+            cam, seeded_lines.lines, center, radius=0.5, width=WIDTH
+        )
+        roi_alpha = float(fb.rgba[..., 3].max())
+        return costs, s_strip, s_line, roi_alpha
+
+    costs, s_strip, s_line, roi_alpha = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    lighting_penalty = costs["bump-lit"] / max(costs["flat"], 1e-12)
+    lines_rep = [
+        "paper: enhanced lighting ~free; strips smoother than scaled haloed",
+        "       lines; transparency keeps context while showing the ROI",
+        "measured render costs: "
+        + ", ".join(f"{k} {v * 1e3:.1f} ms" for k, v in costs.items()),
+        f"  bump-lighting penalty over flat: x{lighting_penalty:.2f} "
+        "(paper: 'no significant performance penalty')",
+        f"  cross-section max jump: strip {s_strip:.3f} vs haloed line {s_line:.3f}",
+        f"  region-emphasis: ROI rendered at alpha {roi_alpha:.2f} over faint context",
+    ]
+    record("PERCEPTION", lines_rep)
+    assert lighting_penalty < 2.0
+    assert s_strip < s_line
+    assert roi_alpha > 0.9

@@ -1,0 +1,70 @@
+"""TXT-SCALE -- output size independent of simulation size.
+
+Paper, section 2.5: "the output data size does not necessarily depend
+on the input data size, large simulations approaching 1 billion
+particles can be reduced to the same size hybrid representation as
+the smaller simulations.  The large simulation's point-based halo
+region will be thinner ... but that has little effect on the quality
+of the resulting image."
+
+Measured: hybrid size across a 16x input-size sweep at a fixed point
+budget, plus the halo "thinning" (the mass fraction of the beam kept
+as points shrinks as N grows).
+"""
+
+import numpy as np
+import pytest
+
+from common import record, scaled
+
+from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.octree.extraction import extract, threshold_for_point_budget
+from repro.octree.partition import partition
+
+SIZES = [scaled(10_000), scaled(40_000), scaled(160_000)]
+POINT_BUDGET = scaled(5_000)
+
+
+def _hybrid_for(n):
+    sim = BeamSimulation(
+        BeamConfig(n_particles=n, n_cells=4, seed=13, mismatch=1.5)
+    )
+    sim.run()
+    pf = partition(sim.particles, "xyz", max_level=6, capacity=48)
+    thr = threshold_for_point_budget(pf, POINT_BUDGET)
+    return extract(pf, thr, volume_resolution=24), pf
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_fixed_budget(benchmark, n):
+    h, _ = benchmark.pedantic(_hybrid_for, args=(n,), rounds=1, iterations=1)
+    benchmark.extra_info["n_particles"] = n
+    benchmark.extra_info["hybrid_bytes"] = h.nbytes()
+    assert h.n_points <= POINT_BUDGET
+
+
+def test_scaling_report(benchmark):
+    def measure():
+        return [(n, *_hybrid_for(n)) for n in SIZES]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "paper: 1 G-particle run reduces to the same hybrid size as small runs;",
+        "       the halo region gets thinner, not the file bigger",
+        f"measured at point budget {POINT_BUDGET}:",
+    ]
+    sizes = []
+    for n, h, pf in rows:
+        frac = h.n_points / n
+        sizes.append(h.nbytes())
+        lines.append(
+            f"  n={n:7d}: hybrid {h.nbytes() / 1e6:5.2f} MB "
+            f"({h.n_points} pts = {100 * frac:.2f}% of beam), "
+            f"raw {n * 48 / 1e6:7.1f} MB"
+        )
+    ratio = max(sizes) / min(sizes)
+    lines.append(f"  hybrid size spread across 16x input growth: x{ratio:.2f}")
+    record("TXT-SCALE", lines)
+    assert ratio < 1.6, "hybrid size must stay ~constant"
+    fractions = [h.n_points / n for n, h, _ in rows]
+    assert fractions[0] > fractions[-1], "halo mass fraction must thin with N"

@@ -1,0 +1,30 @@
+"""Shared benchmark utilities.
+
+Every bench prints (and records under ``benchmarks/results/``) a
+"paper vs measured" block for its experiment id from DESIGN.md.  Sizes
+default to laptop scale; set ``REPRO_SCALE=2`` (or higher) to grow the
+workloads toward the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def scaled(n: int) -> int:
+    """Scale a workload size by REPRO_SCALE."""
+    return max(int(n * SCALE), 1)
+
+
+def record(exp_id: str, lines) -> str:
+    """Print and persist a paper-vs-measured block."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join([f"== {exp_id} =="] + [str(l) for l in lines]) + "\n"
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
+    print("\n" + text)
+    return text

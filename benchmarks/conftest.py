@@ -1,0 +1,68 @@
+"""Session-scoped workloads shared by the benches."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import scaled  # noqa: E402
+
+from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.fields.geometry import make_multicell_structure
+from repro.fields.modes import multicell_standing_wave
+from repro.fields.sampling import AnalyticSampler
+from repro.fieldlines.seeding import seed_density_proportional
+from repro.octree.partition import partition
+
+
+@pytest.fixture(scope="session")
+def beam_particles():
+    """A halo-developed beam frame (the paper's 100 M-particle frame,
+    scaled)."""
+    sim = BeamSimulation(
+        BeamConfig(n_particles=scaled(60_000), n_cells=8, seed=1, mismatch=1.5)
+    )
+    sim.run()
+    return sim.particles.copy()
+
+
+@pytest.fixture(scope="session")
+def beam_partitioned(beam_particles):
+    return partition(beam_particles, "xyz", max_level=6, capacity=48)
+
+
+@pytest.fixture(scope="session")
+def structure3():
+    return make_multicell_structure(3, n_xy=6, n_z_per_unit=6)
+
+
+@pytest.fixture(scope="session")
+def mode3(structure3):
+    mode = multicell_standing_wave(structure3)
+    structure3.mesh.set_field("E", mode.e_field(structure3.mesh.vertices, 0.0))
+    structure3.mesh.set_field(
+        "B", mode.b_field(structure3.mesh.vertices, np.pi / (2 * mode.omega))
+    )
+    return mode
+
+
+@pytest.fixture(scope="session")
+def e_sampler(structure3, mode3):
+    return AnalyticSampler(mode3, "E", t=0.0, structure=structure3)
+
+
+@pytest.fixture(scope="session")
+def seeded_lines(structure3, e_sampler):
+    return seed_density_proportional(
+        structure3.mesh,
+        e_sampler,
+        total_lines=scaled(120),
+        field_name="E",
+        max_steps=150,
+        rng=np.random.default_rng(2),
+    )

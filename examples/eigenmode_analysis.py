@@ -1,0 +1,87 @@
+"""Eigenmode analysis -- 'finding the eigenmodes in extremely large
+and complex 3D electromagnetic structures' (paper section 1).
+
+Kicks a pillbox cavity with a smooth impulse, lets it ring through
+the Courant-limited time-domain solver, reads the TM0n0 resonances
+off the probe spectrum, compares against the analytic Bessel-zero
+frequencies, and extracts + renders the fundamental mode's field-line
+portrait.
+
+    python examples/eigenmode_analysis.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+from scipy.special import jn_zeros
+
+from repro.fieldlines.seeding import seed_density_proportional
+from repro.fieldlines.sos import build_strips, render_strips
+from repro.fields.eigen import ResonanceFinder
+from repro.fields.geometry import make_pillbox
+from repro.fields.modes import pillbox_tm010
+from repro.fields.sampling import AnalyticSampler
+from repro.fields.solver import TimeDomainSolver
+from repro.render.camera import Camera
+from repro.render.image import write_ppm
+
+OUT = Path(__file__).parent / "output"
+OUT.mkdir(exist_ok=True)
+
+RADIUS = 1.0
+LENGTH = 1.2
+
+
+def main() -> None:
+    cavity = make_pillbox(radius=RADIUS, length=LENGTH, n_xy=6, n_z_per_unit=6)
+    solver = TimeDomainSolver(cavity, cells_per_unit=14.0)
+    print(
+        f"pillbox cavity: {cavity.mesh.n_elements} elements, Yee grid "
+        f"{solver.shape}, Courant dt={solver.dt:.4f}"
+    )
+
+    # ---- ring the cavity and read the spectrum -------------------------
+    finder = ResonanceFinder(solver)
+    finder.kick()
+    duration = 120.0
+    print(f"ringing for t={duration} ({solver.steps_for(duration)} steps)...")
+    finder.ring(duration)
+    peaks = np.sort(finder.resonances(3))
+
+    # analytic TM0n0 ladder: f_n = j0n / (2 pi R)
+    zeros = jn_zeros(0, 3)
+    analytic = zeros / (2.0 * np.pi * RADIUS)
+    print("eigenfrequencies (measured vs analytic TM0n0):")
+    for i, (f_m, f_a) in enumerate(zip(peaks, analytic), start=1):
+        print(
+            f"  TM0{i}0: {f_m:.4f} vs {f_a:.4f} "
+            f"({100 * abs(f_m - f_a) / f_a:.1f}% off, stairstep walls)"
+        )
+
+    # ---- extract + render the fundamental's field portrait -------------
+    print("extracting the TM010 spatial profile (running DFT)...")
+    profile = finder.mode_profile(peaks[0], duration=40.0)
+    mesh = cavity.mesh
+    r = np.hypot(mesh.vertices[:, 0], mesh.vertices[:, 1])
+    print(
+        f"  profile peak/wall ratio: "
+        f"{profile[r < 0.2].mean() / max(profile[r > 0.9].mean(), 1e-12):.1f} "
+        "(J0-like: peaked on axis)"
+    )
+
+    # field-line portrait of the analytic mode for comparison
+    mode = pillbox_tm010(RADIUS)
+    mesh.set_field("E", mode.e_field(mesh.vertices, 0.0))
+    sampler = AnalyticSampler(mode, "E", t=0.0, structure=cavity)
+    ordered = seed_density_proportional(
+        mesh, sampler, total_lines=60, field_name="E",
+        rng=np.random.default_rng(0),
+    )
+    cam = Camera.fit_bounds(*cavity.bounds(), width=320, height=320)
+    strips = build_strips(ordered.lines, cam, width=0.02)
+    write_ppm(OUT / "tm010_fieldlines.ppm", render_strips(cam, strips).to_rgb8())
+    print(f"rendered tm010_fieldlines.ppm in {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

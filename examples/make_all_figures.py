@@ -1,0 +1,183 @@
+"""Regenerate an image for every figure of the paper.
+
+One run writes fig1 ... fig10 counterparts into examples/output/paper_figures/,
+using laptop-scale data.  The quantitative side of each figure lives
+in benchmarks/ (see EXPERIMENTS.md); this script is the visual side.
+
+    python examples/make_all_figures.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.fieldlines.illuminated import render_lines
+from repro.fieldlines.incremental import IncrementalViewer
+from repro.fieldlines.seeding import seed_density_proportional
+from repro.fieldlines.sos import build_strips, render_strips
+from repro.fieldlines.streamtube import build_tubes, render_tubes
+from repro.fieldlines.transparency import cutaway, render_with_emphasis
+from repro.fields.geometry import make_multicell_structure
+from repro.fields.modes import multicell_standing_wave
+from repro.fields.sampling import AnalyticSampler, YeeSampler
+from repro.fields.solver import TimeDomainSolver
+from repro.hybrid.renderer import HybridRenderer
+from repro.octree.extraction import extract
+from repro.octree.partition import partition
+from repro.render.camera import Camera
+from repro.render.image import write_ppm
+from repro.render.scene import Scene
+
+OUT = Path(__file__).parent / "output" / "paper_figures"
+OUT.mkdir(parents=True, exist_ok=True)
+
+SIZE = 256
+
+
+def save(name, fb_or_img):
+    img = fb_or_img if isinstance(fb_or_img, np.ndarray) else fb_or_img.to_rgb8()
+    write_ppm(OUT / f"{name}.ppm", img)
+    print(f"  {name}.ppm")
+
+
+def beam_figures():
+    print("figures 1-5 (particle beam)...")
+    sim = BeamSimulation(
+        BeamConfig(n_particles=60_000, n_cells=10, mismatch=1.5, seed=1)
+    )
+    frames = []
+    sim.run(
+        on_frame=lambda s, p: frames.append((s, p.copy())), frame_every=10
+    )
+
+    # FIG 1: volume-only vs hybrid
+    _, last = frames[-1]
+    pf = partition(last, "xpxy", max_level=6, capacity=48)
+    thr = float(np.percentile(pf.nodes["density"], 70))
+    vol_only = extract(pf, 0.0, volume_resolution=64)
+    hybrid = extract(pf, thr, volume_resolution=24)
+    cam = Camera.fit_bounds(hybrid.lo, hybrid.hi, width=SIZE, height=SIZE)
+    renderer = HybridRenderer(n_slices=48)
+    save("fig1_left_volume_only", renderer.render_volume_part(vol_only, cam))
+    save("fig1_right_hybrid", renderer.render(hybrid, cam))
+
+    # FIG 2: four distributions
+    for plot_type in ("xyz", "xpxy", "xpxz", "pxpypz"):
+        pf_t = partition(last, plot_type, max_level=6, capacity=48)
+        thr_t = float(np.percentile(pf_t.nodes["density"], 70))
+        h = extract(pf_t, thr_t, volume_resolution=24)
+        c = Camera.fit_bounds(h.lo, h.hi, width=SIZE, height=SIZE)
+        save(f"fig2_{plot_type}", renderer.render(h, c))
+
+    # FIG 4: decomposition
+    pf_xyz = partition(last, "xyz", max_level=6, capacity=48)
+    thr_xyz = float(np.percentile(pf_xyz.nodes["density"], 75))
+    h = extract(pf_xyz, thr_xyz, volume_resolution=24)
+    c = Camera.fit_bounds(h.lo, h.hi, width=SIZE, height=SIZE)
+    save("fig4_top_volume_part", renderer.render_volume_part(h, c))
+    save("fig4_mid_combined", renderer.render(h, c))
+    save("fig4_bottom_point_part", renderer.render_point_part(h, c, opaque=True))
+
+    # FIG 5: selected time steps
+    for s, particles in frames[:: max(len(frames) // 4, 1)]:
+        pf_s = partition(particles, "xyz", max_level=6, capacity=48)
+        h = extract(pf_s, thr_xyz, volume_resolution=24)
+        save(f"fig5_step{s:03d}", renderer.render(h, c))
+
+
+def field_figures():
+    print("figures 6-10 (field lines)...")
+    s3 = make_multicell_structure(3, n_xy=6, n_z_per_unit=6)
+    mode = multicell_standing_wave(s3)
+    s3.mesh.set_field("E", mode.e_field(s3.mesh.vertices, 0.0))
+    sampler = AnalyticSampler(mode, "E", t=0.0, structure=s3)
+    ordered = seed_density_proportional(
+        s3.mesh, sampler, total_lines=110, field_name="E",
+        rng=np.random.default_rng(2),
+    )
+    cam = Camera.fit_bounds(*s3.bounds(), width=SIZE, height=SIZE)
+    strips = build_strips(ordered.lines, cam, width=0.025)
+    tubes = build_tubes(ordered.lines, radius=0.012, n_sides=6)
+
+    save("fig6a_lines", render_lines(cam, ordered.lines, illuminated=False))
+    save("fig6b_illuminated", render_lines(cam, ordered.lines, illuminated=True))
+    save("fig6c_streamtubes", render_tubes(cam, tubes))
+    save("fig6d_self_orienting", render_strips(cam, strips))
+    ribbons = build_strips(
+        ordered.prefix(30), cam, width=0.08, width_by_magnitude=True
+    )
+    save("fig6e_ribbons", render_strips(cam, ribbons))
+    save("fig6f_enhanced_lighting", render_strips(cam, strips, halo_core=0.65))
+    dense = build_strips(ordered.lines, cam, width=0.04)
+    save("fig6g_dense", render_strips(cam, dense))
+    front_cut = cutaway(ordered.lines, [0, 0, 0], [0, 1, 0])
+    save("fig6h_cutaway", render_strips(cam, build_strips(front_cut, cam, width=0.025)))
+    save(
+        "fig6i_transparency",
+        render_with_emphasis(
+            cam, ordered.lines, [0, 0, s3.length / 2], 0.55, width=0.025
+        ),
+    )
+
+    # FIG 7: incremental loading
+    viewer = IncrementalViewer(ordered, cam, width=0.025)
+    for n_prefix in (15, 40, 110):
+        save(f"fig7_n{n_prefix:03d}", viewer.frame(n_prefix))
+
+    # FIG 8: time steps from the solver
+    solver = TimeDomainSolver(s3, cells_per_unit=8.0)
+    per = solver.steps_for(0.8 * s3.length)
+    for i in range(3):
+        solver.run(per)
+        samp = YeeSampler(solver, "E")
+        solver.fields_on_mesh()
+        lines_t = seed_density_proportional(
+            s3.mesh, samp, total_lines=50, field_name="E",
+            rng=np.random.default_rng(5),
+        )
+        save(
+            f"fig8_t{i}",
+            render_strips(cam, build_strips(lines_t.lines, cam, width=0.025)),
+        )
+
+    # FIG 9: 12-cell cutaway with structure outline
+    s12 = make_multicell_structure(12, n_xy=7, n_z_per_unit=5)
+    mode12 = multicell_standing_wave(s12)
+    s12.mesh.set_field("E", mode12.e_field(s12.mesh.vertices, 0.0))
+    sampler12 = AnalyticSampler(mode12, "E", t=0.0, structure=s12)
+    ordered12 = seed_density_proportional(
+        s12.mesh, sampler12, total_lines=160, field_name="E",
+        rng=np.random.default_rng(6),
+    )
+    # broadside view with the +y (front) half removed, like the paper;
+    # up = x rolls the camera so the beam axis (z) runs across the image
+    cam12 = Camera.fit_bounds(
+        *s12.bounds(), width=2 * SIZE, height=SIZE,
+        direction=(0.0, 1.0, 0.15), fov_y=28.0, margin=0.62,
+    )
+    cam12.up = np.array([1.0, 0.0, 0.0])
+    back = cutaway(ordered12.lines, [0, 0, 0], [0, 1, 0])
+    scene = (
+        Scene(cam12)
+        .add_wireframe_structure(s12, half="back", alpha=0.4)
+        .add_strips(build_strips(back, cam12, width=0.03), colormap="electric")
+    )
+    save("fig9_twelve_cell", scene.render())
+
+    # FIG 10: incremental with opacity/color by strength
+    viewer10 = IncrementalViewer(
+        ordered, cam, width=0.025, alpha_by_magnitude=True
+    )
+    for n_prefix in (25, 60, 110):
+        save(f"fig10_n{n_prefix:03d}", viewer10.frame(n_prefix))
+
+
+def main() -> None:
+    beam_figures()
+    field_figures()
+    print(f"all figures in {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

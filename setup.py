@@ -1,0 +1,6 @@
+"""Setup shim so ``pip install -e .`` works without the ``wheel`` package
+(legacy ``setup.py develop`` path).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

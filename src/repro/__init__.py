@@ -1,0 +1,36 @@
+"""repro -- reproduction of "Advanced Visualization Technology for
+Terascale Particle Accelerator Simulations" (Ma, Schussman, Wilson,
+Ko, Qiang, Ryne; SC 2002).
+
+Two contributions, each with its full substrate:
+
+1. **Hybrid point/volume rendering** for particle beam data
+   (:mod:`repro.beams` generates it, :mod:`repro.octree` partitions and
+   extracts, :mod:`repro.hybrid` renders).
+2. **Self-orienting surfaces** with density-proportional incremental
+   seeding for electromagnetic field lines (:mod:`repro.fields` solves,
+   :mod:`repro.fieldlines` seeds/builds/renders).
+
+:mod:`repro.render` is the software stand-in for 2002 commodity
+graphics hardware; :mod:`repro.remote` is the wide-area setting;
+:mod:`repro.core` ties everything into two end-to-end pipelines.
+
+Quick start::
+
+    from repro import beam_pipeline, fieldline_pipeline
+    result = beam_pipeline()            # simulate + hybrid-render a beam
+    lines = fieldline_pipeline()        # field lines in a 3-cell cavity
+"""
+
+from repro.core.pipeline import beam_pipeline, fieldline_pipeline
+from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "beam_pipeline",
+    "fieldline_pipeline",
+    "BeamPipelineConfig",
+    "FieldLinePipelineConfig",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""Extended lattice elements: solenoids and RF gaps.
+
+The quadrupole channel covers the paper's primary simulation, but the
+SciDAC codes it visualizes (IMPACT, ref [11]) model full linacs --
+solenoid focusing channels and RF gaps included.  These elements
+extend the lattice with the transverse-coupled and longitudinal
+physics the simple per-plane matrices cannot express.
+
+``Solenoid`` applies the exact linear hard-edge map: in the Larmor
+frame the beam sees equal focusing in both planes with k = (B/2)^2,
+and the frame itself rotates by B L / 2 -- the x-y coupling that makes
+solenoid channels distinct from FODO ones.
+
+``ThinRFGap`` applies the linearized longitudinal kick of an RF
+cavity at synchronous phase: pz -> pz - k z, which bunches the beam in
+z the way quadrupoles confine it transversely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.beams.distributions import PX, PY, PZ, X, Y, Z
+from repro.beams.lattice import Element
+
+__all__ = ["Solenoid", "ThinRFGap"]
+
+
+@dataclass(frozen=True)
+class Solenoid(Element):
+    """Hard-edge solenoid of field strength ``b`` (normalized B/rho)."""
+
+    b: float = 1.0
+
+    def transverse_map(self) -> np.ndarray:
+        """The 4x4 map on (x, px, y, py)."""
+        length = self.length
+        k = self.b / 2.0
+        if k == 0.0:
+            m = np.eye(4)
+            m[0, 1] = m[2, 3] = length
+            return m
+        phi = k * length
+        c, s = np.cos(phi), np.sin(phi)
+        # focusing in the Larmor frame
+        foc = np.array([[c, s / k], [-k * s, c]])
+        larmor = np.zeros((4, 4))
+        larmor[:2, :2] = foc
+        larmor[2:, 2:] = foc
+        # rotation out of the Larmor frame by phi
+        rot = np.array(
+            [
+                [c, 0.0, s, 0.0],
+                [0.0, c, 0.0, s],
+                [-s, 0.0, c, 0.0],
+                [0.0, -s, 0.0, c],
+            ]
+        )
+        return rot @ larmor
+
+    def matrices(self):
+        """Per-plane projection (diagonal blocks) -- correct only for
+        the focusing part; full tracking uses :meth:`transport`."""
+        m = self.transverse_map()
+        return m[:2, :2].copy(), m[2:, 2:].copy()
+
+    def transport(self, particles: np.ndarray) -> None:
+        m = self.transverse_map()
+        state = particles[:, [X, PX, Y, PY]]
+        particles[:, [X, PX, Y, PY]] = state @ m.T
+        particles[:, Z] += particles[:, PZ] * self.length
+
+    def split(self, n: int):
+        return [Solenoid(self.length / n, self.b)] * n
+
+
+@dataclass(frozen=True)
+class ThinRFGap(Element):
+    """Zero-length RF gap: linearized longitudinal focusing kick.
+
+    ``kz`` is the focusing gradient: pz -> pz - kz * z.  Length is 0
+    (thin element); place between drifts.
+    """
+
+    kz: float = 0.1
+
+    def __init__(self, kz: float = 0.1):
+        object.__setattr__(self, "length", 0.0)
+        object.__setattr__(self, "kz", float(kz))
+
+    def matrices(self):
+        ident = np.eye(2)
+        return ident, ident.copy()
+
+    def transport(self, particles: np.ndarray) -> None:
+        particles[:, PZ] -= self.kz * particles[:, Z]
+
+    def split(self, n: int):
+        # a thin kick cannot be split; return it once plus no-ops
+        return [self] + [ThinRFGap(0.0)] * (n - 1)

@@ -1,0 +1,78 @@
+"""Envelope matching for periodic channels.
+
+The paper's halo physics hinges on *mismatch*: a beam whose envelope
+does not close on itself over one lattice period oscillates, and with
+space charge those oscillations pump particles into the halo.  This
+module computes the matched Twiss parameters of a periodic cell from
+its one-turn matrix, so simulations can start from a genuinely matched
+beam (quiet) or scale it (the controlled mismatch that grows the halo
+the hybrid renderer exists to show).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beams.lattice import one_turn_matrix
+
+__all__ = ["twiss_from_matrix", "matched_twiss", "matched_sigmas", "phase_advance"]
+
+
+def twiss_from_matrix(m: np.ndarray):
+    """Periodic Twiss parameters (beta, alpha, gamma, mu) of a 2x2
+    one-turn matrix.
+
+    Raises ValueError when the motion is unstable (|trace| >= 2).
+    """
+    m = np.asarray(m, dtype=np.float64)
+    cos_mu = 0.5 * (m[0, 0] + m[1, 1])
+    if abs(cos_mu) >= 1.0:
+        raise ValueError(f"unstable motion: |trace|/2 = {abs(cos_mu):.3f} >= 1")
+    sin_mu = np.sign(m[0, 1]) * np.sqrt(1.0 - cos_mu * cos_mu)
+    beta = m[0, 1] / sin_mu
+    alpha = (m[0, 0] - m[1, 1]) / (2.0 * sin_mu)
+    gamma = (1.0 + alpha * alpha) / beta
+    mu = np.arctan2(sin_mu, cos_mu)
+    return float(beta), float(alpha), float(gamma), float(mu)
+
+
+def phase_advance(lattice) -> tuple:
+    """(mu_x, mu_y) phase advance per period, radians."""
+    mx, my = one_turn_matrix(lattice)
+    _, _, _, mux = twiss_from_matrix(mx)
+    _, _, _, muy = twiss_from_matrix(my)
+    return mux, muy
+
+
+def matched_twiss(lattice):
+    """{(plane): (beta, alpha, gamma, mu)} for both transverse planes
+    at the entrance of a periodic lattice."""
+    mx, my = one_turn_matrix(lattice)
+    return {"x": twiss_from_matrix(mx), "y": twiss_from_matrix(my)}
+
+
+def matched_sigmas(
+    lattice,
+    emittance_x: float,
+    emittance_y: float,
+    sigma_z: float = 2.0,
+    sigma_pz: float = 0.05,
+):
+    """Matched rms sizes (6,) for the distribution loaders.
+
+    sigma_q = sqrt(eps * beta), sigma_p = sqrt(eps * gamma) per plane.
+    Note the loaders generate *uncorrelated* coordinates, so this is
+    exactly matched where alpha = 0 (the symmetric point of a FODO
+    cell, which is where :func:`repro.beams.lattice.fodo_cell` starts).
+    """
+    tw = matched_twiss(lattice)
+    bx, ax, gx, _ = tw["x"]
+    by, ay, gy, _ = tw["y"]
+    return (
+        float(np.sqrt(emittance_x * bx)),
+        float(np.sqrt(emittance_y * by)),
+        float(sigma_z),
+        float(np.sqrt(emittance_x * gx)),
+        float(np.sqrt(emittance_y * gy)),
+        float(sigma_pz),
+    )

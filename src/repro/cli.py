@@ -1,0 +1,342 @@
+"""Command-line interface.
+
+The paper describes its pipeline as separate *programs*: the
+simulation writes frames, "the partitioning program organizes the
+unstructured point data into an octree", "the extraction program
+converts the partitioned data into the hybrid representation", and "a
+separate view program ... is used on a desktop PC".  This CLI exposes
+the same program boundaries over the library:
+
+    repro simulate  --out run/ --particles 100000 --cells 10
+    repro partition run/step_000050.frame --plot-type xyz --out run/p50
+    repro extract   run/p50 --percentile 60 --out run/p50.hybrid
+    repro render    run/p50.hybrid --out p50.ppm --size 512
+    repro fieldlines --cells 3 --lines 150 --out lines.bin --image lines.ppm
+    repro info      run/p50.hybrid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid particle/volume and field-line visualization "
+        "(Ma et al., SC 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a beam simulation, write frames")
+    p.add_argument("--out", required=True, help="output directory for frames")
+    p.add_argument("--particles", type=int, default=100_000)
+    p.add_argument("--cells", type=int, default=10)
+    p.add_argument("--mismatch", type=float, default=1.5)
+    p.add_argument("--frame-every", type=int, default=5)
+    p.add_argument("--seed", type=int, default=1234)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("partition", help="partition a particle frame")
+    p.add_argument("frame", help="a .frame file from `repro simulate`")
+    p.add_argument("--out", required=True, help="output stem (.nodes/.particles)")
+    p.add_argument("--plot-type", default="xyz",
+                   choices=["xyz", "xpxy", "xpxz", "pxpypz"])
+    p.add_argument("--max-level", type=int, default=6)
+    p.add_argument("--capacity", type=int, default=64)
+    p.add_argument("--workers", type=int, default=1,
+                   help="multiprocess partitioning with this many workers")
+    p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser("extract", help="extract a hybrid representation")
+    p.add_argument("stem", help="partition stem from `repro partition`")
+    p.add_argument("--out", required=True, help="output .hybrid file")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--threshold", type=float,
+                       help="absolute threshold density")
+    group.add_argument("--percentile", type=float, default=60.0,
+                       help="threshold as a node-density percentile")
+    p.add_argument("--resolution", type=int, default=64)
+    p.add_argument("--attributes", default="",
+                   help="comma-separated derived point attributes "
+                        "(pmag, pt, energy_t, radius, emittance)")
+    p.add_argument("--from-disk", action="store_true",
+                   help="prefix-only extraction: volume from octree "
+                        "nodes, discarded particles never read")
+    p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser("render", help="render a hybrid frame to PPM")
+    p.add_argument("hybrid", help="a .hybrid file")
+    p.add_argument("--out", required=True, help="output .ppm image")
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--slices", type=int, default=64)
+    p.add_argument("--boundary", type=float, default=0.35,
+                   help="linked transfer-function boundary (0..1)")
+    p.add_argument("--color-by", default=None,
+                   help="color points by a carried attribute")
+    p.add_argument("--part", default="hybrid",
+                   choices=["hybrid", "volume", "points"],
+                   help="render the combined image or one region")
+    p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser("fieldlines",
+                       help="trace field lines in an accelerator structure")
+    p.add_argument("--cells", type=int, default=3)
+    p.add_argument("--lines", type=int, default=120)
+    p.add_argument("--field", default="E", choices=["E", "B"])
+    p.add_argument("--solve", action="store_true",
+                   help="run the time-domain solver (default: analytic mode)")
+    p.add_argument("--out", default=None, help="packed line output file")
+    p.add_argument("--image", default=None, help="rendered .ppm output")
+    p.add_argument("--size", type=int, default=512)
+    p.set_defaults(func=_cmd_fieldlines)
+
+    p = sub.add_parser("eigen", help="find cavity eigenfrequencies")
+    p.add_argument("--radius", type=float, default=1.0)
+    p.add_argument("--length", type=float, default=1.2)
+    p.add_argument("--resolution", type=float, default=14.0,
+                   help="FDTD cells per unit length")
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="ring-down duration in time units")
+    p.add_argument("--peaks", type=int, default=3)
+    p.set_defaults(func=_cmd_eigen)
+
+    p = sub.add_parser("info", help="describe any repro data file")
+    p.add_argument("path", help=".frame / .nodes / .hybrid / packed lines")
+    p.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_simulate(args) -> int:
+    from repro.beams.io import FrameWriter
+    from repro.beams.simulation import BeamConfig, BeamSimulation
+
+    sim = BeamSimulation(
+        BeamConfig(
+            n_particles=args.particles,
+            n_cells=args.cells,
+            mismatch=args.mismatch,
+            seed=args.seed,
+        )
+    )
+    writer = FrameWriter(args.out)
+    sim.run(on_frame=lambda s, p: writer.write(p, s), frame_every=args.frame_every)
+    print(
+        f"wrote {len(writer)} frames ({writer.total_bytes / 1e6:.1f} MB) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.beams.io import read_frame
+    from repro.octree.format import save_partitioned
+    from repro.octree.parallel import partition_parallel
+    from repro.octree.partition import partition
+
+    particles, step = read_frame(args.frame)
+    if args.workers > 1:
+        pf = partition_parallel(
+            particles, args.plot_type, max_level=args.max_level,
+            capacity=args.capacity, n_workers=args.workers, step=step,
+        )
+    else:
+        pf = partition(
+            particles, args.plot_type, max_level=args.max_level,
+            capacity=args.capacity, step=step,
+        )
+    nbytes = save_partitioned(pf, args.out)
+    print(
+        f"partitioned {pf.n_particles} particles into {pf.n_nodes} nodes "
+        f"({nbytes / 1e6:.1f} MB) at {args.out}"
+    )
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    from repro.octree.disk_extraction import extract_from_disk
+    from repro.octree.extraction import extract
+    from repro.octree.format import _read_nodes, load_partitioned, partition_paths
+
+    attrs = tuple(a for a in args.attributes.split(",") if a)
+    if args.from_disk:
+        if attrs:
+            raise SystemExit("--attributes needs the full particle data; "
+                             "drop --from-disk to use them")
+        nodes, *_ = _read_nodes(partition_paths(args.stem)[0])
+        if args.threshold is not None:
+            threshold = args.threshold
+        else:
+            threshold = float(np.percentile(nodes["density"], args.percentile))
+        hybrid = extract_from_disk(
+            args.stem, threshold, volume_resolution=args.resolution
+        )
+        nbytes = hybrid.save(args.out)
+        print(
+            f"extracted (prefix-only I/O) {hybrid.n_points} points + "
+            f"{args.resolution}^3 volume at threshold {threshold:.4g} -> "
+            f"{args.out} ({nbytes / 1e6:.2f} MB)"
+        )
+        return 0
+    pf = load_partitioned(args.stem)
+    if args.threshold is not None:
+        threshold = args.threshold
+    else:
+        threshold = float(np.percentile(pf.nodes["density"], args.percentile))
+    hybrid = extract(
+        pf, threshold, volume_resolution=args.resolution, point_attributes=attrs
+    )
+    nbytes = hybrid.save(args.out)
+    print(
+        f"extracted {hybrid.n_points} points + {args.resolution}^3 volume "
+        f"at threshold {threshold:.4g} -> {args.out} ({nbytes / 1e6:.2f} MB)"
+    )
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from repro.hybrid.renderer import HybridRenderer
+    from repro.hybrid.representation import HybridFrame
+    from repro.hybrid.transfer import LinkedTransferFunctions
+    from repro.render.camera import Camera
+    from repro.render.image import write_ppm
+
+    frame = HybridFrame.load(args.hybrid)
+    camera = Camera.fit_bounds(
+        frame.lo, frame.hi, width=args.size, height=args.size
+    )
+    renderer = HybridRenderer(
+        transfer=LinkedTransferFunctions(boundary=args.boundary),
+        n_slices=args.slices,
+        point_color_by=args.color_by,
+    )
+    if args.part == "volume":
+        fb = renderer.render_volume_part(frame, camera)
+    elif args.part == "points":
+        fb = renderer.render_point_part(frame, camera)
+    else:
+        fb = renderer.render(frame, camera)
+    write_ppm(args.out, fb.to_rgb8())
+    print(f"rendered {args.part} view of step {frame.step} -> {args.out}")
+    return 0
+
+
+def _cmd_fieldlines(args) -> int:
+    from repro.core.config import FieldLinePipelineConfig
+    from repro.core.pipeline import fieldline_pipeline
+    from repro.fieldlines.compact import pack_lines
+    from repro.render.image import write_ppm
+
+    result = fieldline_pipeline(
+        FieldLinePipelineConfig(
+            n_cells=args.cells,
+            total_lines=args.lines,
+            field=args.field,
+            use_solver=args.solve,
+            image_size=args.size,
+        ),
+        render=args.image is not None,
+    )
+    print(f"traced {len(result.ordered)} {args.field} lines in a "
+          f"{args.cells}-cell structure")
+    if args.out:
+        blob = pack_lines(result.ordered.lines)
+        Path(args.out).write_bytes(blob)
+        print(f"packed lines -> {args.out} ({len(blob) / 1e3:.1f} KB)")
+    if args.image:
+        write_ppm(args.image, result.image)
+        print(f"rendered -> {args.image}")
+    return 0
+
+
+def _cmd_eigen(args) -> int:
+    from scipy.special import jn_zeros
+
+    from repro.fields.eigen import ResonanceFinder
+    from repro.fields.geometry import make_pillbox
+    from repro.fields.solver import TimeDomainSolver
+
+    cavity = make_pillbox(radius=args.radius, length=args.length, n_xy=6,
+                          n_z_per_unit=6)
+    solver = TimeDomainSolver(cavity, cells_per_unit=args.resolution)
+    finder = ResonanceFinder(solver)
+    finder.kick()
+    steps = solver.steps_for(args.duration)
+    print(f"ringing a pillbox (R={args.radius}, L={args.length}) for "
+          f"{steps} Courant-limited steps...")
+    finder.ring(args.duration)
+    peaks = np.sort(finder.resonances(args.peaks))
+    analytic = jn_zeros(0, args.peaks) / (2.0 * np.pi * args.radius)
+    print("mode    measured   analytic(TM0n0)  error")
+    for i, f_m in enumerate(peaks, start=1):
+        if i <= len(analytic):
+            f_a = analytic[i - 1]
+            print(f"  #{i}    {f_m:.4f}     {f_a:.4f}        "
+                  f"{100 * abs(f_m - f_a) / f_a:.1f}%")
+        else:
+            print(f"  #{i}    {f_m:.4f}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    path = Path(args.path)
+    with open(path, "rb") as f:
+        magic = f.read(8)
+    if magic == b"RPRFRAME":
+        from repro.beams.io import read_frame
+
+        particles, step = read_frame(path)
+        print(f"particle frame: step {step}, {len(particles)} particles, "
+              f"{path.stat().st_size / 1e6:.2f} MB")
+    elif magic == b"RPRNODES":
+        from repro.octree.format import load_partitioned
+
+        pf = load_partitioned(path.with_suffix(""))
+        dens = pf.nodes["density"]
+        print(
+            f"partitioned frame: step {pf.step}, plot type {pf.plot_type}, "
+            f"{pf.n_particles} particles, {pf.n_nodes} nodes, "
+            f"density {dens.min():.3g}..{dens.max():.3g}"
+        )
+    elif magic == b"RPRHYBRD":
+        from repro.hybrid.representation import HybridFrame
+
+        h = HybridFrame.load(path)
+        attrs = ", ".join(sorted(h.attributes)) or "none"
+        print(
+            f"hybrid frame: step {h.step}, plot type {h.plot_type}, "
+            f"{h.n_points} points + {h.resolution} volume, "
+            f"threshold {h.threshold:.4g}, attributes: {attrs}"
+        )
+    elif magic == b"RPRLINES":
+        from repro.fieldlines.compact import unpack_lines
+
+        lines = unpack_lines(path.read_bytes())
+        total = sum(l.n_points for l in lines)
+        print(f"packed field lines: {len(lines)} lines, {total} points, "
+              f"{path.stat().st_size / 1e3:.1f} KB")
+    else:
+        print(f"{path}: unrecognized magic {magic!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

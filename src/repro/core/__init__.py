@@ -1,0 +1,26 @@
+"""Top-level pipelines and shared utilities.
+
+Glues the substrates into the paper's two end-to-end workflows:
+
+- :func:`repro.core.pipeline.beam_pipeline` -- simulate a beam,
+  partition each frame, extract hybrids, render;
+- :func:`repro.core.pipeline.fieldline_pipeline` -- mesh a structure,
+  solve (or evaluate a mode), seed density-proportional lines, build
+  self-orienting surfaces, render.
+
+``metrics`` hosts the quantitative measures the benches report;
+``config`` the dataclass configuration for both pipelines.
+"""
+
+from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.core.pipeline import beam_pipeline, fieldline_pipeline
+from repro.core.metrics import size_report, fps_estimate
+
+__all__ = [
+    "BeamPipelineConfig",
+    "FieldLinePipelineConfig",
+    "beam_pipeline",
+    "fieldline_pipeline",
+    "size_report",
+    "fps_estimate",
+]

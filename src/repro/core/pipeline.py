@@ -1,0 +1,151 @@
+"""End-to-end pipelines reproducing the paper's two workflows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.beams.simulation import BeamSimulation
+from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportional
+from repro.fieldlines.sos import build_strips, render_strips
+from repro.fields.geometry import make_multicell_structure
+from repro.fields.modes import multicell_standing_wave
+from repro.fields.sampling import AnalyticSampler, YeeSampler
+from repro.fields.solver import TimeDomainSolver
+from repro.hybrid.renderer import HybridRenderer
+from repro.hybrid.representation import HybridFrame
+from repro.octree.extraction import extract
+from repro.octree.partition import PartitionedFrame, partition
+from repro.render.camera import Camera
+
+__all__ = ["BeamPipelineResult", "FieldLinePipelineResult", "beam_pipeline", "fieldline_pipeline"]
+
+
+@dataclass
+class BeamPipelineResult:
+    """Everything the beam workflow produced."""
+
+    config: BeamPipelineConfig
+    partitioned: list            # PartitionedFrame per kept step
+    hybrids: list                # HybridFrame per kept step
+    steps: list                  # step indices
+    renderer: HybridRenderer
+    camera: Camera
+    images: list = field(default_factory=list)   # rgb8 arrays if rendered
+
+
+@dataclass
+class FieldLinePipelineResult:
+    """Everything the field-line workflow produced."""
+
+    config: FieldLinePipelineConfig
+    structure: object
+    sampler: object
+    ordered: OrderedFieldLines
+    camera: Camera
+    image: np.ndarray | None = None
+
+
+def beam_pipeline(
+    config: BeamPipelineConfig | None = None, render: bool = True
+) -> BeamPipelineResult:
+    """Simulate a beam, partition and extract every kept frame, and
+    (optionally) render each hybrid.
+
+    The extraction threshold is the configured percentile of the first
+    frame's node densities, held fixed across the run so frame sizes
+    are comparable.
+    """
+    config = config or BeamPipelineConfig()
+    sim = BeamSimulation(config.beam)
+
+    partitioned: list[PartitionedFrame] = []
+    steps: list[int] = []
+
+    def keep(step: int, particles: np.ndarray) -> None:
+        pf = partition(
+            particles,
+            config.plot_type,
+            max_level=config.max_level,
+            capacity=config.capacity,
+            step=step,
+        )
+        partitioned.append(pf)
+        steps.append(step)
+
+    sim.run(on_frame=keep, frame_every=config.frame_every)
+
+    threshold = float(
+        np.percentile(partitioned[0].nodes["density"], config.threshold_percentile)
+    )
+    hybrids = [
+        extract(pf, threshold, volume_resolution=config.volume_resolution)
+        for pf in partitioned
+    ]
+
+    camera = Camera.fit_bounds(
+        hybrids[0].lo, hybrids[0].hi,
+        width=config.image_size, height=config.image_size,
+    )
+    renderer = HybridRenderer(n_slices=config.n_slices)
+    result = BeamPipelineResult(
+        config=config,
+        partitioned=partitioned,
+        hybrids=hybrids,
+        steps=steps,
+        renderer=renderer,
+        camera=camera,
+    )
+    if render:
+        result.images = [
+            renderer.render(h, camera=camera).to_rgb8() for h in hybrids
+        ]
+    return result
+
+
+def fieldline_pipeline(
+    config: FieldLinePipelineConfig | None = None, render: bool = True
+) -> FieldLinePipelineResult:
+    """Build a structure, obtain fields, seed lines, render strips."""
+    config = config or FieldLinePipelineConfig()
+    structure = make_multicell_structure(
+        config.n_cells, n_xy=config.n_xy, n_z_per_unit=config.n_z_per_unit
+    )
+    if config.use_solver:
+        solver = TimeDomainSolver(
+            structure, cells_per_unit=config.solve_cells_per_unit
+        )
+        solver.run(solver.steps_for(config.solve_duration))
+        solver.fields_on_mesh()
+        sampler = YeeSampler(solver, config.field)
+    else:
+        mode = multicell_standing_wave(structure)
+        t_snapshot = 0.0 if config.field == "E" else np.pi / (2 * mode.omega)
+        structure.mesh.set_field("E", mode.e_field(structure.mesh.vertices, t_snapshot))
+        structure.mesh.set_field("B", mode.b_field(structure.mesh.vertices, t_snapshot))
+        sampler = AnalyticSampler(mode, config.field, t=t_snapshot, structure=structure)
+
+    ordered = seed_density_proportional(
+        structure.mesh,
+        sampler,
+        total_lines=config.total_lines,
+        field_name=config.field,
+        loop_tolerance=0.02 if config.field == "B" else None,
+    )
+    camera = Camera.fit_bounds(
+        *structure.bounds(), width=config.image_size, height=config.image_size
+    )
+    result = FieldLinePipelineResult(
+        config=config,
+        structure=structure,
+        sampler=sampler,
+        ordered=ordered,
+        camera=camera,
+    )
+    if render:
+        strips = build_strips(ordered.lines, camera, width=config.line_width)
+        fb = render_strips(camera, strips)
+        result.image = fb.to_rgb8()
+    return result

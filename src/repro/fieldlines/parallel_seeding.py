@@ -1,0 +1,119 @@
+"""Batched field-line seeding (paper section 3.4's parallelization).
+
+"We are presently parallelizing the field line calculations on PC
+clusters to speed up this preprocessing task."
+
+The greedy seeder of :mod:`repro.fieldlines.seeding` integrates one
+line at a time because each line's element visits update the needs
+that pick the next seed.  This module relaxes that by one round: each
+round selects the ``batch_size`` *distinct* most-needy elements, seeds
+one line in each, and integrates all of them simultaneously through
+the vectorized batch tracer (the software analogue of farming lines
+out to cluster nodes).  Needs update between rounds.
+
+The approximation is mild: within a round, lines come from different
+elements, so they would rarely have affected each other's selection.
+The ordering still loads strong-field regions first and keeps the
+prefix-superset property; the ablation bench quantifies the
+density-accuracy gap against the strict greedy order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fieldlines.integrate import FieldLine, integrate_batch
+from repro.fieldlines.seeding import (
+    OrderedFieldLines,
+    _ElementVisitCounter,
+    _random_point_in_element,
+    desired_line_counts,
+)
+from repro.fields.mesh import HexMesh
+
+__all__ = ["seed_density_proportional_batched"]
+
+
+def _stitch(forward: FieldLine, backward: FieldLine, field_fn, floor: float) -> FieldLine:
+    """Join a backward and forward half-trace into one line."""
+    pts = np.vstack([backward.points[::-1], forward.points[1:]])
+    if len(pts) < 2:
+        pts = np.vstack([pts, pts])
+    v = field_fn(pts)
+    mags = np.linalg.norm(v, axis=1)
+    tangents = np.gradient(pts, axis=0)
+    norms = np.linalg.norm(tangents, axis=1, keepdims=True)
+    tangents = tangents / np.where(norms < 1e-12, 1.0, norms)
+    term = forward.termination if forward.termination != "cap" else backward.termination
+    return FieldLine(points=pts, tangents=tangents, magnitudes=mags, termination=term)
+
+
+def seed_density_proportional_batched(
+    mesh: HexMesh,
+    field_fn,
+    total_lines: int = 200,
+    field_name: str = "E",
+    batch_size: int = 8,
+    step: float | None = None,
+    max_steps: int = 300,
+    min_magnitude_fraction: float = 1e-3,
+    rng=None,
+) -> OrderedFieldLines:
+    """Round-based batched version of the density-proportional seeder.
+
+    ``batch_size`` lines integrate simultaneously per round; with
+    ``batch_size=1`` this reduces exactly to the greedy algorithm.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    desired = desired_line_counts(mesh, field_name, total_lines)
+    remaining = desired.copy()
+    achieved = np.zeros_like(desired)
+    counter = _ElementVisitCounter(mesh)
+
+    if step is None:
+        vols = mesh.element_volumes()
+        step = 0.5 * float(np.cbrt(vols.mean()))
+    peak = float(mesh.element_field_intensity(field_name).max())
+    floor = peak * min_magnitude_fraction
+
+    lines: list[FieldLine] = []
+    while len(lines) < total_lines:
+        want = min(batch_size, total_lines - len(lines))
+        # the `want` most-needy distinct elements, by descending need
+        order = np.argsort(-remaining, kind="stable")[:want]
+        order = order[remaining[order] > 0]
+        if order.size == 0:
+            break
+        seeds = np.array(
+            [_random_point_in_element(mesh, int(e), rng) for e in order]
+        )
+        fwd = integrate_batch(
+            field_fn, seeds, step=step, max_steps=max_steps,
+            min_magnitude=floor, direction=+1.0,
+        )
+        bwd = integrate_batch(
+            field_fn, seeds, step=step, max_steps=max_steps,
+            min_magnitude=floor, direction=-1.0,
+        )
+        for f_half, b_half in zip(fwd, bwd):
+            line = _stitch(f_half, b_half, field_fn, floor)
+            line.order = len(lines)
+            visited = counter.visits(line.points)
+            remaining[visited] -= 1.0
+            achieved[visited] += 1.0
+            lines.append(line)
+
+    return OrderedFieldLines(
+        lines=lines,
+        desired=desired,
+        achieved=achieved,
+        field_name=field_name,
+        meta={
+            "step": step,
+            "floor": floor,
+            "total_requested": int(total_lines),
+            "batch_size": int(batch_size),
+        },
+    )

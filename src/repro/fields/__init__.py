@@ -1,0 +1,55 @@
+"""Electromagnetic field substrate.
+
+Stands in for the parallel time-domain electromagnetic field solver
+(Tau3P, paper ref [16]) that "models the reflection and transmission
+properties of open structures in an accelerator design" on
+"unstructured hexahedral meshes".
+
+We provide:
+
+- hexahedral meshes of multi-cell linear accelerator structures
+  (3-cell and 12-cell, with input/output ports),
+- analytic pillbox cavity eigenmodes for validation and fast data
+  generation,
+- an explicit leapfrog (Yee) time-domain solver whose step size obeys
+  the Courant condition -- the reason "simulating 100 nanoseconds in
+  the real world requires millions of time steps",
+- vectorized field sampling used by the field-line tracer.
+
+Modules
+-------
+mesh       hexahedral mesh container, volumes, trilinear sampling
+geometry   3-cell / 12-cell accelerator structure generators
+modes      analytic pillbox TM modes
+solver     Courant-limited time-domain solver with port excitation
+sampling   vectorized E/B evaluation at arbitrary points
+"""
+
+from repro.fields.mesh import HexMesh, StructuredHexMesh
+from repro.fields.geometry import (
+    AcceleratorStructure,
+    make_pillbox,
+    make_multicell_structure,
+)
+from repro.fields.modes import pillbox_tm010, multicell_standing_wave
+from repro.fields.solver import TimeDomainSolver, courant_dt
+from repro.fields.sampling import YeeSampler, AnalyticSampler
+from repro.fields.eigen import ResonanceFinder
+from repro.fields.ports import PowerMonitor, transmission
+
+__all__ = [
+    "HexMesh",
+    "StructuredHexMesh",
+    "AcceleratorStructure",
+    "make_pillbox",
+    "make_multicell_structure",
+    "pillbox_tm010",
+    "multicell_standing_wave",
+    "TimeDomainSolver",
+    "courant_dt",
+    "YeeSampler",
+    "AnalyticSampler",
+    "ResonanceFinder",
+    "PowerMonitor",
+    "transmission",
+]

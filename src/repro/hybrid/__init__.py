@@ -1,0 +1,42 @@
+"""Hybrid point/volume rendering -- the paper's first contribution.
+
+A :class:`HybridFrame` carries a low-resolution density volume for the
+dense beam core plus explicit particles for the tenuous halo.  Two
+*linked* transfer functions decide, at view time, where the boundary
+between the volume-rendered and point-rendered regions falls; by
+default they are exact inverses of each other, so editing one edits
+the other "equally and oppositely" (paper section 2.4).
+
+Modules
+-------
+representation  HybridFrame container + on-disk format
+transfer        volume / point transfer functions and their linkage
+renderer        the hybrid compositor (volume pass + point pass)
+viewer          frame-stepping previewer with an in-memory cache
+"""
+
+from repro.hybrid.representation import HybridFrame
+from repro.hybrid.transfer import (
+    DensityNormalizer,
+    VolumeTransferFunction,
+    PointTransferFunction,
+    LinkedTransferFunctions,
+)
+from repro.hybrid.renderer import HybridRenderer
+from repro.hybrid.attributes import DERIVED_QUANTITIES, compute_attributes
+from repro.hybrid.viewer import FrameViewer
+from repro.hybrid.animation import render_animation, temporal_coherence
+
+__all__ = [
+    "HybridFrame",
+    "DensityNormalizer",
+    "VolumeTransferFunction",
+    "PointTransferFunction",
+    "LinkedTransferFunctions",
+    "HybridRenderer",
+    "DERIVED_QUANTITIES",
+    "compute_attributes",
+    "FrameViewer",
+    "render_animation",
+    "temporal_coherence",
+]

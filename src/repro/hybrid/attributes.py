@@ -1,0 +1,101 @@
+"""Dynamically calculated per-point properties (paper section 2.5).
+
+"Because points are drawn dynamically, they could be drawn (in terms
+of color or opacity) based on some dynamically calculated property
+that the scientist is interested in, such as temperature or
+emittance.  Volume-based rendering, because it is limited to
+pre-calculated data, cannot allow dynamic changes like these."
+
+This module provides the derived quantities, computable from the full
+6-D phase-space data at extraction time and carried per explicit
+point, so the renderer can color or fade points by them on the fly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beams.distributions import PX, PY, PZ, X, Y
+
+__all__ = [
+    "momentum_magnitude",
+    "transverse_momentum",
+    "transverse_energy",
+    "radius",
+    "single_particle_emittance",
+    "DERIVED_QUANTITIES",
+    "compute_attributes",
+]
+
+
+def momentum_magnitude(particles: np.ndarray) -> np.ndarray:
+    """|p| per particle."""
+    return np.linalg.norm(particles[:, [PX, PY, PZ]], axis=1)
+
+
+def transverse_momentum(particles: np.ndarray) -> np.ndarray:
+    """sqrt(px^2 + py^2): the 'temperature' proxy of a beam slice."""
+    return np.hypot(particles[:, PX], particles[:, PY])
+
+
+def transverse_energy(particles: np.ndarray) -> np.ndarray:
+    """(px^2 + py^2) / 2 per particle."""
+    return 0.5 * (particles[:, PX] ** 2 + particles[:, PY] ** 2)
+
+
+def radius(particles: np.ndarray) -> np.ndarray:
+    """Transverse radius sqrt(x^2 + y^2)."""
+    return np.hypot(particles[:, X], particles[:, Y])
+
+
+def single_particle_emittance(particles: np.ndarray) -> np.ndarray:
+    """Courant-Snyder-like single-particle invariant per plane, summed.
+
+    With the beam's own second moments defining the ellipse, each
+    particle's value says how far out in phase space it sits -- large
+    values flag halo particles regardless of position, the "emittance"
+    coloring the paper suggests.
+    """
+    out = np.zeros(len(particles))
+    for q_col, p_col in ((X, PX), (Y, PY)):
+        q = particles[:, q_col] - particles[:, q_col].mean()
+        p = particles[:, p_col] - particles[:, p_col].mean()
+        q2 = max(float(np.mean(q * q)), 1e-300)
+        p2 = max(float(np.mean(p * p)), 1e-300)
+        qp = float(np.mean(q * p))
+        eps = np.sqrt(max(q2 * p2 - qp * qp, 1e-300))
+        # gamma q^2 + 2 alpha q p + beta p^2 (Courant-Snyder invariant)
+        beta = q2 / eps
+        gamma = p2 / eps
+        alpha = -qp / eps
+        out += gamma * q * q + 2.0 * alpha * q * p + beta * p * p
+    return out
+
+
+DERIVED_QUANTITIES = {
+    "pmag": momentum_magnitude,
+    "pt": transverse_momentum,
+    "energy_t": transverse_energy,
+    "radius": radius,
+    "emittance": single_particle_emittance,
+}
+
+
+def compute_attributes(particles: np.ndarray, names) -> dict:
+    """Evaluate named derived quantities over an (N, 6) frame.
+
+    Returns {name: (N,) float32}.  Unknown names raise KeyError with
+    the available set.
+    """
+    particles = np.asarray(particles, dtype=np.float64)
+    out = {}
+    for name in names:
+        try:
+            fn = DERIVED_QUANTITIES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown derived quantity {name!r}; available: "
+                f"{', '.join(sorted(DERIVED_QUANTITIES))}"
+            ) from None
+        out[name] = fn(particles).astype(np.float32)
+    return out

@@ -1,0 +1,114 @@
+"""Frame-stepping previewer (paper section 2.5).
+
+"The previewing program allows the user to step through frames using
+the keyboard.  If a frame is already in memory, it can be displayed
+instantaneously ...  If a frame is not in memory, it is loaded from
+disk, a process that takes around 10 seconds for a 100 MB time step."
+
+``FrameViewer`` reproduces that memory hierarchy: hybrid frames live
+in a byte-budgeted LRU cache ("a high-end PC is capable of holding
+around 10 time steps in memory at once"); stepping to a cached frame
+is instantaneous, a miss pays the disk load and is timed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.hybrid.renderer import HybridRenderer
+from repro.hybrid.representation import HybridFrame
+from repro.render.camera import Camera
+
+__all__ = ["FrameViewer"]
+
+
+class FrameViewer:
+    """Steps through a directory of saved hybrid frames.
+
+    Parameters
+    ----------
+    directory : where ``*.hybrid`` files live (sorted lexically, so use
+        zero-padded step numbers)
+    memory_budget_bytes : cache capacity; frames are evicted LRU
+    renderer : optional preconfigured :class:`HybridRenderer`
+    """
+
+    def __init__(
+        self,
+        directory,
+        memory_budget_bytes: int = 1_000_000_000,
+        renderer: HybridRenderer | None = None,
+    ):
+        self.directory = Path(directory)
+        self.paths = sorted(self.directory.glob("*.hybrid"))
+        if not self.paths:
+            raise FileNotFoundError(f"no .hybrid frames under {self.directory}")
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.renderer = renderer or HybridRenderer()
+        self._cache: OrderedDict[int, HybridFrame] = OrderedDict()
+        self._cache_bytes = 0
+        self.position = 0
+        self.stats = {"hits": 0, "misses": 0, "load_seconds": 0.0, "evictions": 0}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    @property
+    def cached_steps(self):
+        return list(self._cache)
+
+    def _evict_until_fits(self, incoming: int) -> None:
+        while self._cache and self._cache_bytes + incoming > self.memory_budget_bytes:
+            _, evicted = self._cache.popitem(last=False)
+            self._cache_bytes -= evicted.nbytes()
+            self.stats["evictions"] += 1
+
+    def frame(self, index: int) -> HybridFrame:
+        """Fetch frame ``index``, through the cache."""
+        if not 0 <= index < len(self.paths):
+            raise IndexError(f"frame index {index} out of range")
+        if index in self._cache:
+            self.stats["hits"] += 1
+            self._cache.move_to_end(index)
+            return self._cache[index]
+        self.stats["misses"] += 1
+        t0 = time.perf_counter()
+        frame = HybridFrame.load(self.paths[index])
+        self.stats["load_seconds"] += time.perf_counter() - t0
+        nbytes = frame.nbytes()
+        if nbytes <= self.memory_budget_bytes:
+            self._evict_until_fits(nbytes)
+            self._cache[index] = frame
+            self._cache_bytes += nbytes
+        return frame
+
+    # ------------------------------------------------------------------
+    def current(self) -> HybridFrame:
+        return self.frame(self.position)
+
+    def step_forward(self) -> HybridFrame:
+        """Advance one frame (wraps around), like the keyboard step."""
+        self.position = (self.position + 1) % len(self.paths)
+        return self.current()
+
+    def step_backward(self) -> HybridFrame:
+        self.position = (self.position - 1) % len(self.paths)
+        return self.current()
+
+    def goto(self, index: int) -> HybridFrame:
+        if not 0 <= index < len(self.paths):
+            raise IndexError(f"frame index {index} out of range")
+        self.position = index
+        return self.current()
+
+    def render_current(self, camera: Camera | None = None):
+        """Render the current frame; returns the framebuffer."""
+        return self.renderer.render(self.current(), camera=camera)
+
+    def preload(self, indices) -> None:
+        """Warm the cache (the 'already in memory' fast path)."""
+        for i in indices:
+            self.frame(i)

@@ -1,0 +1,45 @@
+"""Octree partitioning and hybrid extraction (paper section 2.3).
+
+The preprocessing pipeline that turns an unstructured particle frame
+into the paper's two-part partitioned representation:
+
+*partitioning* (one-time, expensive, run on the supercomputer in the
+paper) inserts all particles into an adaptive octree over a chosen
+3-D *plot type* (any three of the six phase-space coordinates), groups
+particles by leaf node, and sorts the groups by increasing density;
+
+*extraction* (fast, repeatable) takes a threshold density and produces
+a hybrid representation: every particle in a below-threshold leaf is
+kept as an explicit point -- and because the particle file is sorted
+by density these are one contiguous prefix, copied with no computation
+-- while the dense remainder is represented by a low-resolution
+density volume.
+
+Modules
+-------
+octree      adaptive linear octree with Morton keys
+partition   the partitioning program (plot types, density sort)
+format      the two-part on-disk format (nodes file + particle file)
+extraction  threshold-density extraction into HybridFrame
+parallel    multiprocess partitioning (the paper's multi-node mode)
+"""
+
+from repro.octree.octree import Octree, PLOT_TYPES, plot_columns
+from repro.octree.partition import PartitionedFrame, partition
+from repro.octree.extraction import extract, extraction_sizes
+from repro.octree.parallel import partition_parallel
+from repro.octree.repartition import repartition
+from repro.octree.disk_extraction import extract_from_disk
+
+__all__ = [
+    "Octree",
+    "PLOT_TYPES",
+    "plot_columns",
+    "PartitionedFrame",
+    "partition",
+    "extract",
+    "extraction_sizes",
+    "partition_parallel",
+    "repartition",
+    "extract_from_disk",
+]

@@ -1,0 +1,124 @@
+"""Disk-based extraction that never touches discarded particles.
+
+Paper section 2.3: "This portion of the particle data is just copied
+to the output; no computation is necessary for the particles, and
+discarded particles are never read from disk."
+
+The in-memory :func:`repro.octree.extraction.extract` bins *particles*
+into the density volume, which would require reading all of them.
+This module honors the paper's I/O claim exactly: the density volume
+is rasterized from the *octree nodes* (each node is a box with a known
+count -- the octree is itself a piecewise-constant density field), so
+an extraction reads only the small nodes file plus the halo prefix of
+the particle file.  The test suite proves it by truncating the
+particle file beyond the prefix and extracting anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hybrid.representation import HybridFrame
+from repro.octree.format import _read_nodes, load_particle_prefix, partition_paths
+from repro.octree.octree import plot_columns
+
+__all__ = ["node_bounds", "volume_from_nodes", "extract_from_disk"]
+
+
+def node_bounds(level: int, key: int, lo: np.ndarray, hi: np.ndarray):
+    """World-space (lo, hi) of an octree node given its level and
+    Morton prefix, standalone (no Octree instance needed)."""
+    ix = iy = iz = 0
+    for b in range(int(level)):
+        octant = (int(key) >> (3 * (int(level) - 1 - b))) & 7
+        ix = (ix << 1) | (octant & 1)
+        iy = (iy << 1) | ((octant >> 1) & 1)
+        iz = (iz << 1) | ((octant >> 2) & 1)
+    size = (hi - lo) / (1 << int(level))
+    nlo = lo + size * np.array([ix, iy, iz])
+    return nlo, nlo + size
+
+
+def volume_from_nodes(
+    nodes: np.ndarray, lo: np.ndarray, hi: np.ndarray, resolution: int
+) -> np.ndarray:
+    """Rasterize octree nodes into a density volume.
+
+    Each node's count is distributed over the voxels its box overlaps,
+    weighted by fractional overlap -- a box splat.  The result is the
+    octree's own piecewise-constant density field resampled to the
+    grid; mass (total count) is conserved.
+    """
+    res = int(resolution)
+    vol = np.zeros((res, res, res))
+    span = np.maximum(hi - lo, 1e-300)
+    # voxel edges in normalized [0, 1] coordinates, uniform grid
+    edges = np.linspace(0.0, 1.0, res + 1)
+    voxel = 1.0 / res
+    for node in nodes:
+        count = float(node["count"])
+        if count == 0.0:
+            continue
+        nlo, nhi = node_bounds(int(node["level"]), int(node["key"]), lo, hi)
+        a = (nlo - lo) / span  # normalized box
+        b = (nhi - lo) / span
+        # voxel index ranges the box overlaps
+        i0 = np.clip(np.floor(a / voxel).astype(int), 0, res - 1)
+        i1 = np.clip(np.ceil(b / voxel).astype(int), 1, res)
+        # per-axis fractional overlap of each voxel with the box
+        weights = []
+        for ax in range(3):
+            centers_lo = edges[i0[ax] : i1[ax]]
+            centers_hi = edges[i0[ax] + 1 : i1[ax] + 1]
+            overlap = np.minimum(centers_hi, b[ax]) - np.maximum(centers_lo, a[ax])
+            weights.append(np.maximum(overlap, 0.0))
+        wx, wy, wz = weights
+        cell = wx[:, None, None] * wy[None, :, None] * wz[None, None, :]
+        total = cell.sum()
+        if total > 0:
+            vol[i0[0] : i1[0], i0[1] : i1[1], i0[2] : i1[2]] += (
+                count * cell / total
+            )
+    # convert counts to density (count per unit volume)
+    cell_volume = float(np.prod(span)) / res**3
+    return vol / cell_volume
+
+
+def extract_from_disk(
+    stem,
+    threshold_density: float,
+    volume_resolution: int = 64,
+) -> HybridFrame:
+    """Extract a hybrid frame reading only nodes + the halo prefix.
+
+    Exactly the paper's I/O pattern: the nodes file is small, the
+    particle file is read only up to the density cutoff, and the
+    volume comes from the node metadata.
+    """
+    nodes_path, _ = partition_paths(stem)
+    nodes, n_particles, max_level, capacity, step, lo, hi, plot_type = _read_nodes(
+        nodes_path
+    )
+    n_below = int(
+        np.searchsorted(nodes["density"], threshold_density, side="left")
+    )
+    cutoff = int(nodes["count"][:n_below].sum())
+    halo_particles = load_particle_prefix(stem, cutoff)
+    columns = plot_columns(plot_type)
+    halo = halo_particles[:, list(columns)]
+    halo_dens = np.repeat(
+        nodes["density"][:n_below], nodes["count"][:n_below].astype(np.int64)
+    )
+
+    density_volume = volume_from_nodes(nodes, lo, hi, volume_resolution)
+
+    return HybridFrame(
+        volume=density_volume.astype(np.float32),
+        points=halo.astype(np.float32),
+        point_densities=halo_dens.astype(np.float32),
+        lo=lo,
+        hi=hi,
+        threshold=float(threshold_density),
+        step=int(step),
+        plot_type=plot_type,
+    )

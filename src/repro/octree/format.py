@@ -1,0 +1,139 @@
+"""The two-part on-disk format for partitioned frames.
+
+"This octree is written out to disk in two parts: one part contains
+all the particles of the simulation, the other contains the octree
+nodes themselves."  We keep that split literally: a ``.nodes`` file
+and a ``.particles`` file sharing a stem.  The node file carries the
+build metadata (plot type, bounds, levels); the particle file is the
+density-sorted raw particle payload that extraction slices a prefix
+from.
+
+Node file layout (little-endian):
+
+    bytes 0..7   magic b"RPRNODES"
+    header       struct: n_nodes u64, n_particles u64, max_level u32,
+                 capacity u32, step u64, lo 3xf8, hi 3xf8,
+                 plot type 16 bytes NUL padded
+    payload      NODE_DTYPE records
+
+Particle file layout:
+
+    bytes 0..7   magic b"RPRPARTS"
+    bytes 8..15  n_particles u64
+    payload      (N, 6) float64
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.octree.octree import NODE_DTYPE
+from repro.octree.partition import PartitionedFrame
+
+__all__ = ["save_partitioned", "load_partitioned", "load_particle_prefix", "partition_paths"]
+
+NODES_MAGIC = b"RPRNODES"
+PARTS_MAGIC = b"RPRPARTS"
+_NODES_HEADER = struct.Struct("<8sQQIIQ3d3d16s")
+_PARTS_HEADER = struct.Struct("<8sQ")
+
+
+def partition_paths(stem) -> tuple[Path, Path]:
+    """(nodes_path, particles_path) for a partition stem."""
+    stem = Path(stem)
+    return stem.with_suffix(".nodes"), stem.with_suffix(".particles")
+
+
+def save_partitioned(frame: PartitionedFrame, stem) -> int:
+    """Write both parts; returns total bytes written."""
+    nodes_path, parts_path = partition_paths(stem)
+    name = frame.plot_type.encode("ascii")[:16].ljust(16, b"\0")
+    header = _NODES_HEADER.pack(
+        NODES_MAGIC,
+        frame.n_nodes,
+        frame.n_particles,
+        int(frame.max_level),
+        int(frame.capacity),
+        int(frame.step),
+        *(float(v) for v in frame.lo),
+        *(float(v) for v in frame.hi),
+        name,
+    )
+    nodes = np.ascontiguousarray(frame.nodes, dtype=NODE_DTYPE)
+    with open(nodes_path, "wb") as f:
+        f.write(header)
+        f.write(nodes.tobytes())
+    particles = np.ascontiguousarray(frame.particles, dtype="<f8")
+    with open(parts_path, "wb") as f:
+        f.write(_PARTS_HEADER.pack(PARTS_MAGIC, frame.n_particles))
+        f.write(particles.tobytes())
+    return (
+        _NODES_HEADER.size
+        + nodes.nbytes
+        + _PARTS_HEADER.size
+        + particles.nbytes
+    )
+
+
+def _read_nodes(nodes_path):
+    with open(nodes_path, "rb") as f:
+        raw = f.read()
+    fields = _NODES_HEADER.unpack_from(raw, 0)
+    if fields[0] != NODES_MAGIC:
+        raise ValueError(f"{nodes_path}: not a partition nodes file")
+    n_nodes, n_particles, max_level, capacity, step = fields[1:6]
+    lo = np.array(fields[6:9])
+    hi = np.array(fields[9:12])
+    plot_type = fields[12].rstrip(b"\0").decode("ascii")
+    nodes = np.frombuffer(
+        raw, dtype=NODE_DTYPE, count=n_nodes, offset=_NODES_HEADER.size
+    ).copy()
+    return nodes, n_particles, max_level, capacity, step, lo, hi, plot_type
+
+
+def load_partitioned(stem) -> PartitionedFrame:
+    """Read both parts back into a PartitionedFrame."""
+    nodes_path, parts_path = partition_paths(stem)
+    nodes, n_particles, max_level, capacity, step, lo, hi, plot_type = _read_nodes(
+        nodes_path
+    )
+    with open(parts_path, "rb") as f:
+        head = f.read(_PARTS_HEADER.size)
+        magic, n = _PARTS_HEADER.unpack(head)
+        if magic != PARTS_MAGIC:
+            raise ValueError(f"{parts_path}: not a partition particles file")
+        if n != n_particles:
+            raise ValueError("node/particle file disagree on particle count")
+        payload = f.read(n * 48)
+    particles = np.frombuffer(payload, dtype="<f8").reshape(n, 6).copy()
+    from repro.octree.octree import plot_columns
+
+    return PartitionedFrame(
+        plot_type=plot_type,
+        columns=plot_columns(plot_type),
+        particles=particles,
+        nodes=nodes,
+        lo=lo,
+        hi=hi,
+        max_level=int(max_level),
+        capacity=int(capacity),
+        step=int(step),
+    )
+
+
+def load_particle_prefix(stem, n_particles: int) -> np.ndarray:
+    """Read only the first ``n_particles`` particles of the particle
+    file -- extraction's "discarded particles are never read from
+    disk" fast path."""
+    _, parts_path = partition_paths(stem)
+    with open(parts_path, "rb") as f:
+        head = f.read(_PARTS_HEADER.size)
+        magic, n = _PARTS_HEADER.unpack(head)
+        if magic != PARTS_MAGIC:
+            raise ValueError(f"{parts_path}: not a partition particles file")
+        take = min(int(n_particles), n)
+        payload = f.read(take * 48)
+    return np.frombuffer(payload, dtype="<f8").reshape(take, 6).copy()

@@ -1,0 +1,204 @@
+"""Adaptive linear octree over particle coordinates.
+
+The octree is *linear*: particles are assigned Morton (bit-interleaved)
+keys at the maximal subdivision level, sorted once, and the adaptive
+node structure is recovered by recursing over contiguous key ranges.
+A node is split while it holds more than ``capacity`` particles and is
+above the maximal subdivision level -- the paper's guard that
+"prevents the octree from becoming impractically large".
+
+Plot types: the simulation stores six coordinates per particle, so "a
+variety of 3-D plots can be generated" (paper section 2.3).  A plot
+type names the three columns the octree is built over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PLOT_TYPES", "plot_columns", "morton_keys", "Octree", "NODE_DTYPE"]
+
+# the four distributions shown in the paper's Figure 2
+PLOT_TYPES = {
+    "xyz": (0, 1, 2),
+    "xpxy": (0, 3, 1),
+    "xpxz": (0, 3, 2),
+    "pxpypz": (3, 4, 5),
+}
+
+NODE_DTYPE = np.dtype(
+    [
+        ("level", "<u1"),      # subdivision level of the node
+        ("key", "<u8"),        # Morton prefix at `level`
+        ("start", "<u8"),      # offset into the (ordered) particle array
+        ("count", "<u8"),      # particles in this node
+        ("density", "<f8"),    # count / node volume
+    ]
+)
+
+MAX_LEVEL_LIMIT = 20  # 3*20 = 60 key bits fit in uint64
+
+
+def plot_columns(plot_type: str):
+    """Resolve a plot-type name to its (3,) column index tuple."""
+    try:
+        return PLOT_TYPES[plot_type]
+    except KeyError:
+        raise KeyError(
+            f"unknown plot type {plot_type!r}; available: {', '.join(sorted(PLOT_TYPES))}"
+        ) from None
+
+
+def _spread_bits(v: np.ndarray, max_level: int) -> np.ndarray:
+    """Insert two zero bits between each bit of v (vectorized)."""
+    out = np.zeros_like(v)
+    for b in range(max_level):
+        out |= ((v >> np.uint64(b)) & np.uint64(1)) << np.uint64(3 * b)
+    return out
+
+
+def morton_keys(coords: np.ndarray, lo: np.ndarray, hi: np.ndarray, max_level: int) -> np.ndarray:
+    """Morton keys of (N, 3) coordinates at ``max_level`` subdivisions.
+
+    Coordinates outside [lo, hi] are clamped to the boundary cells.
+    Bit layout: key = sum over levels of (octant index) << 3*(level),
+    with axis 0 the lowest of each 3-bit group.
+    """
+    if not 1 <= max_level <= MAX_LEVEL_LIMIT:
+        raise ValueError(f"max_level must be in [1, {MAX_LEVEL_LIMIT}]")
+    coords = np.asarray(coords, dtype=np.float64)
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    n_cells = 1 << max_level
+    span = np.where(hi - lo <= 0, 1.0, hi - lo)
+    rel = (coords - lo) / span
+    idx = np.clip((rel * n_cells).astype(np.int64), 0, n_cells - 1).astype(np.uint64)
+    key = (
+        _spread_bits(idx[:, 0], max_level)
+        | (_spread_bits(idx[:, 1], max_level) << np.uint64(1))
+        | (_spread_bits(idx[:, 2], max_level) << np.uint64(2))
+    )
+    return key
+
+
+class Octree:
+    """Adaptive octree over a fixed coordinate bounding box.
+
+    Parameters
+    ----------
+    coords : (N, 3) particle coordinates (already restricted to the
+        plot type's columns)
+    lo, hi : bounding box; defaults to the data's min/max padded a hair
+    max_level : maximal subdivision level
+    capacity : a node holding more than this many particles splits
+        (until max_level)
+
+    Attributes
+    ----------
+    order : (N,) permutation; ``coords[order]`` groups particles so
+        each leaf's particles are contiguous, leaves in Morton order
+    nodes : structured array (NODE_DTYPE) of the leaf nodes, in Morton
+        order; ``start``/``count`` index into the ordered particles
+    """
+
+    def __init__(self, coords, lo=None, hi=None, max_level: int = 6, capacity: int = 64):
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError("coords must be (N, 3)")
+        if len(coords) == 0:
+            raise ValueError("octree needs at least one particle")
+        if not np.isfinite(coords).all():
+            raise ValueError(
+                "coords contain NaN/Inf; clean the frame before partitioning"
+            )
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if lo is None or hi is None:
+            dlo = coords.min(axis=0)
+            dhi = coords.max(axis=0)
+            # pad relative to both the span and the coordinate scale so
+            # hi > lo even for degenerate (single-point) data
+            pad = (dhi - dlo) * 1e-9 + (np.abs(dlo) + np.abs(dhi) + 1.0) * 1e-9
+            lo = dlo - pad if lo is None else np.asarray(lo, dtype=np.float64)
+            hi = dhi + pad if hi is None else np.asarray(hi, dtype=np.float64)
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+        if np.any(self.hi <= self.lo):
+            raise ValueError("need hi > lo in every axis")
+        self.max_level = int(max_level)
+        self.capacity = int(capacity)
+
+        keys = morton_keys(coords, self.lo, self.hi, self.max_level)
+        self.order = np.argsort(keys, kind="stable")
+        self._sorted_keys = keys[self.order]
+        self._root_volume = float(np.prod(self.hi - self.lo))
+
+        leaves: list[tuple[int, int, int, int]] = []  # (level, prefix, start, count)
+        self._subdivide(0, len(keys), 0, 0, leaves)
+        nodes = np.empty(len(leaves), dtype=NODE_DTYPE)
+        for i, (level, prefix, start, count) in enumerate(leaves):
+            nodes[i] = (level, prefix, start, count, 0.0)
+        vol = self._root_volume / (8.0 ** nodes["level"].astype(np.float64))
+        nodes["density"] = nodes["count"] / vol
+        self.nodes = nodes
+
+    # ------------------------------------------------------------------
+    def _subdivide(self, start: int, end: int, level: int, prefix: int, leaves) -> None:
+        count = end - start
+        if count == 0:
+            return
+        if count <= self.capacity or level >= self.max_level:
+            leaves.append((level, prefix, start, count))
+            return
+        shift = 3 * (self.max_level - level - 1)
+        child_keys = (
+            self._sorted_keys[start:end] >> np.uint64(shift)
+        ) & np.uint64(7)
+        # children are contiguous: find boundaries of the 8 octants
+        bounds = start + np.searchsorted(child_keys, np.arange(9), side="left")
+        for child in range(8):
+            self._subdivide(
+                int(bounds[child]),
+                int(bounds[child + 1]),
+                level + 1,
+                (prefix << 3) | child,
+                leaves,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.order)
+
+    def node_bounds(self, i: int):
+        """World-space (lo, hi) of leaf node ``i``."""
+        level = int(self.nodes["level"][i])
+        key = int(self.nodes["key"][i])
+        ix = iy = iz = 0
+        for b in range(level):
+            octant = (key >> (3 * (level - 1 - b))) & 7
+            ix = (ix << 1) | (octant & 1)
+            iy = (iy << 1) | ((octant >> 1) & 1)
+            iz = (iz << 1) | ((octant >> 2) & 1)
+        size = (self.hi - self.lo) / (1 << level)
+        lo = self.lo + size * np.array([ix, iy, iz])
+        return lo, lo + size
+
+    def leaf_of_particles(self) -> np.ndarray:
+        """Leaf index of each particle, in the *ordered* particle
+        numbering (i.e. entry j refers to coords[order][j])."""
+        out = np.empty(self.n_particles, dtype=np.int64)
+        for i in range(self.n_nodes):
+            s = int(self.nodes["start"][i])
+            c = int(self.nodes["count"][i])
+            out[s : s + c] = i
+        return out
+
+    def particle_densities(self) -> np.ndarray:
+        """Per-particle density of the containing leaf (ordered
+        numbering)."""
+        return np.repeat(self.nodes["density"], self.nodes["count"].astype(np.int64))

@@ -1,0 +1,49 @@
+"""Plot-type conversion of partitioned data (paper section 2.3).
+
+"Since the partitioned representation contains all the data present
+in the original representation, it is possible (although not yet
+implemented) to discard the original data and convert between
+different plot type partitionings."
+
+This module implements that conversion: a partitioned frame carries
+all six phase-space coordinates of every particle, so re-partitioning
+to a different plot type never needs the original frame files.  The
+result is bit-identical (up to particle order within equal-density
+groups) to partitioning the original data directly.
+"""
+
+from __future__ import annotations
+
+from repro.octree.partition import PartitionedFrame, partition
+
+__all__ = ["repartition"]
+
+
+def repartition(
+    frame: PartitionedFrame,
+    plot_type: str,
+    max_level: int | None = None,
+    capacity: int | None = None,
+) -> PartitionedFrame:
+    """Re-partition an existing partitioned frame to a new plot type.
+
+    Parameters
+    ----------
+    frame : the existing partitioned frame (any plot type)
+    plot_type : the target plot type ('xyz', 'xpxy', 'xpxz', 'pxpypz')
+    max_level, capacity : octree build parameters; default to the
+        source frame's
+
+    Returns
+    -------
+    A new :class:`PartitionedFrame` over the requested coordinates.
+    The source frame is untouched; the original raw data is never
+    needed ("discard the original data").
+    """
+    return partition(
+        frame.particles,
+        plot_type,
+        max_level=frame.max_level if max_level is None else max_level,
+        capacity=frame.capacity if capacity is None else capacity,
+        step=frame.step,
+    )

@@ -1,0 +1,27 @@
+"""Remote visualization (paper sections 1, 2.1).
+
+"Because of the collaborative nature of the overall accelerator
+modeling project, the visualization technology developed is for both
+desktop and remote visualization settings. ...  the storage savings
+mean that the data can be more efficiently transferred from the
+computer where it was generated to a remote computer on a scientist's
+desk thousands of miles away."
+
+A :class:`VisualizationServer` holds partitioned frames (the
+supercomputer side); a :class:`VisualizationClient` requests hybrid
+extractions at a chosen threshold and receives them over a socket with
+an optional bandwidth throttle, so the bytes-per-frame /
+interactivity tradeoff can be measured.
+
+Modules
+-------
+protocol   length-prefixed message framing and payload codecs
+server     the data-side daemon (partitioned store + extraction)
+client     the desktop side (requests, timing, byte accounting)
+"""
+
+from repro.remote.protocol import Message, MessageType
+from repro.remote.server import VisualizationServer
+from repro.remote.client import VisualizationClient
+
+__all__ = ["Message", "MessageType", "VisualizationServer", "VisualizationClient"]

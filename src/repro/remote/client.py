@@ -1,0 +1,76 @@
+"""The desktop-side visualization client.
+
+Requests hybrid extractions from a :class:`VisualizationServer`,
+timing each transfer and accounting bytes -- the measurements behind
+the paper's claim that compact hybrid frames make remote exploration
+practical ("quickly transferring over a network", section 2.3).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.hybrid.representation import HybridFrame
+from repro.remote import protocol
+from repro.remote.protocol import Message, MessageType
+
+__all__ = ["VisualizationClient"]
+
+
+class VisualizationClient:
+    """Connects to a server and fetches hybrid frames."""
+
+    def __init__(self, address, timeout: float = 30.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.stats = {"bytes_received": 0, "frames": 0, "seconds": 0.0}
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def __enter__(self) -> "VisualizationClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def list_frames(self):
+        """Step indices of the frames the server holds."""
+        protocol.send_message(self.sock, Message(MessageType.LIST_FRAMES))
+        reply = protocol.recv_message(self.sock)
+        self._check(reply, MessageType.FRAME_LIST)
+        return protocol.decode_frame_list(reply.payload)
+
+    def get_hybrid(
+        self, frame_index: int, threshold: float, resolution: int = 64
+    ) -> HybridFrame:
+        """Request one extraction; timing lands in ``stats``."""
+        t0 = time.perf_counter()
+        protocol.send_message(
+            self.sock,
+            Message(
+                MessageType.GET_HYBRID,
+                protocol.encode_get_hybrid(frame_index, threshold, resolution),
+            ),
+        )
+        reply = protocol.recv_message(self.sock)
+        elapsed = time.perf_counter() - t0
+        self._check(reply, MessageType.HYBRID_FRAME)
+        self.stats["bytes_received"] += len(reply.payload)
+        self.stats["frames"] += 1
+        self.stats["seconds"] += elapsed
+        return protocol.decode_hybrid(reply.payload)
+
+    def throughput_bps(self) -> float:
+        """Mean received throughput over all requests so far."""
+        if self.stats["seconds"] <= 0:
+            return 0.0
+        return self.stats["bytes_received"] / self.stats["seconds"]
+
+    @staticmethod
+    def _check(reply: Message, expected: MessageType) -> None:
+        if reply.type == MessageType.ERROR:
+            raise RuntimeError(f"server error: {reply.payload.decode()}")
+        if reply.type != expected:
+            raise RuntimeError(f"expected {expected}, got {reply.type}")

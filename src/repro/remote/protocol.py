@@ -1,0 +1,114 @@
+"""Wire protocol for the remote visualization link.
+
+Length-prefixed binary messages:
+
+    u32 message type | u64 payload length | payload bytes
+
+Payloads reuse the package's on-disk codecs (hybrid frames serialize
+with :meth:`HybridFrame.save`'s layout); requests are small structs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.hybrid.representation import HybridFrame
+
+__all__ = ["MessageType", "Message", "send_message", "recv_message",
+           "encode_hybrid", "decode_hybrid"]
+
+_FRAME_HEADER = struct.Struct("<IQ")
+
+
+class MessageType(IntEnum):
+    """Wire message kinds of the visualization link."""
+
+    LIST_FRAMES = 1          # -> FRAME_LIST
+    FRAME_LIST = 2           # payload: u64 count, u64 steps...
+    GET_HYBRID = 3           # payload: u64 frame index, f8 threshold, u32 resolution
+    HYBRID_FRAME = 4         # payload: encoded HybridFrame
+    ERROR = 5                # payload: utf-8 message
+    SHUTDOWN = 6
+
+
+@dataclass
+class Message:
+    type: MessageType
+    payload: bytes = b""
+
+
+def send_message(sock, message: Message, bandwidth_bps: float | None = None) -> int:
+    """Send a message; returns bytes sent.
+
+    ``bandwidth_bps`` throttles by sleeping between chunks, emulating
+    the wide-area link of the paper's remote setting.
+    """
+    import time
+
+    data = _FRAME_HEADER.pack(int(message.type), len(message.payload)) + message.payload
+    if bandwidth_bps is None:
+        sock.sendall(data)
+    else:
+        chunk = max(int(bandwidth_bps * 0.01), 1024)  # ~10 ms per chunk
+        for i in range(0, len(data), chunk):
+            part = data[i : i + chunk]
+            sock.sendall(part)
+            time.sleep(len(part) / bandwidth_bps)
+    return len(data)
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        part = sock.recv(min(n - len(buf), 1 << 20))
+        if not part:
+            raise ConnectionError("peer closed the connection mid-message")
+        buf.extend(part)
+    return bytes(buf)
+
+
+def recv_message(sock) -> Message:
+    """Read exactly one framed message from the socket."""
+    head = _recv_exact(sock, _FRAME_HEADER.size)
+    mtype, length = _FRAME_HEADER.unpack(head)
+    payload = _recv_exact(sock, length) if length else b""
+    return Message(MessageType(mtype), payload)
+
+
+# ----------------------------------------------------------------------
+# payload codecs
+# ----------------------------------------------------------------------
+_GET_HYBRID = struct.Struct("<QdI")
+_U64 = struct.Struct("<Q")
+
+
+def encode_get_hybrid(frame_index: int, threshold: float, resolution: int) -> bytes:
+    return _GET_HYBRID.pack(frame_index, threshold, resolution)
+
+
+def decode_get_hybrid(payload: bytes):
+    return _GET_HYBRID.unpack(payload)
+
+
+def encode_frame_list(steps) -> bytes:
+    arr = np.asarray(list(steps), dtype="<u8")
+    return _U64.pack(len(arr)) + arr.tobytes()
+
+
+def decode_frame_list(payload: bytes):
+    (count,) = _U64.unpack_from(payload, 0)
+    return np.frombuffer(payload, dtype="<u8", count=count, offset=_U64.size).tolist()
+
+
+def encode_hybrid(frame: HybridFrame) -> bytes:
+    """Serialize a hybrid frame using its file layout."""
+    return frame.to_bytes()
+
+
+def decode_hybrid(payload: bytes) -> HybridFrame:
+    """Deserialize a hybrid frame received on the wire."""
+    return HybridFrame.from_bytes(payload, source="<wire>")

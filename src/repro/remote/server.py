@@ -1,0 +1,133 @@
+"""The data-side visualization server.
+
+Plays the role of the machine "where [the data] was generated": it
+holds partitioned frames and answers extraction requests, so only the
+compact hybrid representation ever crosses the network -- the paper's
+core remote-visualization argument.
+
+The server runs in a daemon thread on localhost; tests and benches
+connect a :class:`repro.remote.client.VisualizationClient` to it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.octree.extraction import extract
+from repro.octree.partition import PartitionedFrame
+from repro.remote import protocol
+from repro.remote.protocol import Message, MessageType
+
+__all__ = ["VisualizationServer"]
+
+
+class VisualizationServer:
+    """Serves hybrid extractions of a store of partitioned frames.
+
+    Parameters
+    ----------
+    frames : list of PartitionedFrame (the partitioned store)
+    bandwidth_bps : optional outgoing-bandwidth throttle emulating a
+        wide-area link
+    host, port : bind address; port 0 picks a free port (see
+        ``address`` after ``start()``)
+    """
+
+    def __init__(
+        self,
+        frames,
+        bandwidth_bps: float | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.frames: list[PartitionedFrame] = list(frames)
+        self.bandwidth_bps = bandwidth_bps
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(4)
+        self.address = self._sock.getsockname()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.stats = {"requests": 0, "bytes_sent": 0, "extractions": 0}
+
+    # ------------------------------------------------------------------
+    def start(self) -> "VisualizationServer":
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            # poke the accept loop awake
+            poke = socket.create_connection(self.address, timeout=1.0)
+            protocol.send_message(poke, Message(MessageType.SHUTDOWN))
+            poke.close()
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._sock.close()
+
+    def __enter__(self) -> "VisualizationServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                break
+            try:
+                self._handle(conn)
+            finally:
+                conn.close()
+
+    def _handle(self, conn) -> None:
+        while True:
+            try:
+                msg = protocol.recv_message(conn)
+            except (ConnectionError, OSError):
+                return
+            self.stats["requests"] += 1
+            if msg.type == MessageType.SHUTDOWN:
+                self._stop.set()
+                return
+            if msg.type == MessageType.LIST_FRAMES:
+                payload = protocol.encode_frame_list(f.step for f in self.frames)
+                self._send(conn, Message(MessageType.FRAME_LIST, payload))
+            elif msg.type == MessageType.GET_HYBRID:
+                index, threshold, resolution = protocol.decode_get_hybrid(msg.payload)
+                if not 0 <= index < len(self.frames):
+                    self._send(
+                        conn,
+                        Message(
+                            MessageType.ERROR,
+                            f"frame index {index} out of range".encode(),
+                        ),
+                    )
+                    continue
+                hybrid = extract(
+                    self.frames[index], threshold, volume_resolution=resolution
+                )
+                self.stats["extractions"] += 1
+                self._send(
+                    conn,
+                    Message(MessageType.HYBRID_FRAME, protocol.encode_hybrid(hybrid)),
+                )
+            else:
+                self._send(
+                    conn,
+                    Message(MessageType.ERROR, f"unexpected {msg.type}".encode()),
+                )
+
+    def _send(self, conn, message: Message) -> None:
+        self.stats["bytes_sent"] += protocol.send_message(
+            conn, message, bandwidth_bps=self.bandwidth_bps
+        )

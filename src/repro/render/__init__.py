@@ -1,0 +1,46 @@
+"""Software rendering substrate.
+
+This subpackage stands in for the commodity graphics hardware (nVidia
+GeForce series) the paper relied on.  Every hardware trick the paper
+uses -- view-aligned 3-D texture slicing for volume rendering, point
+sprites, textured triangle strips with bump mapping, framebuffer
+compositing -- is reimplemented here as deterministic NumPy
+rasterization so that image-level claims can be tested and benchmarked
+without a GPU.
+
+Modules
+-------
+camera        perspective camera and screen projection
+framebuffer   RGBA + depth framebuffer with over-compositing
+volume        view-aligned slice volume renderer (texture-slicing emulation)
+points        depth-composited point splatting with fraction control
+raster        scanline triangle rasterizer (barycentric, fragment dump mode)
+shading       Phong / headlight / normal-mapped strip shading
+colormap      palettes and 1-D transfer function sampling
+image         PPM output and image difference metrics
+"""
+
+from repro.render.camera import Camera
+from repro.render.framebuffer import Framebuffer, composite_over, composite_fragments
+from repro.render.colormap import Colormap, get_colormap
+from repro.render.image import write_ppm, read_ppm, write_png, psnr, coverage
+from repro.render.wireframe import draw_polyline, draw_box, draw_structure_outline
+from repro.render.scene import Scene
+
+__all__ = [
+    "Camera",
+    "Framebuffer",
+    "composite_over",
+    "composite_fragments",
+    "Colormap",
+    "get_colormap",
+    "write_ppm",
+    "read_ppm",
+    "write_png",
+    "psnr",
+    "coverage",
+    "draw_polyline",
+    "draw_box",
+    "draw_structure_outline",
+    "Scene",
+]

@@ -1,0 +1,236 @@
+"""Perspective camera and world-to-screen projection.
+
+The camera follows the classic OpenGL pipeline the paper's viewer
+program used: a look-at view transform, a symmetric perspective
+projection, and a viewport transform to pixel coordinates.  All
+transforms are vectorized over arrays of points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Camera", "look_at", "perspective"]
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    n = np.linalg.norm(v)
+    if n == 0.0:
+        raise ValueError("cannot normalize a zero vector")
+    return v / n
+
+
+def look_at(eye: np.ndarray, target: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """Build a 4x4 world-to-eye (view) matrix.
+
+    The eye looks down its local -z axis, x is right, y is up, matching
+    the OpenGL convention.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up, dtype=np.float64)
+    f = _normalize(target - eye)          # forward
+    s = _normalize(np.cross(f, up))       # right
+    u = np.cross(s, f)                    # true up
+    m = np.eye(4)
+    m[0, :3] = s
+    m[1, :3] = u
+    m[2, :3] = -f
+    m[:3, 3] = -m[:3, :3] @ eye
+    return m
+
+
+def perspective(fov_y_deg: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """Build a 4x4 symmetric perspective projection matrix (OpenGL style)."""
+    if near <= 0 or far <= near:
+        raise ValueError("require 0 < near < far")
+    f = 1.0 / np.tan(np.radians(fov_y_deg) / 2.0)
+    m = np.zeros((4, 4))
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = (far + near) / (near - far)
+    m[2, 3] = 2.0 * far * near / (near - far)
+    m[3, 2] = -1.0
+    return m
+
+
+@dataclass
+class Camera:
+    """A perspective pinhole camera.
+
+    Parameters
+    ----------
+    eye, target, up:
+        Standard look-at specification in world coordinates.
+    fov_y:
+        Vertical field of view in degrees.
+    width, height:
+        Viewport size in pixels.
+    near, far:
+        Clip plane distances along the view direction.
+    """
+
+    eye: np.ndarray = field(default_factory=lambda: np.array([0.0, 0.0, 5.0]))
+    target: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    up: np.ndarray = field(default_factory=lambda: np.array([0.0, 1.0, 0.0]))
+    fov_y: float = 40.0
+    width: int = 256
+    height: int = 256
+    near: float = 0.05
+    far: float = 100.0
+
+    def __post_init__(self) -> None:
+        self.eye = np.asarray(self.eye, dtype=np.float64)
+        self.target = np.asarray(self.target, dtype=np.float64)
+        self.up = np.asarray(self.up, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # matrices
+    # ------------------------------------------------------------------
+    @property
+    def aspect(self) -> float:
+        return self.width / self.height
+
+    @property
+    def view_matrix(self) -> np.ndarray:
+        return look_at(self.eye, self.target, self.up)
+
+    @property
+    def projection_matrix(self) -> np.ndarray:
+        return perspective(self.fov_y, self.aspect, self.near, self.far)
+
+    @property
+    def forward(self) -> np.ndarray:
+        """Unit view direction (from eye toward target)."""
+        return _normalize(self.target - self.eye)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def to_eye(self, points: np.ndarray) -> np.ndarray:
+        """Transform world points (N, 3) into eye space (N, 3)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        m = self.view_matrix
+        return pts @ m[:3, :3].T + m[:3, 3]
+
+    def view_depth(self, points: np.ndarray) -> np.ndarray:
+        """Distance of each point along the view direction (positive in
+        front of the camera).  This is the depth used for compositing
+        order, matching eye-space -z."""
+        return -self.to_eye(points)[:, 2]
+
+    def project(self, points: np.ndarray):
+        """Project world points to pixel coordinates.
+
+        Returns
+        -------
+        xy : (N, 2) float array of pixel coordinates (x right, y down)
+        depth : (N,) eye-space depth (positive in front)
+        visible : (N,) bool mask of points inside the frustum
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        eye_pts = self.to_eye(pts)
+        depth = -eye_pts[:, 2]
+        # clip to avoid division blowups; callers filter with `visible`
+        w = np.where(np.abs(depth) < 1e-12, 1e-12, depth)
+        proj = self.projection_matrix
+        # NDC via explicit perspective divide
+        x_ndc = (proj[0, 0] * eye_pts[:, 0]) / w
+        y_ndc = (proj[1, 1] * eye_pts[:, 1]) / w
+        px = (x_ndc * 0.5 + 0.5) * self.width
+        py = (1.0 - (y_ndc * 0.5 + 0.5)) * self.height
+        visible = (
+            (depth > self.near)
+            & (depth < self.far)
+            & (x_ndc >= -1.2)
+            & (x_ndc <= 1.2)
+            & (y_ndc >= -1.2)
+            & (y_ndc <= 1.2)
+        )
+        return np.column_stack([px, py]), depth, visible
+
+    def unproject(self, xy: np.ndarray, depth: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`project` for points with known depth."""
+        xy = np.atleast_2d(np.asarray(xy, dtype=np.float64))
+        depth = np.atleast_1d(np.asarray(depth, dtype=np.float64))
+        proj = self.projection_matrix
+        x_ndc = xy[:, 0] / self.width * 2.0 - 1.0
+        y_ndc = (1.0 - xy[:, 1] / self.height) * 2.0 - 1.0
+        ex = x_ndc * depth / proj[0, 0]
+        ey = y_ndc * depth / proj[1, 1]
+        eye_pts = np.column_stack([ex, ey, -depth])
+        m = self.view_matrix
+        rot_inv = m[:3, :3].T
+        return eye_pts @ rot_inv.T + self.eye
+
+    def view_vectors(self, points: np.ndarray) -> np.ndarray:
+        """Unit vectors from each world point toward the eye.
+
+        Self-orienting surfaces use these to turn strips toward the
+        observer (paper section 3.1).
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        v = self.eye[None, :] - pts
+        n = np.linalg.norm(v, axis=1, keepdims=True)
+        n = np.where(n < 1e-300, 1.0, n)
+        return v / n
+
+    def pixel_rays(self):
+        """Generate one ray per pixel.
+
+        Returns
+        -------
+        origins : (H*W, 3) ray origins (all equal to the eye)
+        dirs : (H*W, 3) unit ray directions in world space
+        """
+        proj = self.projection_matrix
+        xs = (np.arange(self.width) + 0.5) / self.width * 2.0 - 1.0
+        ys = 1.0 - (np.arange(self.height) + 0.5) / self.height * 2.0
+        xg, yg = np.meshgrid(xs, ys)
+        ex = xg / proj[0, 0]
+        ey = yg / proj[1, 1]
+        dirs_eye = np.stack([ex, ey, -np.ones_like(ex)], axis=-1).reshape(-1, 3)
+        m = self.view_matrix
+        dirs_world = dirs_eye @ m[:3, :3]
+        dirs_world /= np.linalg.norm(dirs_world, axis=1, keepdims=True)
+        origins = np.broadcast_to(self.eye, dirs_world.shape)
+        return origins, dirs_world
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit_bounds(
+        cls,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        direction: np.ndarray = (0.3, 0.25, 1.0),
+        width: int = 256,
+        height: int = 256,
+        fov_y: float = 40.0,
+        margin: float = 1.25,
+    ) -> "Camera":
+        """Place a camera so an axis-aligned box [lo, hi] fills the view."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        center = 0.5 * (lo + hi)
+        radius = 0.5 * float(np.linalg.norm(hi - lo))
+        radius = max(radius, 1e-9)
+        d = _normalize(np.asarray(direction, dtype=np.float64))
+        dist = margin * radius / np.tan(np.radians(fov_y) / 2.0)
+        eye = center + d * dist
+        up = np.array([0.0, 1.0, 0.0])
+        if abs(np.dot(d, up)) > 0.98:
+            up = np.array([0.0, 0.0, 1.0])
+        return cls(
+            eye=eye,
+            target=center,
+            up=up,
+            fov_y=fov_y,
+            width=width,
+            height=height,
+            near=max(1e-3, dist - margin * 3 * radius),
+            far=dist + margin * 3 * radius,
+        )

@@ -1,0 +1,106 @@
+"""Color palettes and 1-D lookup tables.
+
+The viewer program in the paper maps point density through editable
+transfer functions into color and opacity.  This module provides the
+underlying palette machinery: a handful of built-in colormaps defined
+by control points, linearly interpolated and sampled into lookup
+tables, exactly like the palettized textures 2002-era hardware used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Colormap", "get_colormap", "available_colormaps"]
+
+
+class Colormap:
+    """A piecewise-linear RGB colormap defined by control points.
+
+    Parameters
+    ----------
+    positions : (K,) increasing values in [0, 1]
+    colors : (K, 3) RGB at each control point, components in [0, 1]
+    name : identifier used by :func:`get_colormap`
+    """
+
+    def __init__(self, positions, colors, name: str = "custom"):
+        self.positions = np.asarray(positions, dtype=np.float64)
+        self.colors = np.asarray(colors, dtype=np.float64)
+        self.name = name
+        if self.positions.ndim != 1 or self.colors.shape != (self.positions.size, 3):
+            raise ValueError("positions must be (K,), colors (K, 3)")
+        if np.any(np.diff(self.positions) < 0):
+            raise ValueError("positions must be non-decreasing")
+        if self.positions[0] != 0.0 or self.positions[-1] != 1.0:
+            raise ValueError("positions must span [0, 1]")
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        """Sample the map at values ``t`` (clipped to [0, 1]); returns (..., 3)."""
+        t = np.clip(np.asarray(t, dtype=np.float64), 0.0, 1.0)
+        out = np.empty(t.shape + (3,))
+        for c in range(3):
+            out[..., c] = np.interp(t, self.positions, self.colors[:, c])
+        return out
+
+    def table(self, n: int = 256) -> np.ndarray:
+        """Return an (n, 3) lookup table (the 'palette' of the paper)."""
+        if n < 2:
+            raise ValueError("table needs at least 2 entries")
+        return self(np.linspace(0.0, 1.0, n))
+
+    def reversed(self) -> "Colormap":
+        return Colormap(1.0 - self.positions[::-1], self.colors[::-1], name=self.name + "_r")
+
+
+_BUILTINS = {
+    # dark-blue body through orange to white: good for beam density
+    "fire": Colormap(
+        [0.0, 0.25, 0.5, 0.75, 1.0],
+        [
+            [0.0, 0.0, 0.05],
+            [0.35, 0.0, 0.35],
+            [0.9, 0.25, 0.05],
+            [1.0, 0.7, 0.1],
+            [1.0, 1.0, 0.9],
+        ],
+        name="fire",
+    ),
+    # the blue electric-field-line look of the paper's figures
+    "electric": Colormap(
+        [0.0, 0.5, 1.0],
+        [[0.05, 0.1, 0.4], [0.2, 0.45, 0.95], [0.8, 0.95, 1.0]],
+        name="electric",
+    ),
+    "magnetic": Colormap(
+        [0.0, 0.5, 1.0],
+        [[0.3, 0.05, 0.05], [0.85, 0.25, 0.15], [1.0, 0.85, 0.6]],
+        name="magnetic",
+    ),
+    "gray": Colormap([0.0, 1.0], [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]], name="gray"),
+    "viridis_like": Colormap(
+        [0.0, 0.33, 0.66, 1.0],
+        [
+            [0.27, 0.0, 0.33],
+            [0.13, 0.44, 0.56],
+            [0.21, 0.72, 0.47],
+            [0.99, 0.91, 0.14],
+        ],
+        name="viridis_like",
+    ),
+}
+
+
+def available_colormaps():
+    """Names of the built-in colormaps."""
+    return sorted(_BUILTINS)
+
+
+def get_colormap(name: str) -> Colormap:
+    """Look up a built-in colormap by name."""
+    try:
+        return _BUILTINS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown colormap {name!r}; available: {', '.join(available_colormaps())}"
+        ) from None

@@ -1,0 +1,120 @@
+"""Point-based rendering of explicit halo particles.
+
+Particles selected by the extraction step are drawn as screen-space
+point sprites.  The point transfer function of the paper maps local
+density to a *fraction of points drawn* -- "when the transfer
+function's value is at 0.75 for some density ... three out of every
+four points are drawn".  ``select_fraction`` reproduces that behaviour
+deterministically with a low-discrepancy sequence so repeated renders
+of the same frame draw the same subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.camera import Camera
+from repro.render.framebuffer import Framebuffer, composite_fragments
+
+__all__ = ["select_fraction", "point_fragments", "render_points"]
+
+_GOLDEN = 0.6180339887498949  # frac(phi), drives the low-discrepancy picker
+
+
+def select_fraction(n: int, fractions: np.ndarray) -> np.ndarray:
+    """Choose which of ``n`` points to draw given per-point fractions.
+
+    Point ``i`` is kept when ``frac(i * golden_ratio) < fractions[i]``,
+    so a constant fraction f keeps, for any contiguous run of points,
+    a share of points within O(1/n) of f -- without randomness.
+
+    Returns a boolean keep-mask of length ``n``.
+    """
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if fractions.shape not in ((), (n,)):
+        raise ValueError("fractions must be scalar or length n")
+    u = np.mod(np.arange(n, dtype=np.float64) * _GOLDEN, 1.0)
+    return u < fractions
+
+
+def point_fragments(
+    camera: Camera,
+    points: np.ndarray,
+    rgba: np.ndarray,
+    point_size: int = 1,
+):
+    """Project points and produce a fragment stream.
+
+    Parameters
+    ----------
+    points : (N, 3) world positions
+    rgba : (N, 4) or (4,) color(s) with alpha
+    point_size : square sprite edge length in pixels (1 = single pixel)
+
+    Returns
+    -------
+    (pix, depth, rgba) arrays suitable for
+    :func:`repro.render.framebuffer.composite_fragments` and
+    :func:`repro.render.volume.render_mixed`.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    rgba = np.asarray(rgba, dtype=np.float64)
+    if rgba.ndim == 1:
+        rgba = np.broadcast_to(rgba, (len(points), 4))
+    xy, depth, visible = camera.project(points)
+    xy = xy[visible]
+    depth = depth[visible]
+    rgba = rgba[visible]
+
+    w, h = camera.width, camera.height
+    if point_size <= 1:
+        offsets = [(0, 0)]
+    else:
+        r = point_size // 2
+        offsets = [
+            (dx, dy)
+            for dx in range(-r, point_size - r)
+            for dy in range(-r, point_size - r)
+        ]
+    pix_all = []
+    dep_all = []
+    col_all = []
+    ix0 = np.floor(xy[:, 0]).astype(np.int64)
+    iy0 = np.floor(xy[:, 1]).astype(np.int64)
+    for dx, dy in offsets:
+        ix = ix0 + dx
+        iy = iy0 + dy
+        ok = (ix >= 0) & (ix < w) & (iy >= 0) & (iy < h)
+        pix_all.append((iy[ok] * w + ix[ok]))
+        dep_all.append(depth[ok])
+        col_all.append(rgba[ok])
+    if not pix_all:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            np.empty((0, 4)),
+        )
+    return (
+        np.concatenate(pix_all),
+        np.concatenate(dep_all),
+        np.concatenate(col_all),
+    )
+
+
+def render_points(
+    camera: Camera,
+    points: np.ndarray,
+    rgba: np.ndarray,
+    fb: Framebuffer | None = None,
+    point_size: int = 1,
+) -> Framebuffer:
+    """Render points alone (no volume) into a framebuffer."""
+    if fb is None:
+        fb = Framebuffer(camera.width, camera.height)
+    pix, dep, col = point_fragments(camera, points, rgba, point_size=point_size)
+    layer, ldepth = composite_fragments(pix, dep, col, fb.n_pixels)
+    fb.layer_over(
+        layer.reshape(fb.height, fb.width, 4),
+        ldepth.reshape(fb.height, fb.width),
+    )
+    return fb

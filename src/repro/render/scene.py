@@ -1,0 +1,211 @@
+"""Depth-correct multi-primitive scenes.
+
+Rendering calls like ``render_strips(..., fb=fb)`` composite each
+primitive *over* whatever is already in the framebuffer -- fine for a
+single pass, wrong when a strip should appear behind an
+already-drawn point.  ``Scene`` fixes that the way the hardware
+pipeline does: every primitive contributes *fragments* (pixel, depth,
+RGBA) into one pool, and a single per-pixel depth-sorted composite
+resolves them together -- including depth-interleaving with an
+optional density volume via the hybrid slab compositor.
+
+    scene = Scene(camera)
+    scene.add_strips(strips)
+    scene.add_points(positions, rgba)
+    scene.add_wireframe_structure(structure, half="back")
+    scene.add_volume(rgba_volume, lo, hi)
+    fb = scene.render()
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.camera import Camera
+from repro.render.colormap import Colormap, get_colormap
+from repro.render.framebuffer import Framebuffer
+from repro.render.points import point_fragments
+from repro.render.raster import rasterize
+from repro.render.shading import halo_profile, phong, strip_shading
+from repro.render.volume import render_mixed
+from repro.render.wireframe import _polyline_fragments
+
+__all__ = ["Scene"]
+
+
+class Scene:
+    """A collection of fragment-producing primitives plus at most one
+    volume, composited depth-correct in a single pass."""
+
+    def __init__(self, camera: Camera):
+        self.camera = camera
+        self._pix: list[np.ndarray] = []
+        self._dep: list[np.ndarray] = []
+        self._rgba: list[np.ndarray] = []
+        self._volume = None  # (rgba_volume, lo, hi)
+
+    # ------------------------------------------------------------------
+    def _push(self, pix, dep, rgba) -> None:
+        if len(pix):
+            self._pix.append(np.asarray(pix))
+            self._dep.append(np.asarray(dep))
+            self._rgba.append(np.asarray(rgba))
+
+    def add_points(self, positions, rgba, point_size: int = 1) -> "Scene":
+        """Point sprites (see :mod:`repro.render.points`)."""
+        pix, dep, col = point_fragments(
+            self.camera, positions, rgba, point_size=point_size
+        )
+        self._push(pix, dep, col)
+        return self
+
+    def add_strips(
+        self,
+        strips,
+        colormap: Colormap | str = "electric",
+        shading: str = "bump",
+        halo_core: float | None = 0.72,
+        alpha: float = 1.0,
+        alpha_by_magnitude: bool = False,
+        magnitude_range=None,
+    ) -> "Scene":
+        """Self-orienting strips (or ribbons), shaded to fragments."""
+        if strips.n_triangles == 0:
+            return self
+        cmap = get_colormap(colormap) if isinstance(colormap, str) else colormap
+        frags = rasterize(
+            self.camera,
+            strips.vertices,
+            strips.triangles,
+            {"v": strips.v_coord, "mag": strips.magnitude},
+        )
+        if len(frags) == 0:
+            return self
+        v = frags.attrs["v"][:, 0]
+        mag = frags.attrs["mag"][:, 0]
+        if magnitude_range is None:
+            lo, hi = float(strips.magnitude.min()), float(strips.magnitude.max())
+        else:
+            lo, hi = magnitude_range
+        t = np.clip((mag - lo) / max(hi - lo, 1e-300), 0.0, 1.0)
+        base = cmap(t)
+        if shading == "bump":
+            rgb = strip_shading(v, base)
+        elif shading == "flat":
+            rgb = base
+        else:
+            raise ValueError("shading must be 'bump' or 'flat'")
+        if halo_core is not None:
+            rgb = rgb * halo_profile(v, core=halo_core)[:, None]
+        a = np.full(len(rgb), alpha)
+        if alpha_by_magnitude:
+            a = a * np.clip(t, 0.05, 1.0)
+        self._push(frags.pix, frags.depth, np.column_stack([rgb, a]))
+        return self
+
+    def add_tubes(
+        self,
+        tubes,
+        colormap: Colormap | str = "electric",
+        alpha: float = 1.0,
+        magnitude_range=None,
+    ) -> "Scene":
+        """Phong-shaded streamtubes to fragments."""
+        if tubes.n_triangles == 0:
+            return self
+        cmap = get_colormap(colormap) if isinstance(colormap, str) else colormap
+        frags = rasterize(
+            self.camera,
+            tubes.vertices,
+            tubes.triangles,
+            {"normal": tubes.normals, "mag": tubes.magnitude},
+        )
+        if len(frags) == 0:
+            return self
+        normals = frags.attrs["normal"]
+        nn = np.linalg.norm(normals, axis=1, keepdims=True)
+        normals = normals / np.where(nn < 1e-12, 1.0, nn)
+        mag = frags.attrs["mag"][:, 0]
+        if magnitude_range is None:
+            lo, hi = float(tubes.magnitude.min()), float(tubes.magnitude.max())
+        else:
+            lo, hi = magnitude_range
+        t = np.clip((mag - lo) / max(hi - lo, 1e-300), 0.0, 1.0)
+        headlight = -self.camera.forward
+        rgb = phong(normals, headlight, headlight, cmap(t))
+        self._push(
+            frags.pix, frags.depth,
+            np.column_stack([rgb, np.full(len(rgb), alpha)]),
+        )
+        return self
+
+    def add_polyline(self, points, color=(0.45, 0.45, 0.5), alpha: float = 1.0) -> "Scene":
+        pix, dep = _polyline_fragments(self.camera, points)
+        if len(pix):
+            rgba = np.empty((len(pix), 4))
+            rgba[:, :3] = np.asarray(color, dtype=np.float64)
+            rgba[:, 3] = alpha
+            self._push(pix, dep, rgba)
+        return self
+
+    def add_wireframe_structure(
+        self, structure, color=(0.4, 0.42, 0.48), alpha: float = 0.5,
+        half: str | None = None, n_rings: int = 24, n_theta: int = 48,
+        n_axial: int = 8,
+    ) -> "Scene":
+        """Structure outline rings + axial lines as fragments."""
+        if half not in (None, "front", "back"):
+            raise ValueError("half must be None, 'front', or 'back'")
+        if half == "back":
+            thetas = np.linspace(np.pi, 2 * np.pi, n_theta)
+        elif half == "front":
+            thetas = np.linspace(0.0, np.pi, n_theta)
+        else:
+            thetas = np.linspace(0.0, 2 * np.pi, n_theta + 1)
+        for z in np.linspace(0.0, structure.length, n_rings):
+            r = structure.wall_radius(thetas, np.full_like(thetas, z))
+            ring = np.column_stack(
+                [r * np.cos(thetas), r * np.sin(thetas), np.full_like(thetas, z)]
+            )
+            self.add_polyline(ring, color=color, alpha=alpha)
+        z_fine = np.linspace(0.0, structure.length, 96)
+        for theta in np.linspace(thetas[0], thetas[-1], n_axial):
+            r = structure.wall_radius(np.full_like(z_fine, theta), z_fine)
+            self.add_polyline(
+                np.column_stack([r * np.cos(theta), r * np.sin(theta), z_fine]),
+                color=color, alpha=alpha,
+            )
+        return self
+
+    def add_volume(self, rgba_volume, lo, hi) -> "Scene":
+        """The (single) classified density volume."""
+        if self._volume is not None:
+            raise ValueError("a scene holds at most one volume")
+        self._volume = (np.asarray(rgba_volume), np.asarray(lo), np.asarray(hi))
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def n_fragments(self) -> int:
+        return int(sum(len(p) for p in self._pix))
+
+    def render(self, fb: Framebuffer | None = None, n_slices: int = 64) -> Framebuffer:
+        """Composite everything depth-correct in one pass."""
+        if fb is None:
+            fb = Framebuffer(self.camera.width, self.camera.height)
+        if self._pix:
+            frags = (
+                np.concatenate(self._pix),
+                np.concatenate(self._dep),
+                np.concatenate(self._rgba),
+            )
+        else:
+            frags = None
+        if self._volume is not None:
+            vol, lo, hi = self._volume
+        else:
+            vol, lo, hi = None, np.zeros(3), np.ones(3)
+        return render_mixed(
+            self.camera, vol, lo, hi, point_fragments=frags, fb=fb,
+            n_slices=n_slices,
+        )

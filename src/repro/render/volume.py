@@ -1,0 +1,296 @@
+"""View-aligned slice volume rendering (texture-slicing emulation).
+
+The paper renders the high-density beam core with texture-mapping
+hardware: the density volume is loaded as a 3-D texture and composited
+through view-aligned slices.  This module reproduces that pipeline in
+software: for each of ``n_slices`` view-aligned slabs (back to front) a
+full-screen slice is sampled trilinearly from the RGBA volume and
+composited *over* the framebuffer.
+
+``render_mixed`` implements the hybrid rendering of paper section 2:
+explicit halo points are depth-interleaved with the volume slabs so
+points inside, behind, and in front of the volume composite correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.camera import Camera
+from repro.render.framebuffer import Framebuffer, composite_fragments, composite_over
+
+__all__ = [
+    "trilinear_sample",
+    "render_volume",
+    "render_volume_mip",
+    "render_mixed",
+    "volume_depth_range",
+]
+
+
+def trilinear_sample(volume: np.ndarray, coords: np.ndarray) -> np.ndarray:
+    """Trilinearly sample a volume at normalized coordinates.
+
+    Parameters
+    ----------
+    volume : (X, Y, Z) or (X, Y, Z, C) array
+    coords : (N, 3) coordinates in [0, 1]^3; samples outside return 0
+
+    Returns
+    -------
+    (N,) or (N, C) sampled values
+    """
+    vol = np.asarray(volume, dtype=np.float64)
+    scalar = vol.ndim == 3
+    if scalar:
+        vol = vol[..., None]
+    nx, ny, nz, nc = vol.shape
+    c = np.asarray(coords, dtype=np.float64)
+    inside = np.all((c >= 0.0) & (c <= 1.0), axis=1)
+
+    # cell-centered texel convention: coordinate 0.5/n is texel 0's center
+    fx = np.clip(c[:, 0] * nx - 0.5, 0.0, nx - 1.0)
+    fy = np.clip(c[:, 1] * ny - 0.5, 0.0, ny - 1.0)
+    fz = np.clip(c[:, 2] * nz - 0.5, 0.0, nz - 1.0)
+    x0 = np.minimum(fx.astype(np.int64), nx - 2) if nx > 1 else np.zeros(len(c), np.int64)
+    y0 = np.minimum(fy.astype(np.int64), ny - 2) if ny > 1 else np.zeros(len(c), np.int64)
+    z0 = np.minimum(fz.astype(np.int64), nz - 2) if nz > 1 else np.zeros(len(c), np.int64)
+    x1 = np.minimum(x0 + 1, nx - 1)
+    y1 = np.minimum(y0 + 1, ny - 1)
+    z1 = np.minimum(z0 + 1, nz - 1)
+    tx = (fx - x0)[:, None]
+    ty = (fy - y0)[:, None]
+    tz = (fz - z0)[:, None]
+
+    # flat-index gathers are markedly faster than 3-axis fancy indexing
+    flat = np.ascontiguousarray(vol).reshape(-1, nc)
+    base00 = (x0 * ny + y0) * nz
+    base10 = (x1 * ny + y0) * nz
+    base01 = (x0 * ny + y1) * nz
+    base11 = (x1 * ny + y1) * nz
+    c000 = flat[base00 + z0]
+    c100 = flat[base10 + z0]
+    c010 = flat[base01 + z0]
+    c110 = flat[base11 + z0]
+    c001 = flat[base00 + z1]
+    c101 = flat[base10 + z1]
+    c011 = flat[base01 + z1]
+    c111 = flat[base11 + z1]
+
+    c00 = c000 * (1 - tx) + c100 * tx
+    c10 = c010 * (1 - tx) + c110 * tx
+    c01 = c001 * (1 - tx) + c101 * tx
+    c11 = c011 * (1 - tx) + c111 * tx
+    c0 = c00 * (1 - ty) + c10 * ty
+    c1 = c01 * (1 - ty) + c11 * ty
+    out = c0 * (1 - tz) + c1 * tz
+    out[~inside] = 0.0
+    return out[:, 0] if scalar else out
+
+
+def volume_depth_range(camera: Camera, lo: np.ndarray, hi: np.ndarray):
+    """Depth range spanned by an axis-aligned box as seen from a camera."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    corners = np.array(
+        [[x, y, z] for x in (lo[0], hi[0]) for y in (lo[1], hi[1]) for z in (lo[2], hi[2])]
+    )
+    depths = camera.view_depth(corners)
+    d0 = max(float(depths.min()), camera.near)
+    d1 = min(float(depths.max()), camera.far)
+    return d0, d1
+
+
+def _slice_layer(
+    camera: Camera,
+    rgba_volume: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    depth: float,
+    alpha_scale_exponent: float,
+    rays=None,
+) -> np.ndarray:
+    """Sample one view-aligned slice of the volume into an (H, W, 4) layer.
+
+    ``rays`` is an optional precomputed (origins, dirs, cos) triple so
+    callers marching many slices generate rays once.
+    """
+    if rays is None:
+        origins, dirs = camera.pixel_rays()
+        cos = dirs @ camera.forward
+    else:
+        origins, dirs, cos = rays
+    # distance along ray so the point sits at view depth `depth`
+    t = depth / np.maximum(cos, 1e-9)
+    pts = origins + dirs * t[:, None]
+    span = np.maximum(hi - lo, 1e-300)
+    coords = (pts - lo) / span
+    rgba = trilinear_sample(rgba_volume, coords)
+    # opacity correction for slice spacing
+    rgba = rgba.copy()
+    rgba[:, 3] = 1.0 - (1.0 - np.clip(rgba[:, 3], 0.0, 0.9999)) ** alpha_scale_exponent
+    return rgba.reshape(camera.height, camera.width, 4)
+
+
+def render_volume(
+    camera: Camera,
+    rgba_volume: np.ndarray,
+    lo,
+    hi,
+    fb: Framebuffer | None = None,
+    n_slices: int = 96,
+    reference_slices: int = 96,
+) -> Framebuffer:
+    """Render an RGBA volume with back-to-front view-aligned slices."""
+    return render_mixed(
+        camera,
+        rgba_volume,
+        lo,
+        hi,
+        point_fragments=None,
+        fb=fb,
+        n_slices=n_slices,
+        reference_slices=reference_slices,
+    )
+
+
+def render_volume_mip(
+    camera: Camera,
+    scalar_volume: np.ndarray,
+    lo,
+    hi,
+    colormap=None,
+    fb: Framebuffer | None = None,
+    n_samples: int = 96,
+) -> Framebuffer:
+    """Maximum-intensity projection of a scalar volume.
+
+    The standard alternative compositing mode for density data: each
+    pixel shows the largest sample along its ray, mapped through the
+    colormap.  Useful for spotting the densest beam-core filaments
+    that over-compositing can wash out.
+    """
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    if fb is None:
+        fb = Framebuffer(camera.width, camera.height)
+    d0, d1 = volume_depth_range(camera, lo, hi)
+    if d1 <= d0:
+        return fb
+    origins, dirs = camera.pixel_rays()
+    cos = dirs @ camera.forward
+    span = np.maximum(hi - lo, 1e-300)
+    best = np.zeros(camera.width * camera.height)
+    vmax = float(np.max(scalar_volume)) if scalar_volume.size else 0.0
+    for depth in np.linspace(d0, d1, n_samples):
+        t = depth / np.maximum(cos, 1e-9)
+        pts = origins + dirs * t[:, None]
+        coords = (pts - lo) / span
+        np.maximum(best, trilinear_sample(scalar_volume, coords), out=best)
+    t_norm = best / max(vmax, 1e-300)
+    layer = np.zeros((fb.n_pixels, 4))
+    if colormap is None:
+        layer[:, :3] = t_norm[:, None]
+    else:
+        layer[:, :3] = colormap(t_norm)
+    layer[:, 3] = np.clip(t_norm, 0.0, 1.0)
+    fb.layer_over(layer.reshape(fb.height, fb.width, 4))
+    return fb
+
+
+def render_mixed(
+    camera: Camera,
+    rgba_volume: np.ndarray | None,
+    lo,
+    hi,
+    point_fragments=None,
+    fb: Framebuffer | None = None,
+    n_slices: int = 96,
+    reference_slices: int = 96,
+) -> Framebuffer:
+    """Hybrid volume + point rendering with depth-correct interleaving.
+
+    Parameters
+    ----------
+    rgba_volume : (X, Y, Z, 4) volume texture, or None for points only
+    lo, hi : world-space bounds of the volume
+    point_fragments : optional (pix, depth, rgba) triple as produced by
+        :func:`repro.render.points.point_fragments`
+    n_slices : number of view-aligned slabs
+    reference_slices : slice count at which volume alpha is calibrated
+
+    Back-to-front over-compositing: for each slab (far to near), the
+    point fragments whose depth falls behind the slab's slice plane are
+    composited first, then the slice itself, then the slab's nearer
+    fragments.  Fragments outside the volume's depth range composite
+    before the farthest slab / after the nearest one.
+    """
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    if fb is None:
+        fb = Framebuffer(camera.width, camera.height)
+
+    if point_fragments is not None:
+        pix, pdep, prgba = point_fragments
+        order = np.argsort(-np.asarray(pdep), kind="stable")  # far to near
+        pix = np.asarray(pix)[order]
+        pdep = np.asarray(pdep)[order]
+        prgba = np.asarray(prgba)[order]
+    else:
+        pix = pdep = prgba = None
+
+    def composite_point_range(a: int, b: int) -> None:
+        if pix is None or a >= b:
+            return
+        layer, ldepth = composite_fragments(pix[a:b], pdep[a:b], prgba[a:b], fb.n_pixels)
+        fb.layer_over(
+            layer.reshape(fb.height, fb.width, 4),
+            ldepth.reshape(fb.height, fb.width),
+        )
+
+    if rgba_volume is None:
+        composite_point_range(0, 0 if pix is None else len(pix))
+        return fb
+
+    d0, d1 = volume_depth_range(camera, lo, hi)
+    if d1 <= d0:
+        composite_point_range(0, 0 if pix is None else len(pix))
+        return fb
+    slab = (d1 - d0) / n_slices
+    exponent = reference_slices / n_slices
+    origins, dirs = camera.pixel_rays()
+    rays = (origins, dirs, dirs @ camera.forward)
+    rgba_volume = np.ascontiguousarray(rgba_volume, dtype=np.float64)
+
+    # fragment index boundaries per slab (pdep sorted descending)
+    cursor = 0
+    n_frag = 0 if pix is None else len(pix)
+    if pix is not None:
+        # fragments farther than the volume: composite them first
+        behind = int(np.searchsorted(-pdep, -d1))
+        composite_point_range(0, behind)
+        cursor = behind
+
+    for s in range(n_slices):
+        # slab s covers depth (d1 - (s+1)*slab, d1 - s*slab]; slice at center
+        slab_far = d1 - s * slab
+        slab_near = slab_far - slab
+        depth_slice = 0.5 * (slab_far + slab_near)
+        if pix is not None:
+            # points behind the slice plane within this slab
+            upto = int(np.searchsorted(-pdep, -depth_slice))
+            composite_point_range(cursor, upto)
+            cursor = upto
+        layer = _slice_layer(
+            camera, rgba_volume, lo, hi, depth_slice, exponent, rays=rays
+        )
+        depth_img = np.full((fb.height, fb.width), depth_slice)
+        fb.layer_over(layer, depth_img)
+        if pix is not None:
+            upto = int(np.searchsorted(-pdep, -slab_near))
+            composite_point_range(cursor, upto)
+            cursor = upto
+
+    # fragments nearer than the volume
+    composite_point_range(cursor, n_frag)
+    return fb

@@ -1,0 +1,86 @@
+"""Beam diagnostics: moments, emittance, halo parameter, profiles."""
+
+import numpy as np
+import pytest
+
+from repro.beams.diagnostics import (
+    density_profile,
+    halo_parameter,
+    rms_emittance,
+    rms_size,
+    summary,
+)
+from repro.beams.distributions import X, gaussian_beam, kv_beam
+
+
+class TestRmsSize:
+    def test_known_value(self):
+        p = np.zeros((4, 6))
+        p[:, X] = [-1.0, -1.0, 1.0, 1.0]
+        assert rms_size(p, X) == pytest.approx(1.0)
+
+    def test_centering(self):
+        p = np.zeros((4, 6))
+        p[:, X] = [9.0, 9.0, 11.0, 11.0]
+        assert rms_size(p, X) == pytest.approx(1.0)
+
+
+class TestEmittance:
+    def test_uncorrelated_gaussian(self, rng):
+        p = gaussian_beam(300_000, sigmas=(2.0, 1, 1, 0.5, 1, 1), rng=rng)
+        assert rms_emittance(p, "x") == pytest.approx(1.0, rel=0.02)
+
+    def test_correlation_reduces_emittance(self, rng):
+        p = gaussian_beam(100_000, rng=rng)
+        sheared = p.copy()
+        sheared[:, 3] += 2.0 * sheared[:, 0]  # px correlated with x
+        assert rms_emittance(sheared, "x") == pytest.approx(
+            rms_emittance(p, "x"), rel=0.05
+        )  # shear is symplectic: emittance invariant
+
+    def test_bad_plane(self, rng):
+        with pytest.raises(ValueError):
+            rms_emittance(gaussian_beam(10, rng=rng), "z")
+
+    def test_nonnegative(self, rng):
+        p = rng.standard_normal((100, 6))
+        assert rms_emittance(p, "x") >= 0.0
+        assert rms_emittance(p, "y") >= 0.0
+
+
+class TestHaloParameter:
+    def test_gaussian_is_one(self, rng):
+        p = gaussian_beam(500_000, rng=rng)
+        assert halo_parameter(p, X) == pytest.approx(1.0, abs=0.05)
+
+    def test_kv_is_negative(self, rng):
+        """KV projection is uniform-like: kurtosis below Gaussian."""
+        p = kv_beam(500_000, rng=rng)
+        assert halo_parameter(p, X) < 0.0
+
+    def test_halo_raises_parameter(self, rng):
+        core = gaussian_beam(100_000, rng=rng)
+        halo = gaussian_beam(2_000, sigmas=(6.0, 6, 6, 1, 1, 1), rng=rng)
+        assert halo_parameter(np.vstack([core, halo]), X) > halo_parameter(core, X)
+
+    def test_degenerate_beam(self):
+        assert halo_parameter(np.zeros((10, 6)), X) == 0.0
+
+
+class TestProfileAndSummary:
+    def test_profile_mass_conserved(self, rng):
+        p = gaussian_beam(10_000, rng=rng)
+        centers, counts = density_profile(p, X, bins=64)
+        assert counts.sum() == 10_000
+        assert len(centers) == 64
+
+    def test_profile_peak_at_center(self, rng):
+        p = gaussian_beam(100_000, rng=rng)
+        centers, counts = density_profile(p, X, bins=51)
+        assert abs(centers[counts.argmax()]) < 0.5
+
+    def test_summary_keys(self, rng):
+        s = summary(gaussian_beam(1000, rng=rng))
+        for key in ("n", "rms_x", "rms_pz", "emit_x", "emit_y", "halo_x"):
+            assert key in s
+        assert s["n"] == 1000

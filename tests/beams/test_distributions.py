@@ -1,0 +1,103 @@
+"""Initial phase-space distribution loaders."""
+
+import numpy as np
+import pytest
+
+from repro.beams.distributions import (
+    COLUMN_NAMES,
+    PX,
+    PY,
+    PZ,
+    X,
+    Y,
+    Z,
+    gaussian_beam,
+    kv_beam,
+    make_distribution,
+    semi_gaussian_beam,
+    waterbag_beam,
+)
+
+ALL_LOADERS = [gaussian_beam, kv_beam, waterbag_beam, semi_gaussian_beam]
+SIGMAS = (1.0, 0.8, 2.0, 0.3, 0.25, 0.05)
+
+
+@pytest.mark.parametrize("loader", ALL_LOADERS)
+class TestCommonProperties:
+    def test_shape_and_dtype(self, loader, rng):
+        p = loader(1000, rng=rng)
+        assert p.shape == (1000, 6)
+        assert p.dtype == np.float64
+
+    def test_rms_matches_requested(self, loader, rng):
+        p = loader(200_000, sigmas=SIGMAS, rng=rng)
+        rms = p.std(axis=0)
+        assert np.allclose(rms, SIGMAS, rtol=0.05)
+
+    def test_centered(self, loader, rng):
+        p = loader(200_000, sigmas=SIGMAS, rng=rng)
+        assert np.allclose(p.mean(axis=0), 0.0, atol=0.05)
+
+    def test_reproducible_with_seed(self, loader):
+        a = loader(100, rng=np.random.default_rng(5))
+        b = loader(100, rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_bad_sigmas_raise(self, loader, rng):
+        with pytest.raises(ValueError):
+            loader(10, sigmas=(1.0, 1.0), rng=rng)
+        with pytest.raises(ValueError):
+            loader(10, sigmas=(1, 1, 1, 1, 1, -1), rng=rng)
+
+
+class TestShapes:
+    def test_kv_transverse_on_shell(self, rng):
+        """KV: transverse 4-vector lies on an ellipsoid surface."""
+        s = np.ones(6)
+        p = kv_beam(5000, sigmas=s, rng=rng)
+        r = (
+            (p[:, X] / 2) ** 2
+            + (p[:, PX] / 2) ** 2
+            + (p[:, Y] / 2) ** 2
+            + (p[:, PY] / 2) ** 2
+        )
+        assert np.allclose(r, 1.0, atol=1e-9)
+
+    def test_waterbag_bounded(self, rng):
+        p = waterbag_beam(10_000, sigmas=np.ones(6), rng=rng)
+        r = np.sum((p / np.sqrt(8.0)) ** 2, axis=1)
+        assert r.max() <= 1.0 + 1e-9
+
+    def test_semi_gaussian_spatial_bounded_momenta_unbounded(self, rng):
+        p = semi_gaussian_beam(100_000, sigmas=np.ones(6), rng=rng)
+        r_spatial = np.sum((p[:, :3] / np.sqrt(5.0)) ** 2, axis=1)
+        assert r_spatial.max() <= 1.0 + 1e-9
+        # Gaussian momenta exceed the 3-sigma ball with high probability
+        assert np.abs(p[:, 3:]).max() > 3.0
+
+    def test_gaussian_has_tails(self, rng):
+        p = gaussian_beam(100_000, sigmas=np.ones(6), rng=rng)
+        assert np.abs(p[:, X]).max() > 3.5
+
+
+class TestMakeDistribution:
+    def test_all_kinds(self, rng):
+        for kind in ("gaussian", "kv", "waterbag", "semi_gaussian"):
+            p = make_distribution(kind, 100, rng=rng)
+            assert p.shape == (100, 6)
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(KeyError, match="unknown distribution"):
+            make_distribution("beer", 10, rng=rng)
+
+    def test_mismatch_scales_transverse_only(self):
+        a = make_distribution("kv", 1000, rng=np.random.default_rng(1), mismatch=1.0)
+        b = make_distribution("kv", 1000, rng=np.random.default_rng(1), mismatch=2.0)
+        assert np.allclose(b[:, X], 2.0 * a[:, X])
+        assert np.allclose(b[:, Y], 2.0 * a[:, Y])
+        assert np.array_equal(b[:, Z], a[:, Z])
+        assert np.array_equal(b[:, PX], a[:, PX])
+
+    def test_column_names(self):
+        assert COLUMN_NAMES == ("x", "y", "z", "px", "py", "pz")
+        assert (X, Y, Z, PX, PY, PZ) == (0, 1, 2, 3, 4, 5)

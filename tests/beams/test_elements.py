@@ -1,0 +1,106 @@
+"""Extended lattice elements: solenoid and RF gap."""
+
+import numpy as np
+import pytest
+
+from repro.beams.distributions import PZ, X, Y, Z, gaussian_beam
+from repro.beams.elements import Solenoid, ThinRFGap
+from repro.beams.lattice import Drift
+from repro.beams.transport import track
+
+
+class TestSolenoid:
+    def test_map_symplectic(self):
+        m = Solenoid(0.7, b=3.0).transverse_map()
+        j = np.zeros((4, 4))
+        j[0, 1] = j[2, 3] = 1.0
+        j[1, 0] = j[3, 2] = -1.0
+        assert np.allclose(m.T @ j @ m, j, atol=1e-12)
+
+    def test_zero_field_is_drift(self, rng):
+        p = rng.standard_normal((200, 6))
+        a = track(p, [Solenoid(1.5, b=0.0)], copy=True)
+        b = track(p, [Drift(1.5)], copy=True)
+        assert np.allclose(a, b)
+
+    def test_couples_planes(self):
+        """A particle offset only in x acquires y after a solenoid --
+        the rotation a FODO channel never produces."""
+        p = np.zeros((1, 6))
+        p[0, X] = 1.0
+        track(p, [Solenoid(0.5, b=4.0)])
+        assert abs(p[0, Y]) > 1e-6
+
+    def test_focuses_both_planes(self, rng):
+        """rms size shrinks initially in both planes for a parallel
+        beam (solenoid focusing is plane-symmetric)."""
+        p = np.zeros((5000, 6))
+        p[:, X] = rng.standard_normal(5000)
+        p[:, Y] = rng.standard_normal(5000)
+        r0 = np.hypot(p[:, X], p[:, Y]).std()
+        track(p, [Solenoid(0.4, b=2.0), Drift(0.2)])
+        assert np.hypot(p[:, X], p[:, Y]).std() < r0
+
+    def test_rotation_angle(self):
+        """The image of a pure-x offset rotates by b L / 2."""
+        length, b = 0.8, 3.0
+        p = np.zeros((1, 6))
+        p[0, X] = 1e-6  # small so focusing displacement stays radial
+        track(p, [Solenoid(length, b=b)])
+        angle = np.arctan2(-p[0, Y], p[0, X])
+        assert angle == pytest.approx(b * length / 2.0, rel=1e-6)
+
+    def test_emittance_4d_preserved(self, rng):
+        """Symplectic coupled map preserves the 4-D phase-space
+        determinant invariant."""
+        p = gaussian_beam(50_000, rng=rng)
+        cols = [0, 3, 1, 4]
+        sigma0 = np.cov(p[:, cols].T)
+        track(p, [Solenoid(0.6, b=2.5)])
+        sigma1 = np.cov(p[:, cols].T)
+        assert np.linalg.det(sigma1) == pytest.approx(
+            np.linalg.det(sigma0), rel=1e-9
+        )
+
+    def test_split_composes(self, rng):
+        p = rng.standard_normal((100, 6))
+        full = track(p, [Solenoid(0.9, b=2.0)], copy=True)
+        split = track(p, Solenoid(0.9, b=2.0).split(6), copy=True)
+        assert np.allclose(full, split, atol=1e-12)
+
+
+class TestThinRFGap:
+    def test_zero_length(self):
+        assert ThinRFGap(0.5).length == 0.0
+
+    def test_longitudinal_kick(self):
+        p = np.zeros((1, 6))
+        p[0, Z] = 2.0
+        track(p, [ThinRFGap(kz=0.3)])
+        assert p[0, PZ] == pytest.approx(-0.6)
+        assert p[0, Z] == 2.0  # thin: no position change
+
+    def test_transverse_untouched(self, rng):
+        p = rng.standard_normal((100, 6))
+        before = p[:, [0, 1, 3, 4]].copy()
+        track(p, [ThinRFGap(kz=0.5)])
+        assert np.array_equal(p[:, [0, 1, 3, 4]], before)
+
+    def test_bunches_the_beam(self, rng):
+        """Gap + drift cells confine z like quads confine x."""
+        p = gaussian_beam(20_000, sigmas=(1, 1, 1, 0.1, 0.1, 0.1), rng=rng)
+        z0 = p[:, Z].std()
+        cell = [Drift(0.5), ThinRFGap(kz=0.4), Drift(0.5)]
+        track(p, cell * 30)
+        # longitudinal focusing keeps rms z bounded (a free drift
+        # would have grown it to ~3x)
+        free = gaussian_beam(20_000, sigmas=(1, 1, 1, 0.1, 0.1, 0.1),
+                             rng=np.random.default_rng(0))
+        track(free, [Drift(30.0)])
+        assert p[:, Z].std() < free[:, Z].std()
+
+    def test_split_single_kick(self, rng):
+        p = rng.standard_normal((50, 6))
+        once = track(p, [ThinRFGap(kz=0.3)], copy=True)
+        split = track(p, ThinRFGap(kz=0.3).split(4), copy=True)
+        assert np.allclose(once, split)

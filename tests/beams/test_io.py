@@ -1,0 +1,82 @@
+"""Particle frame I/O."""
+
+import numpy as np
+import pytest
+
+from repro.beams.io import (
+    FrameWriter,
+    frame_nbytes,
+    frame_path,
+    read_frame,
+    write_frame,
+)
+
+
+class TestFrameRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        p = rng.standard_normal((1000, 6))
+        path = tmp_path / "f.frame"
+        nbytes = write_frame(path, p, step=42)
+        assert path.stat().st_size == nbytes == frame_nbytes(1000)
+        back, step = read_frame(path)
+        assert step == 42
+        assert np.array_equal(back, p)
+
+    def test_empty_frame(self, tmp_path):
+        path = tmp_path / "e.frame"
+        write_frame(path, np.empty((0, 6)), step=0)
+        back, _ = read_frame(path)
+        assert back.shape == (0, 6)
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_frame(tmp_path / "x.frame", np.zeros((10, 5)))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.frame"
+        path.write_bytes(b"NOTFRAME" + bytes(16))
+        with pytest.raises(ValueError, match="not a particle frame"):
+            read_frame(path)
+
+    def test_truncated_rejected(self, tmp_path, rng):
+        path = tmp_path / "t.frame"
+        write_frame(path, rng.standard_normal((100, 6)))
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="truncated"):
+            read_frame(path)
+
+    def test_size_matches_paper_arithmetic(self):
+        """100 M particles x 6 doubles ~ 5 GB (paper section 2.1)."""
+        assert frame_nbytes(100_000_000) == pytest.approx(4.8e9, rel=0.01)
+
+
+class TestFrameWriter:
+    def test_write_read_cycle(self, tmp_path, rng):
+        w = FrameWriter(tmp_path / "run")
+        frames = {s: rng.standard_normal((50, 6)) for s in (0, 5, 10)}
+        for s, p in frames.items():
+            w.write(p, s)
+        assert len(w) == 3
+        assert w.steps_written == [0, 5, 10]
+        for s, p in frames.items():
+            assert np.array_equal(w.read(s), p)
+
+    def test_total_bytes(self, tmp_path, rng):
+        w = FrameWriter(tmp_path / "run")
+        w.write(rng.standard_normal((100, 6)), 0)
+        w.write(rng.standard_normal((200, 6)), 1)
+        assert w.total_bytes == frame_nbytes(100) + frame_nbytes(200)
+
+    def test_step_mismatch_detected(self, tmp_path, rng):
+        w = FrameWriter(tmp_path / "run")
+        w.write(rng.standard_normal((10, 6)), 3)
+        # rename to claim a different step
+        (tmp_path / "run" / "step_000003.frame").rename(
+            tmp_path / "run" / "step_000007.frame"
+        )
+        with pytest.raises(ValueError, match="claims step"):
+            w.read(7)
+
+    def test_frame_path_padding(self, tmp_path):
+        assert frame_path(tmp_path, 7).name == "step_000007.frame"

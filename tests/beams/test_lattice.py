@@ -1,0 +1,104 @@
+"""Lattice elements: transfer matrices and FODO channels."""
+
+import numpy as np
+import pytest
+
+from repro.beams.lattice import (
+    Drift,
+    Quadrupole,
+    channel_period,
+    fodo_cell,
+    fodo_channel,
+    one_turn_matrix,
+)
+
+
+class TestDrift:
+    def test_matrix(self):
+        mx, my = Drift(2.0).matrices()
+        expected = np.array([[1.0, 2.0], [0.0, 1.0]])
+        assert np.allclose(mx, expected)
+        assert np.allclose(my, expected)
+
+    def test_split_preserves_length(self):
+        parts = Drift(1.0).split(4)
+        assert len(parts) == 4
+        assert sum(p.length for p in parts) == pytest.approx(1.0)
+
+    def test_determinant_one(self):
+        mx, _ = Drift(3.7).matrices()
+        assert np.linalg.det(mx) == pytest.approx(1.0)
+
+
+class TestQuadrupole:
+    def test_focusing_plane_assignment(self):
+        mx, my = Quadrupole(0.5, k=4.0).matrices()
+        # focusing: |trace| < 2 possible; m21 < 0 means converging kick
+        assert mx[1, 0] < 0  # x focused
+        assert my[1, 0] > 0  # y defocused
+
+    def test_negative_k_swaps_planes(self):
+        mxp, myp = Quadrupole(0.5, k=4.0).matrices()
+        mxn, myn = Quadrupole(0.5, k=-4.0).matrices()
+        assert np.allclose(mxn, myp)
+        assert np.allclose(myn, mxp)
+
+    def test_symplectic(self):
+        for k in (3.0, -3.0, 0.0):
+            mx, my = Quadrupole(0.4, k=k).matrices()
+            assert np.linalg.det(mx) == pytest.approx(1.0)
+            assert np.linalg.det(my) == pytest.approx(1.0)
+
+    def test_zero_k_is_drift(self):
+        mq, _ = Quadrupole(1.5, k=0.0).matrices()
+        md, _ = Drift(1.5).matrices()
+        assert np.allclose(mq, md)
+
+    def test_thin_lens_limit(self):
+        """Short strong quad approaches the thin-lens kick -1/f = -kL."""
+        length, k = 1e-4, 100.0
+        mx, _ = Quadrupole(length, k=k).matrices()
+        assert mx[1, 0] == pytest.approx(-k * length, rel=1e-4)
+
+    def test_split_composition(self):
+        """Product of split-element matrices equals the full matrix."""
+        q = Quadrupole(0.8, k=5.0)
+        mx_full, my_full = q.matrices()
+        mx = np.eye(2)
+        for part in q.split(8):
+            px, _ = part.matrices()
+            mx = px @ mx
+        assert np.allclose(mx, mx_full, atol=1e-12)
+
+
+class TestFodo:
+    def test_cell_structure(self):
+        cell = fodo_cell()
+        assert len(cell) == 5
+        # symmetric half-quads at the ends
+        assert cell[0].k > 0 and cell[-1].k > 0
+        assert cell[0].length == pytest.approx(cell[-1].length)
+        assert cell[2].k < 0
+
+    def test_channel_length(self):
+        lattice = fodo_channel(7)
+        assert channel_period(lattice) == pytest.approx(7 * channel_period(fodo_cell()))
+
+    def test_channel_needs_cells(self):
+        with pytest.raises(ValueError):
+            fodo_channel(0)
+
+    def test_default_cell_stable(self):
+        mx, my = one_turn_matrix(fodo_cell())
+        assert abs(np.trace(mx)) < 2.0
+        assert abs(np.trace(my)) < 2.0
+
+    def test_overstrong_cell_unstable(self):
+        mx, my = one_turn_matrix(fodo_cell(k=80.0))
+        assert abs(np.trace(mx)) >= 2.0 or abs(np.trace(my)) >= 2.0
+
+    def test_x_y_symmetry(self):
+        """Alternating gradient: x and y see the same |trace| (the
+        four-fold symmetric physics of the paper's Figure 5)."""
+        mx, my = one_turn_matrix(fodo_cell())
+        assert np.trace(mx) == pytest.approx(np.trace(my), rel=1e-9)

@@ -1,0 +1,94 @@
+"""Envelope matching."""
+
+import numpy as np
+import pytest
+
+from repro.beams.distributions import X, gaussian_beam
+from repro.beams.lattice import Drift, Quadrupole, fodo_cell, one_turn_matrix
+from repro.beams.matching import (
+    matched_sigmas,
+    matched_twiss,
+    phase_advance,
+    twiss_from_matrix,
+)
+from repro.beams.transport import track
+
+
+class TestTwiss:
+    def test_identity_like_rotation(self):
+        """A pure phase-space rotation has beta = 1, alpha = 0."""
+        mu = 0.7
+        m = np.array([[np.cos(mu), np.sin(mu)], [-np.sin(mu), np.cos(mu)]])
+        beta, alpha, gamma, mu_out = twiss_from_matrix(m)
+        assert beta == pytest.approx(1.0)
+        assert alpha == pytest.approx(0.0, abs=1e-12)
+        assert gamma == pytest.approx(1.0)
+        assert mu_out == pytest.approx(mu)
+
+    def test_unstable_rejected(self):
+        m, _ = Quadrupole(2.0, k=80.0).matrices()
+        # defocusing plane of a strong quad: |trace| > 2
+        with pytest.raises(ValueError, match="unstable"):
+            twiss_from_matrix(np.array([[2.0, 1.0], [1.0, 1.0]]))
+
+    def test_gamma_consistency(self):
+        cell = fodo_cell()
+        for plane, (beta, alpha, gamma, _) in matched_twiss(cell).items():
+            assert gamma == pytest.approx((1 + alpha**2) / beta)
+
+    def test_fodo_symmetric_point_alpha_zero(self):
+        """Our FODO cell starts mid-quad (the symmetry point), where
+        alpha vanishes in both planes."""
+        tw = matched_twiss(fodo_cell())
+        assert abs(tw["x"][1]) < 1e-9
+        assert abs(tw["y"][1]) < 1e-9
+
+    def test_phase_advance_stable_range(self):
+        mux, muy = phase_advance(fodo_cell())
+        assert 0 < mux < np.pi
+        assert 0 < muy < np.pi
+
+
+class TestMatchedBeam:
+    def test_matched_beam_stationary_rms(self):
+        """A matched beam's rms size returns to itself after each cell
+        and oscillates far less than a mismatched one."""
+        cell = fodo_cell()
+        sig = matched_sigmas(cell, emittance_x=0.2, emittance_y=0.2)
+        rng = np.random.default_rng(4)
+        matched = gaussian_beam(40_000, sigmas=sig, rng=rng)
+        mismatched = matched.copy()
+        mismatched[:, X] *= 1.6
+
+        def rms_trace(p):
+            out = [p[:, X].std()]
+            for _ in range(6):
+                track(p, cell)
+                out.append(p[:, X].std())
+            return np.array(out)
+
+        m_trace = rms_trace(matched)
+        mm_trace = rms_trace(mismatched)
+        m_osc = m_trace.std() / m_trace.mean()
+        mm_osc = mm_trace.std() / mm_trace.mean()
+        assert m_osc < 0.02            # matched: quiet envelope
+        assert mm_osc > 3 * m_osc      # mismatch: strong oscillation
+
+    def test_sigma_values(self):
+        cell = fodo_cell()
+        sig = matched_sigmas(cell, 0.3, 0.1, sigma_z=5.0, sigma_pz=0.01)
+        tw = matched_twiss(cell)
+        assert sig[0] == pytest.approx(np.sqrt(0.3 * tw["x"][0]))
+        assert sig[4] == pytest.approx(np.sqrt(0.1 * tw["y"][2]))
+        assert sig[2] == 5.0 and sig[5] == 0.01
+
+    def test_round_trip_one_cell(self):
+        """Second moments are exactly periodic for the matched Twiss."""
+        cell = fodo_cell()
+        tw = matched_twiss(cell)
+        beta, alpha, gamma, _ = tw["x"]
+        eps = 0.25
+        sigma = eps * np.array([[beta, -alpha], [-alpha, gamma]])
+        mx, _ = one_turn_matrix(cell)
+        sigma_out = mx @ sigma @ mx.T
+        assert np.allclose(sigma_out, sigma, atol=1e-12)

@@ -1,0 +1,72 @@
+"""Vectorized particle transport."""
+
+import numpy as np
+import pytest
+
+from repro.beams.distributions import PX, PZ, X, Z
+from repro.beams.lattice import Drift, Quadrupole, fodo_cell
+from repro.beams.transport import apply_maps, track, track_step
+
+
+@pytest.fixture
+def bunch(rng):
+    return rng.standard_normal((500, 6))
+
+
+class TestDriftTransport:
+    def test_positions_advance_by_momentum(self, bunch):
+        before = bunch.copy()
+        track_step(bunch, Drift(2.0))
+        assert np.allclose(bunch[:, X], before[:, X] + 2.0 * before[:, PX])
+        assert np.allclose(bunch[:, Z], before[:, Z] + 2.0 * before[:, PZ])
+        assert np.allclose(bunch[:, PX], before[:, PX])
+
+    def test_zero_length_noop(self, bunch):
+        before = bunch.copy()
+        track_step(bunch, Drift(0.0))
+        assert np.array_equal(bunch, before)
+
+
+class TestQuadTransport:
+    def test_matches_matrix_action(self, bunch):
+        q = Quadrupole(0.3, k=6.0)
+        mx, my = q.matrices()
+        before = bunch.copy()
+        track_step(bunch, q)
+        assert np.allclose(bunch[:, X], mx[0, 0] * before[:, X] + mx[0, 1] * before[:, PX])
+        assert np.allclose(bunch[:, PX], mx[1, 0] * before[:, X] + mx[1, 1] * before[:, PX])
+
+    def test_linearity(self, rng):
+        """Transport is linear: track(a+b) = track(a) + track(b)."""
+        q = Quadrupole(0.3, k=6.0)
+        a = rng.standard_normal((100, 6))
+        b = rng.standard_normal((100, 6))
+        sum_then = track(a + b, [q], copy=True)
+        then_sum = track(a, [q], copy=True) + track(b, [q], copy=True)
+        assert np.allclose(sum_then, then_sum)
+
+
+class TestTrack:
+    def test_copy_leaves_input(self, bunch):
+        before = bunch.copy()
+        out = track(bunch, fodo_cell(), copy=True)
+        assert np.array_equal(bunch, before)
+        assert not np.array_equal(out, before)
+
+    def test_in_place_returns_same_array(self, bunch):
+        out = track(bunch, [Drift(1.0)])
+        assert out is bunch
+
+    def test_phase_space_area_preserved(self, rng):
+        """Symplectic maps preserve rms emittance for linear optics."""
+        from repro.beams.diagnostics import rms_emittance
+
+        p = rng.standard_normal((50_000, 6)) * [1, 1, 1, 0.1, 0.1, 0.01]
+        e0 = rms_emittance(p, "x")
+        track(p, fodo_cell() * 10)
+        assert rms_emittance(p, "x") == pytest.approx(e0, rel=1e-9)
+
+    def test_apply_maps_identity(self, bunch):
+        before = bunch.copy()
+        apply_maps(bunch, np.eye(2), np.eye(2), 0.0)
+        assert np.allclose(bunch, before)

@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Expensive artifacts (simulated beams, partitioned frames, meshed
+structures, seeded line sets) are session-scoped: they are built once
+and shared read-only by every test that needs them.  Tests that mutate
+state build their own small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.fields.geometry import make_multicell_structure
+from repro.fields.modes import multicell_standing_wave
+from repro.fields.sampling import AnalyticSampler
+from repro.fieldlines.seeding import seed_density_proportional
+from repro.octree.extraction import extract
+from repro.octree.partition import partition
+from repro.render.camera import Camera
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def small_beam():
+    """A 20k-particle beam run to the end of a 6-cell channel."""
+    sim = BeamSimulation(BeamConfig(n_particles=20_000, n_cells=6, seed=7))
+    sim.run()
+    return sim.particles.copy()
+
+
+@pytest.fixture(scope="session")
+def partitioned_frame(small_beam):
+    return partition(small_beam, "xyz", max_level=6, capacity=32, step=30)
+
+
+@pytest.fixture(scope="session")
+def hybrid_frame(partitioned_frame):
+    threshold = float(np.percentile(partitioned_frame.nodes["density"], 60))
+    return extract(partitioned_frame, threshold, volume_resolution=32)
+
+
+@pytest.fixture(scope="session")
+def structure3():
+    """A small 3-cell accelerator structure with ports."""
+    return make_multicell_structure(3, n_xy=6, n_z_per_unit=6)
+
+
+@pytest.fixture(scope="session")
+def mode3(structure3):
+    mode = multicell_standing_wave(structure3)
+    structure3.mesh.set_field("E", mode.e_field(structure3.mesh.vertices, 0.0))
+    structure3.mesh.set_field(
+        "B", mode.b_field(structure3.mesh.vertices, np.pi / (2 * mode.omega))
+    )
+    return mode
+
+
+@pytest.fixture(scope="session")
+def e_sampler(structure3, mode3):
+    return AnalyticSampler(mode3, "E", t=0.0, structure=structure3)
+
+
+@pytest.fixture(scope="session")
+def ordered_lines(structure3, mode3, e_sampler):
+    return seed_density_proportional(
+        structure3.mesh, e_sampler, total_lines=50, field_name="E", max_steps=120,
+        rng=np.random.default_rng(3),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_camera():
+    return Camera.fit_bounds([-1, -1, -1], [1, 1, 1], width=64, height=64)

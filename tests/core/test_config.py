@@ -1,0 +1,61 @@
+"""Pipeline configuration dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.beams.simulation import BeamConfig
+from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+
+
+class TestBeamPipelineConfig:
+    def test_defaults_are_consistent(self):
+        cfg = BeamPipelineConfig()
+        assert cfg.plot_type in ("xyz", "xpxy", "xpxz", "pxpypz")
+        assert 0 < cfg.threshold_percentile < 100
+        assert cfg.volume_resolution > 1
+        assert cfg.max_level >= 1
+        assert cfg.frame_every >= 1
+
+    def test_nested_beam_config_independent(self):
+        a = BeamPipelineConfig()
+        b = BeamPipelineConfig()
+        a.beam.n_particles = 7
+        assert b.beam.n_particles != 7  # default_factory: no shared state
+
+    def test_custom_beam_config_carried(self):
+        cfg = BeamPipelineConfig(beam=BeamConfig(n_particles=123))
+        assert cfg.beam.n_particles == 123
+
+
+class TestFieldLinePipelineConfig:
+    def test_defaults(self):
+        cfg = FieldLinePipelineConfig()
+        assert cfg.field in ("E", "B")
+        assert cfg.n_cells >= 1
+        assert cfg.total_lines >= 1
+        assert not cfg.use_solver  # analytic mode is the fast default
+
+    def test_pipeline_honors_field_choice(self):
+        """The config's field selection reaches the sampler."""
+        from repro.core.pipeline import fieldline_pipeline
+
+        res = fieldline_pipeline(
+            FieldLinePipelineConfig(
+                field="B", total_lines=3, n_xy=4, n_z_per_unit=3, image_size=24
+            ),
+            render=False,
+        )
+        assert res.sampler.field == "B"
+        assert res.ordered.field_name == "B"
+
+    def test_pipeline_honors_image_size(self):
+        from repro.core.pipeline import fieldline_pipeline
+
+        res = fieldline_pipeline(
+            FieldLinePipelineConfig(
+                total_lines=2, n_xy=4, n_z_per_unit=3, image_size=20
+            ),
+            render=True,
+        )
+        assert res.image.shape == (20, 20, 3)
+        assert res.camera.width == 20

@@ -1,0 +1,101 @@
+"""End-to-end pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.beams.simulation import BeamConfig
+from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.core.pipeline import beam_pipeline, fieldline_pipeline
+
+
+@pytest.fixture(scope="module")
+def beam_result():
+    cfg = BeamPipelineConfig(
+        beam=BeamConfig(n_particles=8_000, n_cells=3, seed=2, sc_grid=(16, 16, 16)),
+        volume_resolution=16,
+        image_size=64,
+        n_slices=16,
+        frame_every=5,
+        max_level=5,
+    )
+    return beam_pipeline(cfg)
+
+
+@pytest.fixture(scope="module")
+def line_result():
+    cfg = FieldLinePipelineConfig(total_lines=25, image_size=64, n_xy=5, n_z_per_unit=5)
+    return fieldline_pipeline(cfg)
+
+
+class TestBeamPipeline:
+    def test_frame_cadence(self, beam_result):
+        assert beam_result.steps[0] == 0
+        assert all(s % 5 == 0 for s in beam_result.steps)
+        assert len(beam_result.hybrids) == len(beam_result.partitioned)
+
+    def test_hybrids_share_threshold(self, beam_result):
+        thresholds = {h.threshold for h in beam_result.hybrids}
+        assert len(thresholds) == 1
+
+    def test_images_rendered(self, beam_result):
+        assert len(beam_result.images) == len(beam_result.hybrids)
+        assert all(img.shape == (64, 64, 3) for img in beam_result.images)
+        assert any(img.sum() > 0 for img in beam_result.images)
+
+    def test_partitioned_valid(self, beam_result):
+        for pf in beam_result.partitioned:
+            pf.validate()
+
+    def test_render_false_skips_images(self):
+        cfg = BeamPipelineConfig(
+            beam=BeamConfig(n_particles=2_000, n_cells=1, sc_grid=(8, 8, 8)),
+            volume_resolution=8,
+            image_size=32,
+            frame_every=10,
+            max_level=4,
+        )
+        res = beam_pipeline(cfg, render=False)
+        assert res.images == []
+        assert len(res.hybrids) >= 1
+
+
+class TestFieldLinePipeline:
+    def test_lines_seeded(self, line_result):
+        assert len(line_result.ordered) == 25
+
+    def test_image_rendered(self, line_result):
+        assert line_result.image is not None
+        assert line_result.image.shape == (64, 64, 3)
+        assert line_result.image.sum() > 0
+
+    def test_mesh_has_fields(self, line_result):
+        mesh = line_result.structure.mesh
+        assert "E" in mesh.vertex_fields
+        assert "B" in mesh.vertex_fields
+
+    def test_b_field_mode(self):
+        cfg = FieldLinePipelineConfig(
+            field="B", total_lines=8, image_size=48, n_xy=4, n_z_per_unit=4
+        )
+        res = fieldline_pipeline(cfg, render=False)
+        assert len(res.ordered) == 8
+        # B lines should circulate: many terminate by loop or cap, not
+        # by leaving the domain through the wall
+        terms = [l.termination for l in res.ordered.lines]
+        assert any(t in ("loop", "cap") for t in terms)
+
+    def test_solver_mode(self):
+        cfg = FieldLinePipelineConfig(
+            use_solver=True,
+            solve_duration=2.0,
+            solve_cells_per_unit=6.0,
+            total_lines=6,
+            image_size=48,
+            n_xy=4,
+            n_z_per_unit=4,
+        )
+        res = fieldline_pipeline(cfg, render=True)
+        assert len(res.ordered) >= 1
+        assert np.isfinite(
+            res.structure.mesh.vertex_fields["E"]
+        ).all()

@@ -1,0 +1,54 @@
+"""Halo cross-section analysis (paper section 3.3.2)."""
+
+import numpy as np
+
+from repro.fieldlines.halo import (
+    haloed_line_cross_section,
+    smoothness,
+    strip_cross_section,
+)
+
+
+class TestCrossSections:
+    def test_strip_symmetric_peaked(self):
+        p = strip_cross_section(65)
+        assert np.allclose(p, p[::-1], atol=1e-12)
+        # the max may be a plateau (clipped highlight); the center
+        # sample must be on it
+        assert p[32] == p.max()
+
+    def test_strip_rim_dark(self):
+        p = strip_cross_section(64)
+        assert p[0] == 0.0 and p[-1] == 0.0
+
+    def test_line_profile_flat_top(self):
+        p = haloed_line_cross_section(60, core_pixels=3, halo_pixels=2, level=0.8)
+        lit = p[p > 0]
+        assert np.allclose(lit, 0.8)
+
+    def test_line_has_hard_edges(self):
+        p = haloed_line_cross_section(64)
+        assert smoothness(p) >= 0.8 - 1e-12
+
+    def test_strip_smoother_than_scaled_line(self):
+        """The paper's claim: scaled-up haloed lines show an abrupt
+        black-to-lit transition; the strip's Phong cross-section is
+        smooth."""
+        assert smoothness(strip_cross_section(64)) < smoothness(
+            haloed_line_cross_section(64)
+        )
+
+    def test_halo_core_widens_lit_region(self):
+        wide = strip_cross_section(128, halo_core=0.9)
+        narrow = strip_cross_section(128, halo_core=0.4)
+        assert (wide > 0).sum() > (narrow > 0).sum()
+
+
+class TestSmoothness:
+    def test_constant_profile(self):
+        assert smoothness(np.ones(10)) == 0.0
+
+    def test_step_profile(self):
+        p = np.zeros(10)
+        p[5:] = 1.0
+        assert smoothness(p) == 1.0

@@ -1,0 +1,99 @@
+"""Line resampling and tessellation."""
+
+import numpy as np
+import pytest
+
+from repro.fieldlines.integrate import FieldLine
+from repro.fieldlines.resample import resample_line, resample_lines, tessellate_line
+
+
+def _wavy_line(n=40):
+    t = np.linspace(0, 2 * np.pi, n)
+    pts = np.column_stack([t, np.sin(t), np.zeros(n)])
+    tangents = np.column_stack([np.ones(n), np.cos(t), np.zeros(n)])
+    tangents /= np.linalg.norm(tangents, axis=1, keepdims=True)
+    return FieldLine(
+        points=pts, tangents=tangents, magnitudes=np.linspace(1, 2, n), order=3
+    )
+
+
+class TestResample:
+    def test_endpoints_preserved(self):
+        line = _wavy_line()
+        out = resample_line(line, 0.1)
+        assert np.allclose(out.points[0], line.points[0])
+        assert np.allclose(out.points[-1], line.points[-1])
+
+    def test_uniform_spacing(self):
+        out = resample_line(_wavy_line(), 0.1)
+        seg = np.linalg.norm(np.diff(out.points, axis=0), axis=1)
+        assert seg.std() / seg.mean() < 0.05
+
+    def test_length_approximately_preserved(self):
+        line = _wavy_line()
+        out = resample_line(line, 0.05)
+        assert out.length == pytest.approx(line.length, rel=0.02)
+
+    def test_finer_spacing_more_points(self):
+        line = _wavy_line()
+        coarse = resample_line(line, 0.5)
+        fine = resample_line(line, 0.05)
+        assert fine.n_points > coarse.n_points
+
+    def test_magnitudes_interpolated_in_range(self):
+        out = resample_line(_wavy_line(), 0.1)
+        assert out.magnitudes.min() >= 1.0 - 1e-9
+        assert out.magnitudes.max() <= 2.0 + 1e-9
+        assert np.all(np.diff(out.magnitudes) >= -1e-9)  # monotone stays monotone
+
+    def test_tangents_unit(self):
+        out = resample_line(_wavy_line(), 0.1)
+        assert np.allclose(np.linalg.norm(out.tangents, axis=1), 1.0, atol=1e-9)
+
+    def test_metadata_kept(self):
+        out = resample_line(_wavy_line(), 0.1)
+        assert out.order == 3
+        assert out.meta["resampled_spacing"] == 0.1
+
+    def test_degenerate_inputs(self):
+        stub = FieldLine(
+            points=np.zeros((2, 3)), tangents=np.zeros((2, 3)), magnitudes=np.zeros(2)
+        )
+        assert resample_line(stub, 0.1) is stub  # zero length: unchanged
+        with pytest.raises(ValueError):
+            resample_line(_wavy_line(), 0.0)
+
+
+class TestTessellate:
+    def test_factor_one_identity(self):
+        line = _wavy_line()
+        assert tessellate_line(line, 1) is line
+
+    def test_factor_multiplies_segments(self):
+        line = _wavy_line(10)
+        out = tessellate_line(line, 4)
+        assert out.n_points >= 4 * (line.n_points - 1) - 2
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            tessellate_line(_wavy_line(), 0)
+
+    def test_strip_budget_scales(self):
+        """Finer tessellation costs proportionally more triangles --
+        the cost the paper warns the transparency path incurs."""
+        from repro.fieldlines.sos import build_strips
+        from repro.render.camera import Camera
+
+        cam = Camera(eye=[0, 0, 10.0], target=[3, 0, 0], width=64, height=64)
+        line = _wavy_line(20)
+        base = build_strips([line], cam, width=0.05)
+        fine = build_strips([tessellate_line(line, 3)], cam, width=0.05)
+        assert fine.n_triangles > 2.5 * base.n_triangles
+
+
+class TestResampleLines:
+    def test_collection(self):
+        lines = [_wavy_line(20), _wavy_line(35)]
+        out = resample_lines(lines, 0.2)
+        assert len(out) == 2
+        assert all(o.n_points >= 2 for o in out)

@@ -1,0 +1,124 @@
+"""Streamribbons."""
+
+import numpy as np
+import pytest
+
+from repro.fieldlines.integrate import FieldLine
+from repro.fieldlines.ribbon import build_ribbons, render_ribbons
+from repro.render.camera import Camera
+
+
+def _straight_line(n=12):
+    pts = np.zeros((n, 3))
+    pts[:, 0] = np.linspace(-1.0, 1.0, n)
+    t = np.zeros((n, 3))
+    t[:, 0] = 1.0
+    return FieldLine(points=pts, tangents=t, magnitudes=np.ones(n))
+
+
+def _constant_field(direction):
+    d = np.asarray(direction, dtype=np.float64)
+
+    def fn(pts):
+        return np.tile(d, (len(np.atleast_2d(pts)), 1))
+
+    return fn
+
+
+@pytest.fixture
+def cam():
+    return Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=64, height=64)
+
+
+class TestBuildRibbons:
+    def test_triangle_budget_matches_strips(self, cam):
+        """Ribbons cost the same 2(k-1) triangles per line as strips."""
+        line = _straight_line(12)
+        ribbons = build_ribbons([line], _constant_field([0, 1, 0]), width=0.1)
+        assert ribbons.n_triangles == 2 * (12 - 1)
+        assert ribbons.meta["kind"] == "ribbon"
+
+    def test_orientation_follows_secondary_field(self):
+        line = _straight_line(8)
+        ribbons = build_ribbons([line], _constant_field([0, 1, 0]), width=0.1)
+        across = ribbons.vertices[1::2] - ribbons.vertices[0::2]
+        # cross-vector along +y, width 0.1
+        assert np.allclose(np.abs(across[:, 1]), 0.1)
+        assert np.allclose(across[:, [0, 2]], 0.0, atol=1e-12)
+
+    def test_tangential_component_projected_out(self):
+        """Secondary field partly along the line: only the
+        perpendicular part orients the ribbon."""
+        line = _straight_line(8)
+        ribbons = build_ribbons(
+            [line], _constant_field([0.8, 0.6, 0.0]), width=0.1
+        )
+        across = ribbons.vertices[1::2] - ribbons.vertices[0::2]
+        assert np.allclose(np.abs(across[:, 1]), 0.1, atol=1e-9)
+        assert np.allclose(across[:, 0], 0.0, atol=1e-9)
+
+    def test_degenerate_secondary_carries_forward(self):
+        """Where the secondary field aligns with the tangent, the last
+        good orientation persists (no NaNs, no zero-width quads)."""
+        line = _straight_line(8)
+
+        def fn(pts):
+            pts = np.atleast_2d(pts)
+            out = np.tile([0.0, 1.0, 0.0], (len(pts), 1))
+            out[len(pts) // 2 :] = [1.0, 0.0, 0.0]  # parallel to tangent
+            return out
+
+        ribbons = build_ribbons([line], fn, width=0.1)
+        across = np.linalg.norm(
+            ribbons.vertices[1::2] - ribbons.vertices[0::2], axis=1
+        )
+        assert np.allclose(across, 0.1)
+        assert np.isfinite(ribbons.vertices).all()
+
+    def test_empty(self, cam):
+        ribbons = build_ribbons([], _constant_field([0, 1, 0]))
+        assert ribbons.n_triangles == 0
+
+
+class TestRenderRibbons:
+    def test_renders_pixels(self, cam):
+        line = _straight_line(16)
+        ribbons = build_ribbons([line], _constant_field([0, 1, 0]), width=0.25)
+        fb = render_ribbons(cam, ribbons)
+        assert (fb.to_rgb8().sum(axis=2) > 0).sum() > 50
+
+    def test_two_sided_lighting(self, cam):
+        """A ribbon tilted away from the camera still renders lit
+        (back face flipped), not black."""
+        line = _straight_line(16)
+        ribbons = build_ribbons([line], _constant_field([0, 0.2, -1.0]), width=0.3)
+        img = render_ribbons(cam, ribbons).to_rgb8()
+        lit = img[img.sum(axis=2) > 0]
+        assert lit.mean() > 15  # lit (flipped normal), not black
+
+    def test_twist_shades_nonuniformly(self, cam):
+        """A twisting secondary field produces varying shading along
+        the ribbon -- the visual cue ribbons exist for."""
+        line = _straight_line(40)
+
+        def twisting(pts):
+            pts = np.atleast_2d(pts)
+            phase = pts[:, 0] * 3.0
+            return np.column_stack(
+                [np.zeros(len(pts)), np.cos(phase), np.sin(phase)]
+            )
+
+        ribbons = build_ribbons([line], twisting, width=0.25)
+        img = render_ribbons(cam, ribbons).to_rgb8().astype(float)
+        row_means = []
+        lit_cols = np.flatnonzero((img.sum(axis=2) > 0).any(axis=0))
+        for c in lit_cols[:: max(len(lit_cols) // 10, 1)]:
+            col = img[:, c].sum(axis=1)
+            vals = col[col > 0]
+            if len(vals):
+                row_means.append(vals.mean())
+        assert np.std(row_means) > 5.0  # banding along the ribbon
+
+    def test_empty_noop(self, cam):
+        fb = render_ribbons(cam, build_ribbons([], _constant_field([0, 1, 0])))
+        assert fb.to_rgb8().sum() == 0

@@ -1,0 +1,115 @@
+"""Density-proportional incremental seeding (paper section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.fieldlines.seeding import (
+    OrderedFieldLines,
+    desired_line_counts,
+    seed_density_proportional,
+)
+
+
+class TestDesiredCounts:
+    def test_sums_to_total(self, structure3, mode3):
+        counts = desired_line_counts(structure3.mesh, "E", 200)
+        assert counts.sum() == pytest.approx(200.0)
+
+    def test_proportional_to_intensity_times_volume(self, structure3, mode3):
+        counts = desired_line_counts(structure3.mesh, "E", 100)
+        w = structure3.mesh.element_field_intensity(
+            "E"
+        ) * structure3.mesh.element_volumes()
+        ratio = counts[w > 0] / w[w > 0]
+        assert np.allclose(ratio, ratio[0])
+
+    def test_zero_field_rejected(self, structure3):
+        structure3.mesh.set_field("zero", np.zeros((structure3.mesh.n_vertices, 3)))
+        with pytest.raises(ValueError, match="identically zero"):
+            desired_line_counts(structure3.mesh, "zero", 10)
+
+
+class TestSeeding:
+    def test_order_assigned_sequentially(self, ordered_lines):
+        assert [line.order for line in ordered_lines.lines] == list(
+            range(len(ordered_lines))
+        )
+
+    def test_prefix_superset_property(self, ordered_lines):
+        """Each frame's line set is a superset of the previous one."""
+        p10 = ordered_lines.prefix(10)
+        p25 = ordered_lines.prefix(25)
+        assert p25[:10] == p10
+
+    def test_prefix_bounds(self, ordered_lines):
+        assert ordered_lines.prefix(0) == []
+        assert len(ordered_lines.prefix(10**6)) == len(ordered_lines)
+        assert ordered_lines.prefix(-5) == []
+
+    def test_first_line_from_neediest_element(self, structure3, e_sampler):
+        """Line 0 must start where intensity x volume peaks."""
+        seeded = seed_density_proportional(
+            structure3.mesh, e_sampler, total_lines=1, field_name="E",
+            rng=np.random.default_rng(0),
+        )
+        neediest = int(np.argmax(seeded.desired))
+        corners = structure3.mesh.vertices[structure3.mesh.hexes[neediest]]
+        lo = corners.min(axis=0) - 1e-9
+        hi = corners.max(axis=0) + 1e-9
+        # the first point of the backward half is the seed's trace; at
+        # least one line vertex must be inside the neediest element
+        pts = seeded.lines[0].points
+        inside = np.all((pts >= lo) & (pts <= hi), axis=1)
+        assert inside.any()
+
+    def test_early_lines_in_stronger_field(self, ordered_lines):
+        """Greedy order loads strong-field lines first (Figure 7)."""
+        mags = np.array([l.mean_magnitude() for l in ordered_lines.lines])
+        k = len(mags) // 3
+        assert mags[:k].mean() > mags[-k:].mean()
+
+    def test_achieved_counts_consistent(self, ordered_lines, structure3):
+        from repro.fieldlines.incremental import element_line_counts
+
+        recount = element_line_counts(structure3.mesh, ordered_lines.lines)
+        assert np.allclose(recount, ordered_lines.achieved)
+
+    def test_reproducible_with_rng(self, structure3, e_sampler):
+        a = seed_density_proportional(
+            structure3.mesh, e_sampler, total_lines=5,
+            rng=np.random.default_rng(11),
+        )
+        b = seed_density_proportional(
+            structure3.mesh, e_sampler, total_lines=5,
+            rng=np.random.default_rng(11),
+        )
+        for la, lb in zip(a.lines, b.lines):
+            assert np.array_equal(la.points, lb.points)
+
+    def test_on_line_callback(self, structure3, e_sampler):
+        seen = []
+        seed_density_proportional(
+            structure3.mesh, e_sampler, total_lines=4,
+            on_line=lambda i, l: seen.append(i),
+            rng=np.random.default_rng(0),
+        )
+        assert seen == [0, 1, 2, 3]
+
+    def test_total_points_accounting(self, ordered_lines):
+        assert ordered_lines.total_points() == sum(
+            l.n_points for l in ordered_lines.lines
+        )
+
+    def test_magnitude_range(self, ordered_lines):
+        lo, hi = ordered_lines.magnitude_range()
+        assert 0 <= lo <= hi
+
+
+class TestOrderedContainer:
+    def test_empty(self):
+        o = OrderedFieldLines(
+            lines=[], desired=np.zeros(3), achieved=np.zeros(3)
+        )
+        assert len(o) == 0
+        assert o.magnitude_range() == (0.0, 0.0)
+        assert o.total_points() == 0

@@ -1,0 +1,146 @@
+"""Self-orienting surfaces: strip geometry and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.fieldlines.integrate import FieldLine
+from repro.fieldlines.sos import build_strip, build_strips, render_strips
+from repro.render.camera import Camera
+
+
+def _straight_line(n=10, axis=0):
+    pts = np.zeros((n, 3))
+    pts[:, axis] = np.linspace(-1.0, 1.0, n)
+    tangents = np.zeros((n, 3))
+    tangents[:, axis] = 1.0
+    return FieldLine(points=pts, tangents=tangents, magnitudes=np.ones(n))
+
+
+@pytest.fixture
+def cam():
+    return Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=96, height=96)
+
+
+class TestStripGeometry:
+    def test_triangle_count(self, cam):
+        line = _straight_line(10)
+        strip = build_strip(line, cam, width=0.05)
+        assert strip.n_triangles == 2 * (10 - 1)
+        assert strip.n_vertices == 2 * 10
+
+    def test_faces_viewer(self, cam):
+        """Strip plane must contain the view direction: the normal of
+        each strip quad is (nearly) perpendicular to the tangent and
+        the offset is perpendicular to the view vector."""
+        line = _straight_line(10)
+        strip = build_strip(line, cam, width=0.05)
+        left = strip.vertices[0::2]
+        right = strip.vertices[1::2]
+        across = right - left
+        view = cam.eye[None, :] - line.points
+        dots = np.abs(np.sum(across * view, axis=1)) / (
+            np.linalg.norm(across, axis=1) * np.linalg.norm(view, axis=1)
+        )
+        assert dots.max() < 1e-9
+
+    def test_width_respected(self, cam):
+        line = _straight_line(10)
+        strip = build_strip(line, cam, width=0.08)
+        across = np.linalg.norm(strip.vertices[1::2] - strip.vertices[0::2], axis=1)
+        assert np.allclose(across, 0.08)
+
+    def test_width_by_magnitude(self, cam):
+        line = _straight_line(10)
+        line.magnitudes = np.linspace(0.1, 1.0, 10)
+        strip = build_strips([line], cam, width=0.1, width_by_magnitude=True)
+        across = np.linalg.norm(strip.vertices[1::2] - strip.vertices[0::2], axis=1)
+        assert across[-1] > across[0]
+        assert across.max() <= 0.1 + 1e-12
+
+    def test_v_coordinate_alternates(self, cam):
+        strip = build_strip(_straight_line(5), cam, width=0.05)
+        assert np.allclose(strip.v_coord[0::2], 0.0)
+        assert np.allclose(strip.v_coord[1::2], 1.0)
+
+    def test_u_runs_along_arc_length(self, cam):
+        strip = build_strip(_straight_line(5), cam, width=0.05)
+        u = strip.u_coord[0::2]
+        assert np.all(np.diff(u) > 0)
+
+    def test_degenerate_tangent_parallel_view(self):
+        """A line running straight toward the camera must not produce
+        NaNs (the forward-fill fallback)."""
+        cam = Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=32, height=32)
+        line = _straight_line(8, axis=2)  # along the view axis
+        strip = build_strip(line, cam, width=0.05)
+        assert np.isfinite(strip.vertices).all()
+
+    def test_multi_line_concatenation(self, cam):
+        lines = [_straight_line(5), _straight_line(7, axis=1)]
+        strips = build_strips(lines, cam, width=0.05)
+        assert strips.n_vertices == 2 * (5 + 7)
+        assert strips.n_triangles == 2 * (4 + 6)
+        assert set(np.unique(strips.line_id)) == {0, 1}
+
+    def test_short_line_skipped(self, cam):
+        stub = FieldLine(
+            points=np.zeros((1, 3)), tangents=np.zeros((1, 3)), magnitudes=np.ones(1)
+        )
+        strips = build_strips([stub], cam, width=0.05)
+        assert strips.n_triangles == 0
+
+    def test_empty_input(self, cam):
+        strips = build_strips([], cam)
+        assert strips.n_triangles == 0
+
+
+class TestStripRendering:
+    def test_renders_pixels(self, cam):
+        strips = build_strips([_straight_line(20)], cam, width=0.1)
+        fb = render_strips(cam, strips)
+        assert (fb.to_rgb8().sum(axis=2) > 0).sum() > 50
+
+    def test_bump_shading_center_bright(self, cam):
+        """Cross-section must be brighter at the center line than at
+        the rim -- the tube illusion."""
+        strips = build_strips([_straight_line(20)], cam, width=0.3)
+        fb = render_strips(cam, strips, halo_core=None)
+        img = fb.to_rgb8().astype(float).sum(axis=2)
+        col = img[:, 48]  # vertical slice through the horizontal strip
+        lit = np.flatnonzero(col > 0)
+        center_lum = col[lit].max()
+        edge_lum = col[lit[0]]
+        assert center_lum > 1.5 * edge_lum
+
+    def test_halo_darkens_rim(self, cam):
+        strips = build_strips([_straight_line(20)], cam, width=0.3)
+        with_h = render_strips(cam, strips, halo_core=0.5).to_rgb8().sum()
+        without = render_strips(cam, strips, halo_core=None).to_rgb8().sum()
+        assert with_h < without
+
+    def test_flat_shading_option(self, cam):
+        strips = build_strips([_straight_line(10)], cam, width=0.2)
+        fb = render_strips(cam, strips, shading="flat", halo_core=None)
+        assert (fb.to_rgb8().sum(axis=2) > 0).any()
+        with pytest.raises(ValueError):
+            render_strips(cam, strips, shading="wireframe")
+
+    def test_transparent_path(self, cam):
+        strips = build_strips([_straight_line(10)], cam, width=0.2)
+        fb = render_strips(cam, strips, base_alpha=0.3)
+        alphas = fb.rgba[..., 3]
+        assert 0 < alphas.max() < 0.5
+
+    def test_alpha_by_magnitude(self, cam):
+        line = _straight_line(20)
+        line.magnitudes = np.linspace(0.0, 1.0, 20)
+        strips = build_strips([line], cam, width=0.2)
+        fb = render_strips(cam, strips, alpha_by_magnitude=True)
+        a = fb.rgba[..., 3]
+        # the strong (right) end must be more opaque than the weak end
+        assert a[:, 60:].max() > a[:, :36].max()
+
+    def test_empty_strips_noop(self, cam):
+        strips = build_strips([], cam)
+        fb = render_strips(cam, strips)
+        assert fb.to_rgb8().sum() == 0

@@ -1,0 +1,89 @@
+"""Streamtube baseline: geometry and the triangle-budget comparison."""
+
+import numpy as np
+import pytest
+
+from repro.fieldlines.integrate import FieldLine
+from repro.fieldlines.sos import build_strips
+from repro.fieldlines.streamtube import build_tubes, render_tubes
+from repro.render.camera import Camera
+
+
+def _helix(n=30):
+    t = np.linspace(0, 4 * np.pi, n)
+    pts = np.column_stack([np.cos(t), np.sin(t), t / (4 * np.pi)])
+    tangents = np.column_stack([-np.sin(t), np.cos(t), np.full(n, 1 / (4 * np.pi))])
+    tangents /= np.linalg.norm(tangents, axis=1, keepdims=True)
+    return FieldLine(points=pts, tangents=tangents, magnitudes=np.ones(n))
+
+
+@pytest.fixture
+def cam():
+    return Camera(eye=[0, 0, 6.0], target=[0, 0, 0.5], width=96, height=96)
+
+
+class TestTubeGeometry:
+    def test_triangle_count(self):
+        tube = build_tubes([_helix(30)], radius=0.05, n_sides=6)
+        assert tube.n_triangles == 2 * 6 * (30 - 1)
+        assert tube.n_vertices == 30 * 6
+
+    def test_five_to_six_times_more_than_strips(self, cam):
+        """The paper's headline geometry claim (section 3.1)."""
+        lines = [_helix(25), _helix(40)]
+        tubes = build_tubes(lines, n_sides=6)
+        strips = build_strips(lines, cam, width=0.1)
+        ratio = tubes.n_triangles / strips.n_triangles
+        assert 5.0 <= ratio <= 6.0
+
+    def test_vertices_at_radius(self):
+        tube = build_tubes([_helix(20)], radius=0.07, n_sides=8)
+        line = _helix(20)
+        centers = np.repeat(line.points, 8, axis=0)
+        d = np.linalg.norm(tube.vertices - centers, axis=1)
+        assert np.allclose(d, 0.07, atol=1e-9)
+
+    def test_normals_unit_radial(self):
+        tube = build_tubes([_helix(20)], radius=0.05, n_sides=6)
+        assert np.allclose(np.linalg.norm(tube.normals, axis=1), 1.0, atol=1e-9)
+
+    def test_parallel_transport_no_twist(self):
+        """Frames must rotate smoothly: consecutive ring vertices stay
+        close (no sudden frame flips)."""
+        tube = build_tubes([_helix(60)], radius=0.05, n_sides=6)
+        rings = tube.vertices.reshape(60, 6, 3)
+        jumps = np.linalg.norm(np.diff(rings[:, 0, :], axis=0), axis=1)
+        assert jumps.max() < 3.0 * jumps.mean()
+
+    def test_needs_three_sides(self):
+        with pytest.raises(ValueError):
+            build_tubes([_helix(5)], n_sides=2)
+
+    def test_empty(self):
+        tube = build_tubes([])
+        assert tube.n_triangles == 0
+
+
+class TestTubeRendering:
+    def test_renders(self, cam):
+        tube = build_tubes([_helix(40)], radius=0.08, n_sides=6)
+        fb = render_tubes(cam, tube)
+        assert (fb.to_rgb8().sum(axis=2) > 0).sum() > 100
+
+    def test_empty_noop(self, cam):
+        fb = render_tubes(cam, build_tubes([]))
+        assert fb.to_rgb8().sum() == 0
+
+    def test_visual_similar_to_strip(self, cam):
+        """Strip and tube renderings of the same line must cover
+        similar screen regions (the paper's 'similar visual effect')."""
+        line = _helix(40)
+        tube = build_tubes([line], radius=0.05, n_sides=6)
+        strips = build_strips([line], cam, width=0.1)
+        from repro.fieldlines.sos import render_strips
+
+        img_t = render_tubes(cam, tube).to_rgb8().sum(axis=2) > 0
+        img_s = render_strips(cam, strips, halo_core=None).to_rgb8().sum(axis=2) > 0
+        overlap = (img_t & img_s).sum()
+        union = (img_t | img_s).sum()
+        assert overlap / union > 0.5

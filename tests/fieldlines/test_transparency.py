@@ -1,0 +1,88 @@
+"""Cutaway and region-emphasis transparency (paper section 3.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.fieldlines.integrate import FieldLine
+from repro.fieldlines.transparency import (
+    cutaway,
+    region_emphasis_alpha,
+    render_with_emphasis,
+)
+from repro.render.camera import Camera
+
+
+def _line_at(y, n=10):
+    pts = np.zeros((n, 3))
+    pts[:, 0] = np.linspace(-1, 1, n)
+    pts[:, 1] = y
+    t = np.zeros((n, 3))
+    t[:, 0] = 1.0
+    return FieldLine(points=pts, tangents=t, magnitudes=np.ones(n))
+
+
+class TestCutaway:
+    def test_keep_behind(self):
+        lines = [_line_at(-0.5), _line_at(0.5)]
+        kept = cutaway(lines, plane_point=[0, 0, 0], plane_normal=[0, 1, 0])
+        assert len(kept) == 1
+        assert kept[0].points[0, 1] == -0.5
+
+    def test_keep_front(self):
+        lines = [_line_at(-0.5), _line_at(0.5)]
+        kept = cutaway(lines, [0, 0, 0], [0, 1, 0], keep="front")
+        assert kept[0].points[0, 1] == 0.5
+
+    def test_straddling_line_dropped(self):
+        diag = _line_at(0.0)
+        diag.points[:, 1] = np.linspace(-1, 1, 10)
+        kept = cutaway([diag], [0, 0, 0], [0, 1, 0])
+        assert kept == []
+
+    def test_bad_keep(self):
+        with pytest.raises(ValueError):
+            cutaway([], [0, 0, 0], [0, 1, 0], keep="middle")
+
+
+class TestRegionEmphasis:
+    def test_inside_opaque_outside_faint(self):
+        lines = [_line_at(0.0), _line_at(0.9)]
+        alphas = region_emphasis_alpha(lines, center=[0, 0, 0], radius=0.3)
+        assert alphas[0] == 1.0
+        assert alphas[1] < 1.0
+
+    def test_any_point_inside_counts(self):
+        line = _line_at(5.0)
+        line.points[3] = [0.0, 0.0, 0.0]  # one vertex dips into the ROI
+        alphas = region_emphasis_alpha([line], [0, 0, 0], 0.1)
+        assert alphas[0] == 1.0
+
+    def test_custom_alphas(self):
+        lines = [_line_at(0.9)]
+        alphas = region_emphasis_alpha(
+            lines, [0, 0, 0], 0.1, alpha_inside=0.9, alpha_outside=0.05
+        )
+        assert alphas[0] == 0.05
+
+
+class TestRenderWithEmphasis:
+    def test_roi_brighter_than_context(self):
+        cam = Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=64, height=64)
+        lines = [_line_at(0.0), _line_at(0.8), _line_at(-0.8)]
+        fb = render_with_emphasis(
+            cam, lines, center=[0, 0, 0], radius=0.3, width=0.15
+        )
+        a = fb.rgba[..., 3]
+        center_alpha = a[28:36].max()     # ROI line row
+        context_alpha = a[:16].max()      # context line rows
+        assert center_alpha > 2 * context_alpha
+
+    def test_all_inside(self):
+        cam = Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=32, height=32)
+        fb = render_with_emphasis(cam, [_line_at(0.0)], [0, 0, 0], 10.0, width=0.2)
+        assert fb.rgba[..., 3].max() > 0.9
+
+    def test_empty_lines(self):
+        cam = Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=32, height=32)
+        fb = render_with_emphasis(cam, [], [0, 0, 0], 1.0)
+        assert fb.to_rgb8().sum() == 0

@@ -1,0 +1,86 @@
+"""Eigenmode finding by impulse response."""
+
+import numpy as np
+import pytest
+
+from repro.fields.eigen import ResonanceFinder
+from repro.fields.geometry import make_pillbox
+from repro.fields.modes import pillbox_tm010
+from repro.fields.solver import TimeDomainSolver
+
+
+@pytest.fixture(scope="module")
+def rung_finder():
+    """A pillbox kicked and rung once, shared by the spectral tests."""
+    pb = make_pillbox(radius=1.0, length=1.2, n_xy=6, n_z_per_unit=6)
+    solver = TimeDomainSolver(pb, cells_per_unit=14.0)
+    finder = ResonanceFinder(solver)
+    finder.kick()
+    finder.ring(120.0)
+    return finder
+
+
+class TestResonances:
+    def test_tm010_found(self, rung_finder):
+        """The fundamental must match the analytic TM010 frequency to
+        within the stairstep discretization error."""
+        peaks = rung_finder.resonances(1)
+        f_analytic = pillbox_tm010(1.0).frequency
+        assert abs(peaks[0] - f_analytic) / f_analytic < 0.06
+
+    def test_tm0n0_ladder(self, rung_finder):
+        """The radially smooth kick excites the TM0n0 family: peak
+        ratios follow the zeros of J0 (j02/j01 = 2.295...)."""
+        from scipy.special import jn_zeros
+
+        peaks = np.sort(rung_finder.resonances(2))
+        expected_ratio = jn_zeros(0, 2)[1] / jn_zeros(0, 2)[0]
+        assert peaks[1] / peaks[0] == pytest.approx(expected_ratio, rel=0.08)
+
+    def test_spectrum_shape(self, rung_finder):
+        freqs, spec = rung_finder.spectrum()
+        assert len(freqs) == len(spec)
+        assert np.all(spec >= 0)
+        assert freqs[0] == 0.0
+
+    def test_requires_ring_before_spectrum(self):
+        pb = make_pillbox(radius=1.0, length=1.0, n_xy=4, n_z_per_unit=4)
+        finder = ResonanceFinder(TimeDomainSolver(pb, cells_per_unit=8.0))
+        with pytest.raises(RuntimeError):
+            finder.spectrum()
+
+    def test_drive_disabled(self):
+        pb = make_pillbox(radius=1.0, length=1.0, n_xy=4, n_z_per_unit=4)
+        solver = TimeDomainSolver(pb, cells_per_unit=8.0, drive_amplitude=5.0)
+        ResonanceFinder(solver)
+        assert solver.drive_amplitude == 0.0
+
+    def test_noise_kick_option(self):
+        pb = make_pillbox(radius=1.0, length=1.0, n_xy=4, n_z_per_unit=4)
+        finder = ResonanceFinder(TimeDomainSolver(pb, cells_per_unit=8.0))
+        finder.kick(smooth=False, seed=1)
+        assert np.abs(finder.solver.ez).max() > 0
+
+    def test_custom_probes(self):
+        pb = make_pillbox(radius=1.0, length=1.0, n_xy=4, n_z_per_unit=4)
+        probes = np.array([[0.0, 0.0, 0.5]])
+        finder = ResonanceFinder(
+            TimeDomainSolver(pb, cells_per_unit=8.0), probes=probes
+        )
+        finder.kick()
+        finder.ring(10.0)
+        assert len(finder.signal) > 0
+        assert finder.signal[0].shape == (1,)
+
+
+class TestModeProfile:
+    def test_tm010_profile_peaks_on_axis(self, rung_finder):
+        """The extracted TM010 profile must peak on the axis and decay
+        toward the wall (J0 shape)."""
+        f0 = rung_finder.resonances(1)[0]
+        profile = rung_finder.mode_profile(f0, duration=30.0)
+        mesh = rung_finder.solver.structure.mesh
+        r = np.hypot(mesh.vertices[:, 0], mesh.vertices[:, 1])
+        inner = profile[r < 0.25]
+        outer = profile[r > 0.85]
+        assert inner.mean() > 3.0 * outer.mean()

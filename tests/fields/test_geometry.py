@@ -1,0 +1,178 @@
+"""Accelerator structure geometry."""
+
+import numpy as np
+import pytest
+
+from repro.fields.geometry import (
+    AcceleratorStructure,
+    Port,
+    RadiusProfile,
+    make_multicell_structure,
+    make_pillbox,
+    squircle_disk,
+)
+
+
+class TestSquircleDisk:
+    def test_inside_unit_disk(self):
+        d = squircle_disk(8)
+        r = np.hypot(d[..., 0], d[..., 1])
+        assert r.max() <= 1.0 + 1e-12
+
+    def test_boundary_on_circle(self):
+        d = squircle_disk(8)
+        boundary = np.concatenate(
+            [d[0, :], d[-1, :], d[:, 0], d[:, -1]]
+        )
+        r = np.hypot(boundary[:, 0], boundary[:, 1])
+        assert np.allclose(r, 1.0, atol=1e-12)
+
+    def test_center_at_origin(self):
+        d = squircle_disk(4)
+        assert np.allclose(d[2, 2], 0.0)
+
+    def test_no_degenerate_quads(self):
+        """Every quad of the mapped grid has positive area (no polar
+        axis collapse)."""
+        d = squircle_disk(10)
+        a = d[:-1, :-1]
+        b = d[1:, :-1]
+        c = d[1:, 1:]
+        e = d[:-1, 1:]
+        area = 0.5 * np.abs(
+            (b[..., 0] - a[..., 0]) * (c[..., 1] - a[..., 1])
+            - (b[..., 1] - a[..., 1]) * (c[..., 0] - a[..., 0])
+        ) + 0.5 * np.abs(
+            (c[..., 0] - a[..., 0]) * (e[..., 1] - a[..., 1])
+            - (c[..., 1] - a[..., 1]) * (e[..., 0] - a[..., 0])
+        )
+        assert area.min() > 1e-6
+
+    def test_needs_n(self):
+        with pytest.raises(ValueError):
+            squircle_disk(0)
+
+
+class TestRadiusProfile:
+    def test_total_length(self):
+        p = RadiusProfile(n_cells=3, cell_length=1.0, iris_length=0.3)
+        assert p.total_length == pytest.approx(3 * 1.0 + 4 * 0.3)
+
+    def test_cell_centers_wide_irises_narrow(self):
+        p = RadiusProfile(n_cells=3, cell_radius=1.0, iris_radius=0.4)
+        for i in range(3):
+            z0, z1 = p.cell_z_range(i)
+            assert p(np.array([(z0 + z1) / 2]))[0] == pytest.approx(1.0)
+        # midpoint between cells 0 and 1 is an iris
+        _, z1 = p.cell_z_range(0)
+        z0_next, _ = p.cell_z_range(1)
+        assert p(np.array([(z1 + z0_next) / 2]))[0] == pytest.approx(0.4)
+
+    def test_radius_within_bounds(self):
+        p = RadiusProfile(n_cells=5)
+        z = np.linspace(0, p.total_length, 500)
+        r = p(z)
+        assert r.min() >= p.iris_radius - 1e-12
+        assert r.max() <= p.cell_radius + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadiusProfile(n_cells=0)
+        with pytest.raises(ValueError):
+            RadiusProfile(iris_radius=2.0, cell_radius=1.0)
+        with pytest.raises(IndexError):
+            RadiusProfile(n_cells=2).cell_z_range(2)
+
+
+class TestPort:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Port("p", (0, 1), side="+x")
+        with pytest.raises(ValueError):
+            Port("p", (0, 1), kind="bidirectional")
+
+    def test_angular_window_peaks_at_side(self):
+        p = Port("p", (0, 1), side="+y")
+        assert p.angular_window(np.array([np.pi / 2]))[0] == pytest.approx(1.0)
+        assert p.angular_window(np.array([-np.pi / 2]))[0] == 0.0
+
+    def test_axial_window_support(self):
+        p = Port("p", (1.0, 2.0))
+        z = np.array([0.5, 1.5, 2.5])
+        w = p.axial_window(z)
+        assert w[0] == 0.0 and w[1] == pytest.approx(1.0) and w[2] == 0.0
+
+
+class TestStructures:
+    def test_pillbox_is_cylinder(self):
+        s = make_pillbox(radius=1.0, length=2.0, n_xy=4)
+        v = s.mesh.vertices
+        r = np.hypot(v[:, 0], v[:, 1])
+        assert r.max() <= 1.0 + 1e-9
+        assert v[:, 2].min() == pytest.approx(0.0)
+        assert v[:, 2].max() == pytest.approx(2.0, rel=1e-6)
+
+    def test_pillbox_volume(self):
+        s = make_pillbox(radius=1.0, length=2.0, n_xy=12, n_z_per_unit=4)
+        total = s.mesh.element_volumes().sum()
+        # hex approximation of pi r^2 L converges from below
+        assert total == pytest.approx(np.pi * 2.0, rel=0.05)
+        assert total < np.pi * 2.0
+
+    def test_multicell_port_asymmetry(self):
+        """Ports break radial symmetry of the wall -- the geometric
+        asymmetry behind the paper's Figure 9 field asymmetry."""
+        s = make_multicell_structure(3, n_xy=4, with_ports=True)
+        z0, z1 = s.profile.cell_z_range(0)
+        zmid = np.array([(z0 + z1) / 2])
+        r_top = s.wall_radius(np.array([np.pi / 2]), zmid)
+        r_side = s.wall_radius(np.array([0.0]), zmid)
+        assert r_top[0] > r_side[0]
+
+    def test_no_ports_symmetric(self):
+        s = make_multicell_structure(3, n_xy=4, with_ports=False)
+        z = np.array([s.length / 2])
+        thetas = np.linspace(-np.pi, np.pi, 16)
+        r = s.wall_radius(thetas, np.full(16, z[0]))
+        assert np.allclose(r, r[0])
+
+    def test_inside_classification(self):
+        s = make_multicell_structure(3, n_xy=4)
+        z0, z1 = s.profile.cell_z_range(1)
+        zmid = (z0 + z1) / 2
+        pts = np.array(
+            [
+                [0.0, 0.0, zmid],            # axis, inside
+                [0.0, 0.0, -0.5],            # before the structure
+                [0.0, 0.0, s.length + 0.5],  # past the structure
+                [5.0, 0.0, zmid],            # outside radially
+            ]
+        )
+        assert s.inside(pts).tolist() == [True, False, False, False]
+
+    def test_mesh_vertices_inside_structure(self):
+        s = make_multicell_structure(2, n_xy=4)
+        inside = s.inside(s.mesh.vertices)
+        assert inside.mean() > 0.99  # numerical skin tolerance
+
+    def test_port_region_masks(self):
+        s = make_multicell_structure(3, n_xy=6, with_ports=True)
+        port = s.ports[0]
+        pts = s.mesh.vertices
+        mask = s.port_region(port, pts)
+        assert mask.any()
+        z0, z1 = port.z_range
+        assert np.all(pts[mask][:, 2] >= z0 - 1e-9)
+        assert np.all(pts[mask][:, 2] <= z1 + 1e-9)
+        assert np.all(pts[mask][:, 1] > 0)  # +y side port
+
+    def test_twelve_cell_scales(self):
+        s3 = make_multicell_structure(3, n_xy=4, n_z_per_unit=3)
+        s12 = make_multicell_structure(12, n_xy=4, n_z_per_unit=3)
+        assert s12.mesh.n_elements > 3 * s3.mesh.n_elements
+        assert s12.n_cells == 12
+
+    def test_port_outside_structure_rejected(self):
+        profile = RadiusProfile(n_cells=2)
+        with pytest.raises(ValueError):
+            AcceleratorStructure(profile, ports=[Port("bad", (10.0, 12.0))])

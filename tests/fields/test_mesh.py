@@ -1,0 +1,137 @@
+"""Hexahedral mesh: volumes, fields, point location, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.fields.mesh import HexMesh, StructuredHexMesh
+
+
+def _unit_cube_mesh(n=2):
+    g = np.linspace(0.0, 1.0, n + 1)
+    gx, gy, gz = np.meshgrid(g, g, g, indexing="ij")
+    grid = np.stack([gx, gy, gz], axis=-1)
+    return StructuredHexMesh(grid)
+
+
+class TestConstruction:
+    def test_counts(self):
+        m = _unit_cube_mesh(3)
+        assert m.n_vertices == 4**3
+        assert m.n_elements == 27
+        assert m.grid_shape == (3, 3, 3)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            HexMesh(np.zeros((4, 2)), np.zeros((1, 8), dtype=int))
+        with pytest.raises(ValueError):
+            HexMesh(np.zeros((4, 3)), np.zeros((1, 6), dtype=int))
+        with pytest.raises(ValueError):
+            HexMesh(np.zeros((4, 3)), np.full((1, 8), 99))
+
+    def test_structured_needs_4d(self):
+        with pytest.raises(ValueError):
+            StructuredHexMesh(np.zeros((3, 3, 3)))
+
+
+class TestVolumes:
+    def test_unit_cube_volume(self):
+        m = _unit_cube_mesh(2)
+        vols = m.element_volumes()
+        assert np.allclose(vols, 1.0 / 8.0)
+        assert vols.sum() == pytest.approx(1.0)
+
+    def test_stretched_grid(self):
+        g = np.linspace(0.0, 2.0, 3)
+        h = np.linspace(0.0, 1.0, 3)
+        gx, gy, gz = np.meshgrid(g, h, h, indexing="ij")
+        m = StructuredHexMesh(np.stack([gx, gy, gz], axis=-1))
+        assert m.element_volumes().sum() == pytest.approx(2.0)
+
+    def test_distorted_hex_positive(self, rng):
+        g = np.linspace(0.0, 1.0, 4)
+        gx, gy, gz = np.meshgrid(g, g, g, indexing="ij")
+        grid = np.stack([gx, gy, gz], axis=-1)
+        grid[1:-1, 1:-1, 1:-1] += rng.uniform(-0.05, 0.05, grid[1:-1, 1:-1, 1:-1].shape)
+        m = StructuredHexMesh(grid)
+        vols = m.element_volumes()
+        assert np.all(vols > 0)
+        assert vols.sum() == pytest.approx(1.0, rel=1e-9)  # interior jiggle conserves volume
+
+    def test_centers_inside_bounds(self):
+        m = _unit_cube_mesh(3)
+        c = m.element_centers()
+        assert np.all(c > 0) and np.all(c < 1)
+
+
+class TestFields:
+    def test_set_and_intensity(self):
+        m = _unit_cube_mesh(2)
+        f = np.zeros((m.n_vertices, 3))
+        f[:, 0] = 2.0
+        m.set_field("E", f)
+        assert np.allclose(m.element_field_intensity("E"), 2.0)
+
+    def test_scalar_field_intensity(self):
+        m = _unit_cube_mesh(2)
+        m.set_field("s", np.full(m.n_vertices, -3.0))
+        assert np.allclose(m.element_field_intensity("s"), 3.0)
+
+    def test_wrong_length_rejected(self):
+        m = _unit_cube_mesh(2)
+        with pytest.raises(ValueError):
+            m.set_field("E", np.zeros((5, 3)))
+
+    def test_field_nbytes(self):
+        m = _unit_cube_mesh(2)
+        m.set_field("E", np.zeros((m.n_vertices, 3)))
+        m.set_field("B", np.zeros((m.n_vertices, 3)))
+        assert m.field_nbytes("E") == m.n_vertices * 24
+        assert m.field_nbytes() == m.n_vertices * 48
+
+
+class TestLocate:
+    def test_points_found_in_right_elements(self):
+        m = _unit_cube_mesh(2)
+        pts = np.array([[0.25, 0.25, 0.25], [0.75, 0.75, 0.75]])
+        el, ref = m.locate(pts)
+        assert el[0] == m.element_index(0, 0, 0)
+        assert el[1] == m.element_index(1, 1, 1)
+        assert np.allclose(ref, 0.5, atol=1e-6)
+
+    def test_outside_returns_minus_one(self):
+        m = _unit_cube_mesh(2)
+        el, _ = m.locate(np.array([[2.0, 2.0, 2.0]]))
+        assert el[0] == -1
+
+    def test_sample_linear_field_exact(self, rng):
+        """Trilinear sampling reproduces a linear function exactly."""
+        m = _unit_cube_mesh(3)
+        vals = 2.0 * m.vertices[:, 0] - m.vertices[:, 1] + 0.5 * m.vertices[:, 2]
+        m.set_field("f", vals)
+        pts = rng.uniform(0.05, 0.95, (50, 3))
+        out = m.sample_field("f", pts)
+        expected = 2.0 * pts[:, 0] - pts[:, 1] + 0.5 * pts[:, 2]
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_sample_vector_field_shape(self, rng):
+        m = _unit_cube_mesh(2)
+        m.set_field("E", rng.standard_normal((m.n_vertices, 3)))
+        out = m.sample_field("E", rng.uniform(0.1, 0.9, (10, 3)))
+        assert out.shape == (10, 3)
+
+    def test_sample_outside_zero(self):
+        m = _unit_cube_mesh(2)
+        m.set_field("f", np.ones(m.n_vertices))
+        out = m.sample_field("f", np.array([[5.0, 5.0, 5.0]]))
+        assert out[0] == 0.0
+
+
+class TestElementIndex:
+    def test_flat_index_roundtrip(self):
+        m = _unit_cube_mesh(3)
+        assert m.element_index(0, 0, 0) == 0
+        assert m.element_index(2, 2, 2) == 26
+        # center of element (i, j, k) matches the element's position
+        e = m.element_index(1, 0, 2)
+        center = m.element_centers()[e]
+        assert np.allclose(center, [0.5, 1 / 6, 5 / 6], atol=1e-9)

@@ -1,0 +1,113 @@
+"""Analytic cavity modes."""
+
+import numpy as np
+import pytest
+from scipy.special import jn_zeros
+
+from repro.fields.geometry import make_multicell_structure
+from repro.fields.modes import multicell_standing_wave, pillbox_tm010
+
+
+class TestPillboxTM010:
+    def test_frequency_scales_inverse_radius(self):
+        assert pillbox_tm010(2.0).omega == pytest.approx(pillbox_tm010(1.0).omega / 2)
+
+    def test_e_axial_peak_on_axis(self):
+        m = pillbox_tm010(1.0)
+        pts = np.array([[0.0, 0.0, 0.0], [0.5, 0.0, 0.0], [0.9, 0.0, 0.0]])
+        e = m.e_field(pts, t=0.0)
+        assert np.all(np.diff(np.abs(e[:, 2])) < 0)  # decreasing with r
+        assert np.allclose(e[:, :2], 0.0)  # purely axial
+
+    def test_e_vanishes_at_wall(self):
+        m = pillbox_tm010(1.0)
+        e = m.e_field(np.array([[1.0, 0.0, 0.0]]), t=0.0)
+        assert abs(e[0, 2]) < 1e-10  # J0(j01) = 0
+
+    def test_b_azimuthal(self):
+        m = pillbox_tm010(1.0)
+        t_quarter = np.pi / (2 * m.omega)
+        pts = np.array([[0.5, 0.0, 0.0], [0.0, 0.5, 0.0]])
+        b = m.b_field(pts, t=t_quarter)
+        # at +x the azimuthal direction is +y; at +y it is -x
+        assert abs(b[0, 0]) < 1e-12 and abs(b[0, 2]) < 1e-12
+        assert abs(b[1, 1]) < 1e-12
+        assert b[0, 1] != 0.0
+
+    def test_b_zero_on_axis(self):
+        m = pillbox_tm010(1.0)
+        b = m.b_field(np.array([[0.0, 0.0, 0.3]]), t=1.0)
+        assert np.allclose(b, 0.0, atol=1e-12)
+
+    def test_temporal_quadrature(self):
+        """E peaks when B vanishes and vice versa."""
+        m = pillbox_tm010(1.0)
+        p = np.array([[0.4, 0.1, 0.0]])
+        assert np.allclose(m.b_field(p, t=0.0), 0.0, atol=1e-12)
+        t_quarter = np.pi / (2 * m.omega)
+        assert np.allclose(m.e_field(p, t=t_quarter), 0.0, atol=1e-10)
+
+    def test_energy_exchange(self):
+        """|E| at t=0 equals |B| at quarter period (normalized mode)."""
+        m = pillbox_tm010(1.0)
+        r = 0.4
+        e0 = np.linalg.norm(m.e_field(np.array([[r, 0, 0]]), 0.0))
+        t_quarter = np.pi / (2 * m.omega)
+        b1 = np.linalg.norm(m.b_field(np.array([[r, 0, 0]]), t_quarter))
+        from scipy.special import j0, j1
+
+        k = float(jn_zeros(0, 1)[0])
+        assert e0 == pytest.approx(abs(j0(k * r)))
+        assert b1 == pytest.approx(abs(j1(k * r)))
+
+
+class TestMultiCellMode:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        s = make_multicell_structure(3, n_xy=5, n_z_per_unit=5, with_ports=False)
+        return s, multicell_standing_wave(s)
+
+    def test_pi_mode_sign_alternates(self, setup):
+        s, m = setup
+        centers = []
+        for i in range(3):
+            z0, z1 = s.profile.cell_z_range(i)
+            centers.append([0.0, 0.0, (z0 + z1) / 2])
+        e = m.e_field(np.array(centers), t=0.0)
+        assert e[0, 2] * e[1, 2] < 0
+        assert e[1, 2] * e[2, 2] < 0
+
+    def test_irises_near_zero(self, setup):
+        s, m = setup
+        _, z1 = s.profile.cell_z_range(0)
+        z0_next, _ = s.profile.cell_z_range(1)
+        iris_mid = np.array([[0.0, 0.0, (z1 + z0_next) / 2]])
+        cell_mid = np.array([[0.0, 0.0, sum(s.profile.cell_z_range(0)) / 2]])
+        e_iris = np.linalg.norm(m.e_field(iris_mid, 0.0))
+        e_cell = np.linalg.norm(m.e_field(cell_mid, 0.0))
+        assert e_iris < 0.05 * e_cell
+
+    def test_outside_is_zero(self, setup):
+        s, m = setup
+        out = np.array([[3.0, 3.0, 1.0], [0.0, 0.0, -1.0]])
+        assert np.allclose(m.e_field(out, 0.0), 0.0)
+        assert np.allclose(m.b_field(out, 0.5), 0.0)
+
+    def test_b_azimuthal_in_cells(self, setup):
+        s, m = setup
+        z0, z1 = s.profile.cell_z_range(0)
+        p = np.array([[0.3, 0.0, (z0 + z1) / 2]])
+        t_quarter = np.pi / (2 * m.omega)
+        b = m.b_field(p, t=t_quarter)
+        assert abs(b[0, 1]) > 0  # azimuthal (+y at +x)
+        assert abs(b[0, 0]) < 1e-12
+        assert abs(b[0, 2]) < 1e-12
+
+    def test_has_radial_component_near_cell_ends(self, setup):
+        """div E = 0 bending: Er != 0 off-axis near cell boundaries --
+        what makes E lines bow outward to the walls in the figures."""
+        s, m = setup
+        z0, z1 = s.profile.cell_z_range(1)
+        near_end = np.array([[0.3, 0.0, z0 + 0.1 * (z1 - z0)]])
+        e = m.e_field(near_end, 0.0)
+        assert abs(e[0, 0]) > 1e-3

@@ -1,0 +1,102 @@
+"""Field samplers used by the streamline tracer."""
+
+import numpy as np
+import pytest
+
+from repro.fields.geometry import make_pillbox
+from repro.fields.modes import pillbox_tm010
+from repro.fields.sampling import AnalyticSampler, YeeSampler, sample_staggered
+from repro.fields.solver import TimeDomainSolver
+
+
+class TestSampleStaggered:
+    def test_exact_on_samples(self):
+        arr = np.arange(24.0).reshape(2, 3, 4)
+        origin = np.array([1.0, 2.0, 3.0])
+        cell = np.array([0.5, 0.5, 0.5])
+        # sample point exactly at index (1, 2, 3)
+        p = origin + cell * np.array([1, 2, 3])
+        out = sample_staggered(arr, origin, cell, p[None])
+        assert out[0] == pytest.approx(arr[1, 2, 3])
+
+    def test_linear_exactness(self, rng):
+        xs = np.arange(5.0)
+        gx, gy, gz = np.meshgrid(xs, xs, xs, indexing="ij")
+        arr = 3.0 * gx + 2.0 * gy - gz
+        origin = np.zeros(3)
+        cell = np.ones(3)
+        pts = rng.uniform(0.1, 3.9, (50, 3))
+        expected = 3.0 * pts[:, 0] + 2.0 * pts[:, 1] - pts[:, 2]
+        assert np.allclose(sample_staggered(arr, origin, cell, pts), expected)
+
+    def test_outside_zero(self):
+        arr = np.ones((3, 3, 3))
+        out = sample_staggered(arr, np.zeros(3), np.ones(3), np.array([[5.0, 0, 0]]))
+        assert out[0] == 0.0
+
+
+class TestYeeSampler:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        s = make_pillbox(radius=1.0, length=1.5, n_xy=4, n_z_per_unit=4)
+        solver = TimeDomainSolver(s, cells_per_unit=6.0, drive_amplitude=0.0)
+        solver.ez[:] = solver._mask["ez"] * 1.0  # uniform Ez inside
+        return solver
+
+    def test_snapshot_frozen(self, solver):
+        samp = YeeSampler(solver, "E")
+        p = np.array([[0.0, 0.0, 0.75]])
+        before = samp(p).copy()
+        solver.run(5)  # solver moves on
+        after = samp(p)
+        assert np.array_equal(before, after)
+
+    def test_field_selection(self, solver):
+        e = YeeSampler(solver, "E")
+        b = YeeSampler(solver, "B")
+        p = np.array([[0.0, 0.0, 0.75]])
+        assert np.linalg.norm(e(p)) > 0
+        assert np.linalg.norm(b(p)) == 0.0  # H untouched
+
+    def test_invalid_field(self, solver):
+        with pytest.raises(ValueError):
+            YeeSampler(solver, "D")
+
+    def test_inside_delegates_to_structure(self, solver):
+        samp = YeeSampler(solver, "E")
+        pts = np.array([[0.0, 0.0, 0.75], [5.0, 0.0, 0.75]])
+        assert samp.inside(pts).tolist() == [True, False]
+
+    def test_magnitude(self, solver):
+        samp = YeeSampler(solver, "E")
+        m = samp.magnitude(np.array([[0.0, 0.0, 0.75]]))
+        assert m.shape == (1,)
+        assert m[0] > 0
+
+
+class TestAnalyticSampler:
+    def test_matches_mode(self):
+        mode = pillbox_tm010(1.0)
+        samp = AnalyticSampler(mode, "E", t=0.3)
+        pts = np.array([[0.2, 0.1, 0.0], [0.5, -0.4, 0.2]])
+        assert np.allclose(samp(pts), mode.e_field(pts, 0.3))
+
+    def test_b_selection(self):
+        mode = pillbox_tm010(1.0)
+        t_quarter = np.pi / (2 * mode.omega)
+        samp = AnalyticSampler(mode, "B", t=t_quarter)
+        assert np.linalg.norm(samp(np.array([[0.5, 0.0, 0.0]]))) > 0
+
+    def test_inside_without_structure_all_true(self):
+        samp = AnalyticSampler(pillbox_tm010(1.0), "E")
+        assert samp.inside(np.array([[100.0, 0, 0]]))[0]
+
+    def test_inside_with_structure(self):
+        s = make_pillbox(radius=1.0, length=1.0, n_xy=4)
+        samp = AnalyticSampler(pillbox_tm010(1.0), "E", structure=s)
+        pts = np.array([[0.0, 0.0, 0.5], [0.0, 0.0, 5.0]])
+        assert samp.inside(pts).tolist() == [True, False]
+
+    def test_invalid_field(self):
+        with pytest.raises(ValueError):
+            AnalyticSampler(pillbox_tm010(1.0), "H")

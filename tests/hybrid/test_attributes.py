@@ -1,0 +1,155 @@
+"""Dynamic per-point properties (paper section 2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.beams.distributions import gaussian_beam
+from repro.hybrid.attributes import (
+    DERIVED_QUANTITIES,
+    compute_attributes,
+    momentum_magnitude,
+    radius,
+    single_particle_emittance,
+    transverse_energy,
+    transverse_momentum,
+)
+from repro.hybrid.representation import HybridFrame
+from repro.octree.extraction import extract
+from repro.octree.partition import partition
+
+
+@pytest.fixture(scope="module")
+def beam():
+    return gaussian_beam(5000, rng=np.random.default_rng(3))
+
+
+class TestQuantities:
+    def test_momentum_magnitude(self):
+        p = np.zeros((2, 6))
+        p[0, 3:] = [3.0, 4.0, 0.0]
+        assert np.allclose(momentum_magnitude(p), [5.0, 0.0])
+
+    def test_transverse_momentum(self):
+        p = np.zeros((1, 6))
+        p[0, 3], p[0, 4] = 3.0, 4.0
+        assert transverse_momentum(p)[0] == pytest.approx(5.0)
+
+    def test_transverse_energy(self):
+        p = np.zeros((1, 6))
+        p[0, 3] = 2.0
+        assert transverse_energy(p)[0] == pytest.approx(2.0)
+
+    def test_radius(self):
+        p = np.zeros((1, 6))
+        p[0, 0], p[0, 1] = 3.0, 4.0
+        assert radius(p)[0] == pytest.approx(5.0)
+
+    def test_emittance_flags_outliers(self, beam):
+        """The single-particle invariant must rank a far-out particle
+        above a core particle -- the halo-flagging behaviour."""
+        augmented = beam.copy()
+        augmented[0, [0, 3]] = [8.0, 3.0]  # way out in x phase space
+        inv = single_particle_emittance(augmented)
+        assert inv[0] > np.percentile(inv[1:], 99)
+
+    def test_emittance_mean_scale(self):
+        """The invariant averages 2 * emittance per plane; with unit
+        sigmas (emittance 1 per plane) the two-plane sum averages ~4."""
+        p = gaussian_beam(50_000, sigmas=np.ones(6), rng=np.random.default_rng(8))
+        inv = single_particle_emittance(p)
+        assert 3.6 < inv.mean() < 4.4
+
+    def test_registry_complete(self, beam):
+        out = compute_attributes(beam, DERIVED_QUANTITIES.keys())
+        assert set(out) == set(DERIVED_QUANTITIES)
+        for v in out.values():
+            assert v.dtype == np.float32
+            assert len(v) == len(beam)
+
+    def test_unknown_name(self, beam):
+        with pytest.raises(KeyError, match="unknown derived quantity"):
+            compute_attributes(beam, ["color"])
+
+
+class TestExtractionIntegration:
+    @pytest.fixture(scope="class")
+    def frame(self, beam):
+        pf = partition(beam, "xyz", max_level=5, capacity=32)
+        thr = float(np.percentile(pf.nodes["density"], 60))
+        return pf, extract(
+            pf, thr, volume_resolution=8, point_attributes=("pmag", "emittance")
+        )
+
+    def test_attributes_attached(self, frame):
+        _, h = frame
+        assert set(h.attributes) == {"pmag", "emittance"}
+        assert all(len(v) == h.n_points for v in h.attributes.values())
+
+    def test_attribute_values_match_prefix(self, frame):
+        """Attributes must be computed from the same particles whose
+        plot coordinates became the points."""
+        pf, h = frame
+        cutoff = h.n_points
+        expected = momentum_magnitude(pf.particles[:cutoff]).astype(np.float32)
+        assert np.array_equal(h.attributes["pmag"], expected)
+
+    def test_serialization_roundtrip(self, frame, tmp_path):
+        _, h = frame
+        path = tmp_path / "a.hybrid"
+        h.save(path)
+        back = HybridFrame.load(path)
+        assert set(back.attributes) == set(h.attributes)
+        for k in h.attributes:
+            assert np.array_equal(back.attributes[k], h.attributes[k])
+
+    def test_no_attributes_requested(self, beam):
+        pf = partition(beam, "xyz", max_level=4, capacity=32)
+        h = extract(pf, np.inf, volume_resolution=4)
+        assert h.attributes == {}
+
+    def test_nbytes_includes_attributes(self, frame):
+        _, h = frame
+        bare = HybridFrame(
+            volume=h.volume, points=h.points, point_densities=h.point_densities,
+            lo=h.lo, hi=h.hi,
+        )
+        assert h.nbytes() == bare.nbytes() + 2 * h.n_points * 4
+
+
+class TestRendererColorBy:
+    @pytest.fixture(scope="class")
+    def frame(self, beam):
+        pf = partition(beam, "xyz", max_level=5, capacity=32)
+        thr = float(np.percentile(pf.nodes["density"], 70))
+        return extract(pf, thr, volume_resolution=8, point_attributes=("pmag",))
+
+    def test_color_by_attribute_changes_image(self, frame):
+        from repro.hybrid.renderer import HybridRenderer
+        from repro.render.camera import Camera
+
+        cam = Camera.fit_bounds(frame.lo, frame.hi, width=48, height=48)
+        by_density = HybridRenderer(n_slices=8).render_point_part(frame, cam)
+        by_pmag = HybridRenderer(n_slices=8, point_color_by="pmag").render_point_part(
+            frame, cam
+        )
+        assert not np.array_equal(by_density.to_rgb8(), by_pmag.to_rgb8())
+
+    def test_missing_attribute_raises(self, frame):
+        from repro.hybrid.renderer import HybridRenderer
+        from repro.render.camera import Camera
+
+        cam = Camera.fit_bounds(frame.lo, frame.hi, width=32, height=32)
+        r = HybridRenderer(n_slices=4, point_color_by="temperature")
+        with pytest.raises(KeyError, match="no attribute"):
+            r.render_point_part(frame, cam)
+
+    def test_attribute_validation(self):
+        with pytest.raises(ValueError, match="one value per point"):
+            HybridFrame(
+                volume=np.zeros((2, 2, 2)),
+                points=np.zeros((3, 3)),
+                point_densities=np.zeros(3),
+                lo=np.zeros(3),
+                hi=np.ones(3),
+                attributes={"bad": np.zeros(5)},
+            )

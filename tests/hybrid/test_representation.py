@@ -1,0 +1,117 @@
+"""HybridFrame container and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid.representation import HybridFrame
+
+
+def _frame(n_points=100, res=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return HybridFrame(
+        volume=rng.random((res, res, res)).astype(np.float32),
+        points=rng.random((n_points, 3)).astype(np.float32),
+        point_densities=rng.random(n_points).astype(np.float32),
+        lo=np.array([-1.0, -1.0, -1.0]),
+        hi=np.array([1.0, 1.0, 1.0]),
+        threshold=0.5,
+        step=7,
+        plot_type="xpxy",
+    )
+
+
+class TestContainer:
+    def test_basic_properties(self):
+        f = _frame()
+        assert f.n_points == 100
+        assert f.resolution == (8, 8, 8)
+        assert f.nbytes() == 8**3 * 4 + 100 * 12 + 100 * 4
+
+    def test_empty_points(self):
+        f = HybridFrame(
+            volume=np.zeros((4, 4, 4), dtype=np.float32),
+            points=np.empty((0, 3)),
+            point_densities=np.empty(0),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+        )
+        assert f.n_points == 0
+        assert f.max_density() == 0.0
+
+    def test_max_density_covers_both(self):
+        f = _frame()
+        f.volume[0, 0, 0] = 99.0
+        assert f.max_density() == pytest.approx(99.0)
+        f.point_densities[0] = 200.0
+        assert f.max_density() == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridFrame(
+                volume=np.zeros((4, 4)),  # not 3-D
+                points=np.zeros((1, 3)),
+                point_densities=np.zeros(1),
+                lo=np.zeros(3),
+                hi=np.ones(3),
+            )
+        with pytest.raises(ValueError):
+            HybridFrame(
+                volume=np.zeros((4, 4, 4)),
+                points=np.zeros((5, 3)),
+                point_densities=np.zeros(3),  # length mismatch
+                lo=np.zeros(3),
+                hi=np.ones(3),
+            )
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self):
+        f = _frame()
+        back = HybridFrame.from_bytes(f.to_bytes())
+        assert np.array_equal(back.volume, f.volume)
+        assert np.array_equal(back.points, f.points)
+        assert np.array_equal(back.point_densities, f.point_densities)
+        assert back.plot_type == "xpxy"
+        assert back.step == 7
+        assert back.threshold == 0.5
+        assert np.allclose(back.lo, f.lo)
+        assert np.allclose(back.hi, f.hi)
+
+    def test_file_roundtrip(self, tmp_path):
+        f = _frame(n_points=37, res=6, seed=3)
+        path = tmp_path / "x.hybrid"
+        nbytes = f.save(path)
+        assert path.stat().st_size == nbytes
+        back = HybridFrame.load(path)
+        assert np.array_equal(back.points, f.points)
+
+    def test_zero_point_roundtrip(self, tmp_path):
+        f = HybridFrame(
+            volume=np.ones((4, 4, 4), dtype=np.float32),
+            points=np.empty((0, 3)),
+            point_densities=np.empty(0),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+        )
+        path = tmp_path / "z.hybrid"
+        f.save(path)
+        back = HybridFrame.load(path)
+        assert back.n_points == 0
+        assert np.array_equal(back.volume, f.volume)
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.hybrid"
+        p.write_bytes(b"XXXXXXXX" + bytes(128))
+        with pytest.raises(ValueError, match="not a hybrid frame"):
+            HybridFrame.load(p)
+
+    def test_anisotropic_volume(self):
+        f = HybridFrame(
+            volume=np.zeros((4, 8, 16), dtype=np.float32),
+            points=np.zeros((1, 3)),
+            point_densities=np.zeros(1),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+        )
+        back = HybridFrame.from_bytes(f.to_bytes())
+        assert back.resolution == (4, 8, 16)

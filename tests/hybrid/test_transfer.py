@@ -1,0 +1,126 @@
+"""Linked transfer functions: the inverse pair of paper section 2.4."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid.transfer import (
+    DensityNormalizer,
+    LinkedTransferFunctions,
+    PointTransferFunction,
+    VolumeTransferFunction,
+)
+
+T = np.linspace(0.0, 1.0, 257)
+
+
+class TestDensityNormalizer:
+    def test_range(self):
+        n = DensityNormalizer(100.0)
+        out = n(np.array([0.0, 1.0, 50.0, 100.0, 500.0]))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out[0] == 0.0
+        assert out[3] == pytest.approx(1.0)
+        assert out[4] == pytest.approx(1.0)  # clipped
+
+    def test_monotone(self):
+        n = DensityNormalizer(10.0, mode="log")
+        d = np.linspace(0, 10, 100)
+        assert np.all(np.diff(n(d)) >= 0)
+
+    def test_log_expands_low_densities(self):
+        """The log mode gives the faint halo usable dynamic range."""
+        lin = DensityNormalizer(1000.0, mode="linear")
+        log = DensityNormalizer(1000.0, mode="log")
+        assert log(1.0) > 10 * lin(1.0)
+
+    def test_inverse_roundtrip(self):
+        for mode in ("log", "linear"):
+            n = DensityNormalizer(42.0, mode=mode)
+            d = np.linspace(0.0, 42.0, 50)
+            assert np.allclose(n.inverse(n(d)), d, rtol=1e-9, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityNormalizer(0.0)
+        with pytest.raises(ValueError):
+            DensityNormalizer(1.0, mode="sqrt")
+
+
+class TestVolumeTransferFunction:
+    def test_step_shape(self):
+        tf = VolumeTransferFunction(boundary=0.5, ramp=0.0, opacity=0.1)
+        rgba = tf(np.array([0.2, 0.8]))
+        assert rgba[0, 3] == 0.0
+        assert rgba[1, 3] == pytest.approx(0.1)
+
+    def test_ramp_transitions(self):
+        tf = VolumeTransferFunction(boundary=0.5, ramp=0.2, opacity=0.1)
+        rgba = tf(np.array([0.5]))
+        assert 0.0 < rgba[0, 3] < 0.1
+        assert rgba[0, 3] == pytest.approx(0.05)
+
+    def test_color_from_colormap(self):
+        tf = VolumeTransferFunction(colormap="gray")
+        rgba = tf(np.array([0.0, 1.0]))
+        assert np.allclose(rgba[0, :3], 0.0)
+        assert np.allclose(rgba[1, :3], 1.0)
+
+
+class TestPointTransferFunction:
+    def test_full_below_none_above(self):
+        tf = PointTransferFunction(boundary=0.4, ramp=0.0)
+        f = tf(np.array([0.1, 0.9]))
+        assert f[0] == 1.0
+        assert f[1] == 0.0
+
+    def test_intermediate_fraction(self):
+        tf = PointTransferFunction(boundary=0.5, ramp=0.2)
+        assert 0.0 < tf(np.array([0.5]))[0] < 1.0
+
+
+class TestLinkedPair:
+    def test_inverse_identity(self):
+        """point(t) + volume_weight(t) == 1 everywhere, the paper's
+        'inverses of each other'."""
+        pair = LinkedTransferFunctions(boundary=0.35, ramp=0.15)
+        assert pair.is_inverse_pair()
+        assert np.allclose(pair.point(T) + pair.volume.weight(T), 1.0)
+
+    def test_linked_edit_moves_both(self):
+        pair = LinkedTransferFunctions(boundary=0.3)
+        pair.set_boundary(0.6, side="volume")
+        assert pair.volume.boundary == 0.6
+        assert pair.point.boundary == 0.6
+        assert pair.is_inverse_pair()
+
+    def test_linked_edit_from_point_side(self):
+        pair = LinkedTransferFunctions(boundary=0.3)
+        pair.set_boundary(0.7, side="point")
+        assert pair.volume.boundary == 0.7
+
+    def test_unlinked_edit_separates(self):
+        """The paper also allows editing the two separately."""
+        pair = LinkedTransferFunctions(boundary=0.3, linked=False)
+        pair.set_boundary(0.8, side="volume")
+        assert pair.volume.boundary == 0.8
+        assert pair.point.boundary == 0.3
+        assert not pair.is_inverse_pair()
+
+    def test_ramp_edit(self):
+        pair = LinkedTransferFunctions(ramp=0.1)
+        pair.set_ramp(0.3)
+        assert pair.volume.ramp == 0.3
+        assert pair.point.ramp == 0.3
+        assert pair.is_inverse_pair()
+
+    def test_bad_side(self):
+        pair = LinkedTransferFunctions()
+        with pytest.raises(ValueError):
+            pair.set_boundary(0.5, side="middle")
+
+    def test_overlap_region_exists_with_ramp(self):
+        """With a ramp, a density band is both point- and volume-
+        rendered (regions can overlap, Figure 3)."""
+        pair = LinkedTransferFunctions(boundary=0.5, ramp=0.3)
+        both = (pair.point(T) > 0) & (pair.volume.weight(T) > 0)
+        assert both.any()

@@ -1,0 +1,113 @@
+"""Frame-stepping previewer with LRU byte-budget cache."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid.representation import HybridFrame
+from repro.hybrid.viewer import FrameViewer
+
+
+def _write_frames(directory, n, res=8, n_points=50):
+    rng = np.random.default_rng(1)
+    directory.mkdir(parents=True, exist_ok=True)
+    nbytes = None
+    for i in range(n):
+        f = HybridFrame(
+            volume=rng.random((res, res, res)).astype(np.float32),
+            points=rng.random((n_points, 3)).astype(np.float32),
+            point_densities=rng.random(n_points).astype(np.float32),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+            step=i,
+        )
+        f.save(directory / f"frame_{i:04d}.hybrid")
+        nbytes = f.nbytes()
+    return nbytes
+
+
+class TestViewer:
+    def test_empty_directory_raises(self, tmp_path):
+        (tmp_path / "run").mkdir()
+        with pytest.raises(FileNotFoundError):
+            FrameViewer(tmp_path / "run")
+
+    def test_frames_sorted_by_name(self, tmp_path):
+        _write_frames(tmp_path / "run", 5)
+        v = FrameViewer(tmp_path / "run")
+        assert len(v) == 5
+        assert [v.frame(i).step for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_stepping_wraps(self, tmp_path):
+        _write_frames(tmp_path / "run", 3)
+        v = FrameViewer(tmp_path / "run")
+        assert v.current().step == 0
+        v.step_forward()
+        v.step_forward()
+        v.step_forward()
+        assert v.position == 0
+        v.step_backward()
+        assert v.position == 2
+
+    def test_cache_hit_counted(self, tmp_path):
+        _write_frames(tmp_path / "run", 3)
+        v = FrameViewer(tmp_path / "run")
+        v.frame(0)
+        v.frame(0)
+        assert v.stats["misses"] == 1
+        assert v.stats["hits"] == 1
+
+    def test_budget_evicts_lru(self, tmp_path):
+        per_frame = _write_frames(tmp_path / "run", 4)
+        # room for exactly two frames, mimicking "around 10 time steps
+        # in memory" at paper scale
+        v = FrameViewer(tmp_path / "run", memory_budget_bytes=2 * per_frame)
+        v.frame(0)
+        v.frame(1)
+        v.frame(2)  # evicts 0
+        assert v.stats["evictions"] == 1
+        assert 0 not in v.cached_steps
+        assert {1, 2} == set(v.cached_steps)
+        v.frame(1)  # still cached: hit
+        assert v.stats["hits"] == 1
+
+    def test_tiny_budget_never_caches(self, tmp_path):
+        _write_frames(tmp_path / "run", 2)
+        v = FrameViewer(tmp_path / "run", memory_budget_bytes=10)
+        v.frame(0)
+        v.frame(0)
+        assert v.stats["misses"] == 2
+        assert v.cached_steps == []
+
+    def test_preload_warms_cache(self, tmp_path):
+        _write_frames(tmp_path / "run", 4)
+        v = FrameViewer(tmp_path / "run")
+        v.preload(range(4))
+        before = v.stats["misses"]
+        for i in range(4):
+            v.frame(i)
+        assert v.stats["misses"] == before
+
+    def test_out_of_range(self, tmp_path):
+        _write_frames(tmp_path / "run", 2)
+        v = FrameViewer(tmp_path / "run")
+        with pytest.raises(IndexError):
+            v.frame(5)
+        with pytest.raises(IndexError):
+            v.goto(-1)
+
+    def test_render_current(self, tmp_path):
+        _write_frames(tmp_path / "run", 1)
+        from repro.hybrid.renderer import HybridRenderer
+
+        v = FrameViewer(tmp_path / "run", renderer=HybridRenderer(n_slices=8))
+        from repro.render.camera import Camera
+
+        cam = Camera.fit_bounds(np.zeros(3), np.ones(3), width=32, height=32)
+        fb = v.render_current(camera=cam)
+        assert fb.width == 32
+
+    def test_load_time_recorded(self, tmp_path):
+        _write_frames(tmp_path / "run", 1)
+        v = FrameViewer(tmp_path / "run")
+        v.frame(0)
+        assert v.stats["load_seconds"] > 0.0

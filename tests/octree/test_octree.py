@@ -1,0 +1,154 @@
+"""Adaptive linear octree construction."""
+
+import numpy as np
+import pytest
+
+from repro.octree.octree import (
+    MAX_LEVEL_LIMIT,
+    Octree,
+    morton_keys,
+    plot_columns,
+)
+
+LO = np.zeros(3)
+HI = np.ones(3)
+
+
+class TestMortonKeys:
+    def test_octant_assignment(self):
+        pts = np.array(
+            [
+                [0.1, 0.1, 0.1],  # octant 0
+                [0.9, 0.1, 0.1],  # octant 1 (x high)
+                [0.1, 0.9, 0.1],  # octant 2 (y high)
+                [0.1, 0.1, 0.9],  # octant 4 (z high)
+                [0.9, 0.9, 0.9],  # octant 7
+            ]
+        )
+        keys = morton_keys(pts, LO, HI, 1)
+        assert keys.tolist() == [0, 1, 2, 4, 7]
+
+    def test_keys_distinct_at_depth(self, rng):
+        pts = rng.random((1000, 3))
+        k1 = morton_keys(pts, LO, HI, 1)
+        k5 = morton_keys(pts, LO, HI, 5)
+        assert len(np.unique(k5)) > len(np.unique(k1))
+
+    def test_clamps_out_of_bounds(self):
+        pts = np.array([[-1.0, 0.5, 0.5], [2.0, 0.5, 0.5]])
+        keys = morton_keys(pts, LO, HI, 3)
+        assert np.all(keys < 8**3)
+
+    def test_level_limits(self, rng):
+        pts = rng.random((10, 3))
+        with pytest.raises(ValueError):
+            morton_keys(pts, LO, HI, 0)
+        with pytest.raises(ValueError):
+            morton_keys(pts, LO, HI, MAX_LEVEL_LIMIT + 1)
+
+    def test_spatial_locality(self):
+        """Points in the same deepest cell share a key."""
+        base = np.array([[0.31, 0.52, 0.73]])
+        jitter = base + 1e-9
+        k = morton_keys(np.vstack([base, jitter]), LO, HI, 8)
+        assert k[0] == k[1]
+
+
+class TestOctreeBuild:
+    def test_every_particle_in_exactly_one_leaf(self, rng):
+        pts = rng.random((5000, 3))
+        tree = Octree(pts, max_level=5, capacity=32)
+        assert tree.nodes["count"].sum() == 5000
+        starts = tree.nodes["start"].astype(int)
+        counts = tree.nodes["count"].astype(int)
+        covered = np.zeros(5000, dtype=int)
+        for s, c in zip(starts, counts):
+            covered[s : s + c] += 1
+        assert np.all(covered == 1)
+
+    def test_capacity_respected_above_max_level(self, rng):
+        pts = rng.random((2000, 3))
+        tree = Octree(pts, max_level=8, capacity=16)
+        over = tree.nodes["count"] > 16
+        # only max-level leaves may exceed capacity
+        assert np.all(tree.nodes["level"][over] == 8)
+
+    def test_max_level_bounds_depth(self, rng):
+        pts = rng.random((2000, 3))
+        tree = Octree(pts, max_level=3, capacity=1)
+        assert tree.nodes["level"].max() <= 3
+
+    def test_particles_in_leaf_bounds(self, rng):
+        pts = rng.random((500, 3))
+        tree = Octree(pts, max_level=4, capacity=8)
+        ordered = pts[tree.order]
+        for i in range(tree.n_nodes):
+            lo, hi = tree.node_bounds(i)
+            s = int(tree.nodes["start"][i])
+            c = int(tree.nodes["count"][i])
+            chunk = ordered[s : s + c]
+            assert np.all(chunk >= lo - 1e-9) and np.all(chunk <= hi + 1e-9)
+
+    def test_density_is_count_over_volume(self, rng):
+        pts = rng.random((1000, 3))
+        tree = Octree(pts, lo=LO, hi=HI, max_level=4, capacity=16)
+        vols = 1.0 / 8.0 ** tree.nodes["level"].astype(float)
+        assert np.allclose(tree.nodes["density"], tree.nodes["count"] / vols)
+
+    def test_uniform_data_splits_evenly(self, rng):
+        pts = rng.random((8000, 3))
+        tree = Octree(pts, max_level=1, capacity=1)
+        assert tree.n_nodes == 8
+        assert tree.nodes["count"].min() > 800
+
+    def test_clustered_data_adaptive_depth(self, rng):
+        cluster = rng.normal(0.5, 0.01, (5000, 3))
+        sparse = rng.random((100, 3))
+        tree = Octree(np.vstack([cluster, sparse]), max_level=6, capacity=32)
+        levels = tree.nodes["level"]
+        assert levels.max() == 6  # refined at the cluster
+        assert levels.min() <= 3  # coarse in the sparse region
+
+    def test_single_particle(self):
+        tree = Octree(np.array([[0.5, 0.5, 0.5]]), max_level=4)
+        assert tree.n_nodes == 1
+        assert tree.nodes["level"][0] == 0
+
+    def test_validation_errors(self, rng):
+        with pytest.raises(ValueError):
+            Octree(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            Octree(rng.random((10, 2)))
+        with pytest.raises(ValueError):
+            Octree(rng.random((10, 3)), capacity=0)
+        with pytest.raises(ValueError):
+            Octree(rng.random((10, 3)), lo=HI, hi=LO)
+
+
+class TestLeafLookups:
+    def test_leaf_of_particles_consistent(self, rng):
+        pts = rng.random((800, 3))
+        tree = Octree(pts, max_level=4, capacity=16)
+        leaf_of = tree.leaf_of_particles()
+        counts = np.bincount(leaf_of, minlength=tree.n_nodes)
+        assert np.array_equal(counts, tree.nodes["count"].astype(int))
+
+    def test_particle_densities_repeat(self, rng):
+        pts = rng.random((300, 3))
+        tree = Octree(pts, max_level=3, capacity=8)
+        dens = tree.particle_densities()
+        assert len(dens) == 300
+        leaf_of = tree.leaf_of_particles()
+        assert np.allclose(dens, tree.nodes["density"][leaf_of])
+
+
+class TestPlotColumns:
+    def test_known_plot_types(self):
+        assert plot_columns("xyz") == (0, 1, 2)
+        assert plot_columns("xpxy") == (0, 3, 1)
+        assert plot_columns("xpxz") == (0, 3, 2)
+        assert plot_columns("pxpypz") == (3, 4, 5)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            plot_columns("zzz")

@@ -1,0 +1,69 @@
+"""Multiprocess partitioning: equivalence with the serial program."""
+
+import numpy as np
+import pytest
+
+from repro.octree.extraction import extract
+from repro.octree.parallel import partition_parallel
+from repro.octree.partition import partition
+
+
+@pytest.fixture(scope="module")
+def particles():
+    rng = np.random.default_rng(33)
+    core = rng.normal(0.0, 0.3, (6000, 6))
+    halo = rng.normal(0.0, 2.0, (300, 6))
+    return np.vstack([core, halo])
+
+
+class TestEquivalence:
+    def test_serial_fallback_matches_structure(self, particles):
+        """n_workers=1 runs the same decomposition in-process."""
+        f = partition_parallel(particles, "xyz", max_level=5, capacity=32, n_workers=1)
+        f.validate()
+        assert f.nodes["count"].sum() == len(particles)
+
+    def test_same_particle_multiset(self, particles):
+        f = partition_parallel(particles, "xyz", max_level=5, capacity=32, n_workers=2)
+        a = np.sort(particles.view([("", float)] * 6), axis=0)
+        b = np.sort(f.particles.view([("", float)] * 6), axis=0)
+        assert np.array_equal(a, b)
+
+    def test_extraction_equivalent_to_serial(self, particles):
+        """The downstream contract: hybrid extraction must select the
+        same point set regardless of which partitioner built the
+        frame (where both refine past the top level)."""
+        serial = partition(particles, "xyz", max_level=5, capacity=32)
+        par = partition_parallel(
+            particles, "xyz", max_level=5, capacity=32, n_workers=2
+        )
+        thr = float(np.percentile(serial.nodes["density"], 60))
+        hs = extract(serial, thr, volume_resolution=8)
+        hp = extract(par, thr, volume_resolution=8)
+        assert hs.n_points == hp.n_points
+        a = np.sort(hs.points.view([("", np.float32)] * 3), axis=0)
+        b = np.sort(hp.points.view([("", np.float32)] * 3), axis=0)
+        assert np.array_equal(a, b)
+
+    def test_deeper_top_level(self, particles):
+        f = partition_parallel(
+            particles, "xyz", max_level=5, capacity=32, n_workers=2, top_level=2
+        )
+        f.validate()
+        assert f.nodes["level"].min() >= 0
+
+    def test_density_sorted(self, particles):
+        f = partition_parallel(particles, "xyz", max_level=5, capacity=32, n_workers=2)
+        assert np.all(np.diff(f.nodes["density"]) >= 0)
+
+
+class TestValidation:
+    def test_bad_top_level(self, particles):
+        with pytest.raises(ValueError):
+            partition_parallel(particles, max_level=4, top_level=0)
+        with pytest.raises(ValueError):
+            partition_parallel(particles, max_level=4, top_level=4)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            partition_parallel(np.zeros((10, 3)))

@@ -1,0 +1,108 @@
+"""The partitioning program: density-sorted two-part representation."""
+
+import numpy as np
+import pytest
+
+from repro.octree.partition import partition
+
+
+@pytest.fixture(scope="module")
+def frame(rng_module):
+    # dense core + sparse halo, the shape the paper partitions
+    core = rng_module.normal(0.0, 0.3, (8000, 6))
+    halo = rng_module.normal(0.0, 2.0, (400, 6))
+    return partition(np.vstack([core, halo]), "xyz", max_level=5, capacity=32)
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(9)
+
+
+class TestStructure:
+    def test_validate_passes(self, frame):
+        frame.validate()
+
+    def test_nodes_sorted_by_density(self, frame):
+        assert np.all(np.diff(frame.nodes["density"]) >= 0)
+
+    def test_groups_tile_particle_file(self, frame):
+        starts = frame.nodes["start"].astype(int)
+        counts = frame.nodes["count"].astype(int)
+        assert starts[0] == 0
+        assert np.array_equal(starts[1:], np.cumsum(counts)[:-1])
+        assert counts.sum() == frame.n_particles
+
+    def test_all_particles_preserved(self, frame, rng_module):
+        """Partitioning permutes but never alters particles."""
+        rng = np.random.default_rng(9)
+        core = rng.normal(0.0, 0.3, (8000, 6))
+        halo = rng.normal(0.0, 2.0, (400, 6))
+        original = np.vstack([core, halo])
+        a = np.sort(original.view([("", float)] * 6), axis=0)
+        b = np.sort(frame.particles.view([("", float)] * 6), axis=0)
+        assert np.array_equal(a, b)
+
+    def test_group_particles_in_node_bounds(self, frame):
+        """Particles of each group lie inside a cell of the right size
+        at the node's level (spatial coherence preserved by the
+        density sort)."""
+        coords = frame.coords
+        span = frame.hi - frame.lo
+        for node in frame.nodes[:: max(frame.n_nodes // 50, 1)]:
+            s, c, level = int(node["start"]), int(node["count"]), int(node["level"])
+            chunk = coords[s : s + c]
+            cell = span / (1 << level)
+            assert np.all(chunk.max(axis=0) - chunk.min(axis=0) <= cell + 1e-9)
+
+    def test_prefix_is_least_dense(self, frame):
+        """The halo (first particles of the file) must come from the
+        least dense nodes -- the contract extraction relies on."""
+        median = float(np.median(frame.nodes["density"]))
+        cutoff = frame.density_cutoff_index(median)
+        per_particle = np.repeat(
+            frame.nodes["density"], frame.nodes["count"].astype(int)
+        )
+        assert np.all(per_particle[:cutoff] < median)
+        assert np.all(per_particle[cutoff:] >= median)
+
+
+class TestCutoffIndex:
+    def test_zero_threshold(self, frame):
+        assert frame.density_cutoff_index(0.0) == 0
+
+    def test_infinite_threshold(self, frame):
+        assert frame.density_cutoff_index(np.inf) == frame.n_particles
+
+    def test_monotone_in_threshold(self, frame):
+        ds = np.percentile(frame.nodes["density"], [10, 30, 50, 70, 90])
+        cuts = [frame.density_cutoff_index(d) for d in ds]
+        assert cuts == sorted(cuts)
+
+
+class TestPlotTypes:
+    def test_momentum_plot_partitions_momentum_space(self, rng_module):
+        p = rng_module.normal(0.0, 1.0, (2000, 6))
+        f = partition(p, "pxpypz", max_level=4, capacity=32)
+        assert f.columns == (3, 4, 5)
+        assert np.array_equal(f.coords, f.particles[:, [3, 4, 5]])
+
+    def test_different_plot_types_differ(self, rng_module):
+        p = rng_module.normal(0.0, 1.0, (2000, 6))
+        p[:, 0] *= 10.0  # make x-space structure distinct
+        a = partition(p, "xyz", max_level=4)
+        b = partition(p, "pxpypz", max_level=4)
+        assert not np.array_equal(a.nodes["density"], b.nodes["density"])
+
+    def test_bad_input_shapes(self, rng_module):
+        with pytest.raises(ValueError):
+            partition(rng_module.normal(0, 1, (10, 3)), "xyz")
+
+
+class TestMetadata:
+    def test_step_recorded(self, rng_module):
+        f = partition(rng_module.normal(0, 1, (100, 6)), "xyz", step=17)
+        assert f.step == 17
+
+    def test_nbytes_positive_and_dominated_by_particles(self, frame):
+        assert frame.nbytes() > frame.n_particles * 48

@@ -1,0 +1,67 @@
+"""Plot-type conversion (the paper's §2.3 'not yet implemented' idea)."""
+
+import numpy as np
+import pytest
+
+from repro.octree.partition import partition
+from repro.octree.repartition import repartition
+
+
+@pytest.fixture(scope="module")
+def source():
+    rng = np.random.default_rng(14)
+    particles = np.vstack(
+        [rng.normal(0, 0.3, (5000, 6)), rng.normal(0, 1.5, (300, 6))]
+    )
+    return particles, partition(particles, "xyz", max_level=5, capacity=32, step=7)
+
+
+class TestRepartition:
+    def test_matches_direct_partition(self, source):
+        """Re-partitioning must equal partitioning the original data:
+        the partitioned frame loses nothing."""
+        particles, pf = source
+        converted = repartition(pf, "pxpypz")
+        direct = partition(particles, "pxpypz", max_level=5, capacity=32)
+        converted.validate()
+        assert np.array_equal(
+            np.sort(converted.nodes["density"]), np.sort(direct.nodes["density"])
+        )
+        assert converted.n_nodes == direct.n_nodes
+        a = np.sort(converted.particles.view([("", float)] * 6), axis=0)
+        b = np.sort(direct.particles.view([("", float)] * 6), axis=0)
+        assert np.array_equal(a, b)
+
+    def test_roundtrip_back_to_original_type(self, source):
+        particles, pf = source
+        there = repartition(pf, "xpxy")
+        back = repartition(there, "xyz")
+        back.validate()
+        assert back.plot_type == "xyz"
+        assert np.array_equal(
+            np.sort(back.nodes["density"]), np.sort(pf.nodes["density"])
+        )
+
+    def test_metadata_carried(self, source):
+        _, pf = source
+        converted = repartition(pf, "xpxz")
+        assert converted.step == 7
+        assert converted.max_level == pf.max_level
+        assert converted.capacity == pf.capacity
+
+    def test_override_build_params(self, source):
+        _, pf = source
+        converted = repartition(pf, "xyz", max_level=3, capacity=128)
+        assert converted.max_level == 3
+        assert converted.nodes["level"].max() <= 3
+
+    def test_source_untouched(self, source):
+        _, pf = source
+        before = pf.particles.copy()
+        repartition(pf, "pxpypz")
+        assert np.array_equal(pf.particles, before)
+
+    def test_unknown_plot_type(self, source):
+        _, pf = source
+        with pytest.raises(KeyError):
+            repartition(pf, "qqq")

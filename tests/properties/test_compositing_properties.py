@@ -1,0 +1,120 @@
+"""Property-based tests of the compositing algebra."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.render.framebuffer import composite_fragments, composite_over
+
+unit = st.floats(0.0, 1.0, allow_nan=False)
+
+
+def rgba_strategy(n_min=1, n_max=50):
+    return arrays(
+        np.float64, st.tuples(st.integers(n_min, n_max), st.just(4)), elements=unit
+    )
+
+
+class TestOverOperator:
+    @given(rgba=rgba_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_output_in_unit_range(self, rgba):
+        dst = np.zeros((len(rgba), 4))
+        composite_over(dst, rgba)
+        assert dst.min() >= 0.0 and dst.max() <= 1.0
+
+    @given(rgba=rgba_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_over_transparent_dst_is_src_color(self, rgba):
+        dst = np.zeros((len(rgba), 4))
+        composite_over(dst, rgba)
+        # where src has alpha > 0, color passes through unchanged
+        a = rgba[:, 3] > 1e-12
+        assert np.allclose(dst[a, :3], rgba[a, :3], atol=1e-9)
+        assert np.allclose(dst[:, 3], rgba[:, 3])
+
+    @given(
+        a=arrays(np.float64, (4,), elements=unit),
+        b=arrays(np.float64, (4,), elements=unit),
+        c=arrays(np.float64, (4,), elements=unit),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_associativity(self, a, b, c):
+        """(c over b) over a == c over (b over a) in premultiplied
+        space; our non-premultiplied implementation must agree where
+        alphas are nonzero."""
+        # left association
+        lhs = a[None].copy()
+        composite_over(lhs, b[None])
+        composite_over(lhs, c[None])
+        # fold b over a first is the same order; to test associativity
+        # proper we need premultiplied algebra: verify against it
+        def premult(x):
+            return np.array([*(x[:3] * x[3]), x[3]])
+
+        def over_pm(top, bot):
+            return top + bot * (1.0 - top[3])
+
+        ref = over_pm(premult(c), over_pm(premult(b), premult(a)))
+        np.testing.assert_allclose(lhs[0, 3], ref[3], atol=1e-12)
+        if ref[3] > 1e-9:
+            np.testing.assert_allclose(lhs[0, :3] * lhs[0, 3], ref[:3], atol=1e-9)
+
+
+class TestFragmentCompositing:
+    @given(
+        pix=arrays(np.int64, st.integers(1, 80), elements=st.integers(0, 9)),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_order_invariance(self, pix, data):
+        n = len(pix)
+        depths = data.draw(
+            arrays(np.float64, (n,), elements=st.floats(0.1, 10.0, allow_nan=False))
+        )
+        # equal-depth fragments in one pixel have no defined order;
+        # make depths unique so the image is well-defined
+        depths = depths + np.arange(n) * 1e-6
+        rgba = data.draw(arrays(np.float64, (n, 4), elements=unit))
+        a, da = composite_fragments(pix, depths, rgba, 10)
+        perm = np.random.default_rng(0).permutation(n)
+        b, db = composite_fragments(pix[perm], depths[perm], rgba[perm], 10)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+        np.testing.assert_allclose(da, db)
+
+    @given(
+        pix=arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 9)),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_bounded_and_monotone(self, pix, data):
+        """Output alpha never exceeds 1 and adding fragments never
+        reduces a pixel's alpha."""
+        n = len(pix)
+        depths = data.draw(
+            arrays(np.float64, (n,), elements=st.floats(0.1, 10.0, allow_nan=False))
+        )
+        rgba = data.draw(arrays(np.float64, (n, 4), elements=unit))
+        full, _ = composite_fragments(pix, depths, rgba, 10)
+        half, _ = composite_fragments(pix[: n // 2], depths[: n // 2], rgba[: n // 2], 10)
+        assert full[:, 3].max() <= 1.0 + 1e-12
+        assert np.all(full[:, 3] >= half[:, 3] - 1e-9)
+
+    @given(
+        depths=arrays(
+            np.float64, st.integers(1, 30),
+            elements=st.floats(0.1, 10.0, allow_nan=False),
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_pixel_matches_sequential(self, depths, data):
+        n = len(depths)
+        depths = depths + np.arange(n) * 1e-6  # unique depths (no ties)
+        rgba = data.draw(arrays(np.float64, (n, 4), elements=unit))
+        rgba[:, 3] = np.minimum(rgba[:, 3], 0.999)
+        got, _ = composite_fragments(np.zeros(n, dtype=np.int64), depths, rgba, 1)
+        ref = np.zeros((1, 4))
+        for i in np.argsort(-depths, kind="stable"):
+            composite_over(ref, rgba[i : i + 1])
+        np.testing.assert_allclose(got[0], ref[0], atol=1e-7)

@@ -1,0 +1,76 @@
+"""Property-based tests of physics invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.beams.lattice import Drift, Quadrupole
+from repro.beams.spacecharge import deposit_cic, gather_cic
+from repro.beams.transport import track
+
+finite = st.floats(-10.0, 10.0, allow_nan=False)
+
+
+class TestSymplecticity:
+    @given(length=st.floats(0.01, 2.0), k=st.floats(-30.0, 30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_unit_determinant(self, length, k):
+        mx, my = Quadrupole(length, k=k).matrices()
+        # tolerance scales with the matrix magnitude (cosh growth in
+        # the defocusing plane makes the determinant ill-conditioned)
+        for m in (mx, my):
+            tol = 1e-13 * np.linalg.norm(m) ** 2 + 1e-12
+            assert abs(np.linalg.det(m) - 1.0) <= tol
+
+    @given(
+        particles=arrays(
+            np.float64, st.tuples(st.integers(2, 100), st.just(6)), elements=finite
+        ),
+        length=st.floats(0.01, 0.5),
+        k=st.floats(-10.0, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linear_transport_preserves_emittance(self, particles, length, k):
+        from repro.beams.diagnostics import rms_emittance
+
+        e0x = rms_emittance(particles, "x")
+        out = track(particles, [Quadrupole(length, k=k), Drift(0.5)], copy=True)
+        # absolute floor scales with the phase-space extent: emittance
+        # is a difference of O(scale^4) products
+        scale = max(np.abs(out[:, [0, 3]]).max(), np.abs(particles[:, [0, 3]]).max(), 1.0)
+        np.testing.assert_allclose(
+            rms_emittance(out, "x"), e0x, rtol=1e-6, atol=1e-9 * scale**2
+        )
+
+
+class TestCICProperties:
+    @given(
+        positions=arrays(
+            np.float64, st.tuples(st.integers(1, 200), st.just(3)),
+            elements=st.floats(-0.95, 0.95, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_charge_conserved(self, positions):
+        lo = np.full(3, -1.0)
+        hi = np.full(3, 1.0)
+        grid = deposit_cic(positions, (8, 8, 8), lo, hi)
+        np.testing.assert_allclose(grid.sum(), len(positions), rtol=1e-12)
+        assert grid.min() >= 0.0
+
+    @given(
+        positions=arrays(
+            np.float64, st.tuples(st.integers(1, 100), st.just(3)),
+            elements=st.floats(-0.9, 0.9, allow_nan=False),
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adjointness(self, positions, data):
+        """sum_g deposit(p)[g] f[g] == sum_p gather(f)[p]."""
+        lo = np.full(3, -1.0)
+        hi = np.full(3, 1.0)
+        field = data.draw(arrays(np.float64, (6, 6, 6), elements=finite))
+        lhs = float((deposit_cic(positions, (6, 6, 6), lo, hi) * field).sum())
+        rhs = float(gather_cic(field, positions, lo, hi).sum())
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,86 @@
+"""Property-based tests of transfer functions and point selection."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hybrid.transfer import DensityNormalizer, LinkedTransferFunctions
+from repro.render.points import select_fraction
+
+unit = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestLinkedPairProperties:
+    @given(boundary=st.floats(-0.5, 1.5), ramp=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_identity_everywhere(self, boundary, ramp):
+        pair = LinkedTransferFunctions(boundary=boundary, ramp=ramp)
+        t = np.linspace(0.0, 1.0, 301)
+        np.testing.assert_allclose(pair.point(t) + pair.volume.weight(t), 1.0)
+
+    @given(boundary=st.floats(0.0, 1.0), ramp=st.floats(0.0, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_point_fraction_monotone_decreasing(self, boundary, ramp):
+        pair = LinkedTransferFunctions(boundary=boundary, ramp=ramp)
+        t = np.linspace(0.0, 1.0, 200)
+        f = pair.point(t)
+        assert np.all(np.diff(f) <= 1e-12)
+        assert f.min() >= 0.0 and f.max() <= 1.0
+
+    @given(
+        b1=st.floats(0.0, 1.0),
+        b2=st.floats(0.0, 1.0),
+        ramp=st.floats(0.0, 0.3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_edits_keep_linkage(self, b1, b2, ramp):
+        pair = LinkedTransferFunctions(boundary=b1, ramp=ramp)
+        pair.set_boundary(b2, side="point")
+        assert pair.is_inverse_pair()
+
+
+class TestNormalizerProperties:
+    @given(
+        max_density=st.floats(1e-6, 1e12),
+        mode=st.sampled_from(["log", "linear"]),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_into_unit_interval(self, max_density, mode, data):
+        n = DensityNormalizer(max_density, mode=mode)
+        d = np.sort(
+            data.draw(
+                arrays(
+                    np.float64, (50,),
+                    elements=st.floats(0.0, max_density, allow_nan=False),
+                )
+            )
+        )
+        out = n(d)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert np.all(np.diff(out) >= -1e-12)
+
+    @given(max_density=st.floats(1e-3, 1e9), mode=st.sampled_from(["log", "linear"]))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, max_density, mode):
+        n = DensityNormalizer(max_density, mode=mode)
+        d = np.linspace(0.0, max_density, 31)
+        np.testing.assert_allclose(n.inverse(n(d)), d, rtol=1e-6, atol=1e-9)
+
+
+class TestSelectFractionProperties:
+    @given(n=st.integers(100, 5000), f=unit)
+    @settings(max_examples=40, deadline=None)
+    def test_kept_share_close_to_fraction(self, n, f):
+        keep = select_fraction(n, np.full(n, f))
+        assert abs(keep.mean() - f) <= 1.0 / np.sqrt(n) + 1e-2
+
+    @given(n=st.integers(10, 2000), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_fractions(self, n, data):
+        f1 = data.draw(arrays(np.float64, (n,), elements=unit))
+        bump = data.draw(arrays(np.float64, (n,), elements=unit))
+        f2 = np.minimum(f1 + bump, 1.0)
+        k1 = select_fraction(n, f1)
+        k2 = select_fraction(n, f2)
+        assert np.all(k2[k1])  # raising fractions never drops a point

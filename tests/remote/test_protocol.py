@@ -1,0 +1,126 @@
+"""Wire protocol framing and codecs."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hybrid.representation import HybridFrame
+from repro.remote.protocol import (
+    Message,
+    MessageType,
+    decode_frame_list,
+    decode_get_hybrid,
+    decode_hybrid,
+    encode_frame_list,
+    encode_get_hybrid,
+    encode_hybrid,
+    recv_message,
+    send_message,
+)
+
+
+def _socket_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    conn, _ = server.accept()
+    server.close()
+    return client, conn
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = _socket_pair()
+        try:
+            sent = send_message(a, Message(MessageType.LIST_FRAMES, b"hello"))
+            msg = recv_message(b)
+            assert msg.type == MessageType.LIST_FRAMES
+            assert msg.payload == b"hello"
+            assert sent == 12 + 5  # 4-byte type + 8-byte length + payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_payload(self):
+        a, b = _socket_pair()
+        try:
+            send_message(a, Message(MessageType.SHUTDOWN))
+            msg = recv_message(b)
+            assert msg.type == MessageType.SHUTDOWN
+            assert msg.payload == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_messages_in_order(self):
+        a, b = _socket_pair()
+        try:
+            for i in range(5):
+                send_message(a, Message(MessageType.ERROR, bytes([i])))
+            for i in range(5):
+                assert recv_message(b).payload == bytes([i])
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_raises(self):
+        a, b = _socket_pair()
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_message(b)
+        b.close()
+
+    def test_throttled_send_measurably_slower(self):
+        import time
+
+        a, b = _socket_pair()
+        try:
+            payload = bytes(200_000)
+            results = {}
+
+            def reader():
+                results["msg"] = recv_message(b)
+
+            t = threading.Thread(target=reader)
+            t.start()
+            t0 = time.perf_counter()
+            send_message(a, Message(MessageType.HYBRID_FRAME, payload),
+                         bandwidth_bps=2_000_000)  # 2 MB/s -> ~0.1 s
+            t.join()
+            elapsed = time.perf_counter() - t0
+            assert elapsed > 0.05
+            assert results["msg"].payload == payload
+        finally:
+            a.close()
+            b.close()
+
+
+class TestCodecs:
+    def test_get_hybrid(self):
+        payload = encode_get_hybrid(7, 123.5, 64)
+        assert decode_get_hybrid(payload) == (7, 123.5, 64)
+
+    def test_frame_list(self):
+        steps = [0, 5, 10, 9999]
+        assert decode_frame_list(encode_frame_list(steps)) == steps
+
+    def test_frame_list_empty(self):
+        assert decode_frame_list(encode_frame_list([])) == []
+
+    def test_hybrid_codec(self):
+        rng = np.random.default_rng(0)
+        f = HybridFrame(
+            volume=rng.random((4, 4, 4)).astype(np.float32),
+            points=rng.random((10, 3)).astype(np.float32),
+            point_densities=rng.random(10).astype(np.float32),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+            step=3,
+        )
+        back = decode_hybrid(encode_hybrid(f))
+        assert np.array_equal(back.volume, f.volume)
+        assert np.array_equal(back.points, f.points)
+        assert back.step == 3

@@ -1,0 +1,61 @@
+"""Server lifecycle and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.octree.partition import partition
+from repro.remote.client import VisualizationClient
+from repro.remote.server import VisualizationServer
+
+
+@pytest.fixture(scope="module")
+def one_frame():
+    rng = np.random.default_rng(2)
+    return [partition(rng.normal(0, 1, (2000, 6)), "xyz", max_level=4, step=0)]
+
+
+class TestLifecycle:
+    def test_stop_idempotent(self, one_frame):
+        server = VisualizationServer(one_frame).start()
+        server.stop()
+        server.stop()  # second stop must not raise
+
+    def test_context_manager_cleans_up(self, one_frame):
+        with VisualizationServer(one_frame) as server:
+            address = server.address
+        # after exit the port no longer accepts connections
+        import socket
+
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=0.5)
+
+    def test_port_zero_assigns_free_port(self, one_frame):
+        a = VisualizationServer(one_frame).start()
+        b = VisualizationServer(one_frame).start()
+        try:
+            assert a.address[1] != b.address[1]
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_request_counting(self, one_frame):
+        with VisualizationServer(one_frame) as server:
+            with VisualizationClient(server.address) as client:
+                client.list_frames()
+                client.list_frames()
+            assert server.stats["requests"] == 2
+            assert server.stats["bytes_sent"] > 0
+
+    def test_client_reconnect_after_disconnect(self, one_frame):
+        with VisualizationServer(one_frame) as server:
+            with VisualizationClient(server.address) as c1:
+                c1.list_frames()
+            with VisualizationClient(server.address) as c2:
+                assert c2.list_frames() == [0]
+
+    def test_empty_store(self):
+        with VisualizationServer([]) as server:
+            with VisualizationClient(server.address) as client:
+                assert client.list_frames() == []
+                with pytest.raises(RuntimeError, match="out of range"):
+                    client.get_hybrid(0, 1.0)

@@ -1,0 +1,119 @@
+"""Camera projection, unprojection, and ray generation."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera, look_at, perspective
+
+
+@pytest.fixture
+def camera():
+    return Camera(
+        eye=[0.0, 0.0, 5.0], target=[0.0, 0.0, 0.0], up=[0.0, 1.0, 0.0],
+        fov_y=45.0, width=128, height=96,
+    )
+
+
+class TestLookAt:
+    def test_eye_maps_to_origin(self):
+        m = look_at(np.array([1.0, 2.0, 3.0]), np.zeros(3), np.array([0, 1, 0.0]))
+        p = m[:3, :3] @ np.array([1.0, 2.0, 3.0]) + m[:3, 3]
+        assert np.allclose(p, 0.0)
+
+    def test_target_on_negative_z(self):
+        eye = np.array([0.0, 0.0, 5.0])
+        m = look_at(eye, np.zeros(3), np.array([0, 1, 0.0]))
+        p = m[:3, :3] @ np.zeros(3) + m[:3, 3]
+        assert p[2] < 0 and abs(p[0]) < 1e-12 and abs(p[1]) < 1e-12
+
+    def test_rotation_is_orthonormal(self):
+        m = look_at(np.array([3.0, -2.0, 7.0]), np.array([1.0, 1.0, 1.0]), np.array([0, 1, 0.0]))
+        r = m[:3, :3]
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+
+    def test_degenerate_direction_raises(self):
+        with pytest.raises(ValueError):
+            look_at(np.zeros(3), np.zeros(3), np.array([0, 1, 0.0]))
+
+
+class TestPerspective:
+    def test_bad_planes_raise(self):
+        with pytest.raises(ValueError):
+            perspective(45.0, 1.0, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            perspective(45.0, 1.0, 5.0, 1.0)
+
+    def test_fov_scaling(self):
+        wide = perspective(90.0, 1.0, 0.1, 10.0)
+        narrow = perspective(30.0, 1.0, 0.1, 10.0)
+        assert narrow[1, 1] > wide[1, 1]
+
+
+class TestProjection:
+    def test_center_projects_to_screen_center(self, camera):
+        xy, depth, vis = camera.project(np.array([[0.0, 0.0, 0.0]]))
+        assert vis[0]
+        assert np.allclose(xy[0], [camera.width / 2, camera.height / 2])
+        assert np.isclose(depth[0], 5.0)
+
+    def test_right_of_target_is_right_on_screen(self, camera):
+        xy, _, _ = camera.project(np.array([[1.0, 0.0, 0.0]]))
+        assert xy[0, 0] > camera.width / 2
+
+    def test_above_target_is_up_on_screen(self, camera):
+        xy, _, _ = camera.project(np.array([[0.0, 1.0, 0.0]]))
+        assert xy[0, 1] < camera.height / 2  # pixel y grows downward
+
+    def test_behind_camera_invisible(self, camera):
+        _, _, vis = camera.project(np.array([[0.0, 0.0, 10.0]]))
+        assert not vis[0]
+
+    def test_unproject_roundtrip(self, camera, rng):
+        pts = rng.uniform(-1.5, 1.5, (200, 3))
+        xy, depth, vis = camera.project(pts)
+        back = camera.unproject(xy[vis], depth[vis])
+        assert np.allclose(back, pts[vis], atol=1e-9)
+
+    def test_view_depth_positive_in_front(self, camera):
+        d = camera.view_depth(np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 4.0]]))
+        assert d[0] == pytest.approx(5.0)
+        assert d[1] == pytest.approx(1.0)
+
+
+class TestRays:
+    def test_ray_count_and_normalization(self, camera):
+        origins, dirs = camera.pixel_rays()
+        assert dirs.shape == (camera.width * camera.height, 3)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+        assert np.allclose(origins, camera.eye)
+
+    def test_center_ray_points_at_target(self, camera):
+        _, dirs = camera.pixel_rays()
+        # center pixel of the grid
+        idx = (camera.height // 2) * camera.width + camera.width // 2
+        assert np.dot(dirs[idx], camera.forward) > 0.999
+
+    def test_view_vectors_unit_and_toward_eye(self, camera, rng):
+        pts = rng.uniform(-1, 1, (50, 3))
+        v = camera.view_vectors(pts)
+        assert np.allclose(np.linalg.norm(v, axis=1), 1.0)
+        # moving along v must reduce distance to the eye
+        closer = pts + 1e-3 * v
+        d0 = np.linalg.norm(pts - camera.eye, axis=1)
+        d1 = np.linalg.norm(closer - camera.eye, axis=1)
+        assert np.all(d1 < d0)
+
+
+class TestFitBounds:
+    def test_box_fully_visible(self):
+        lo, hi = np.array([-2.0, -1.0, 0.0]), np.array([1.0, 3.0, 4.0])
+        cam = Camera.fit_bounds(lo, hi, width=64, height=64)
+        corners = np.array(
+            [[x, y, z] for x in (lo[0], hi[0]) for y in (lo[1], hi[1]) for z in (lo[2], hi[2])]
+        )
+        _, _, vis = cam.project(corners)
+        assert vis.all()
+
+    def test_degenerate_up_handled(self):
+        cam = Camera.fit_bounds([-1, -1, -1], [1, 1, 1], direction=(0, 1, 0))
+        assert np.isfinite(cam.view_matrix).all()

@@ -1,0 +1,66 @@
+"""Colormap construction, sampling, and the built-in palette registry."""
+
+import numpy as np
+import pytest
+
+from repro.render.colormap import Colormap, available_colormaps, get_colormap
+
+
+class TestColormap:
+    def test_endpoints_exact(self):
+        cm = Colormap([0.0, 1.0], [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        assert np.allclose(cm(0.0), [0, 0, 0])
+        assert np.allclose(cm(1.0), [1, 1, 1])
+
+    def test_midpoint_interpolates(self):
+        cm = Colormap([0.0, 1.0], [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        assert np.allclose(cm(0.5), [0.5, 0, 0])
+
+    def test_clipping_outside_range(self):
+        cm = get_colormap("gray")
+        assert np.allclose(cm(-3.0), cm(0.0))
+        assert np.allclose(cm(7.0), cm(1.0))
+
+    def test_array_input_shape(self):
+        cm = get_colormap("fire")
+        out = cm(np.zeros((4, 5)))
+        assert out.shape == (4, 5, 3)
+
+    def test_table_shape_and_range(self):
+        t = get_colormap("electric").table(64)
+        assert t.shape == (64, 3)
+        assert t.min() >= 0.0 and t.max() <= 1.0
+
+    def test_table_too_small_raises(self):
+        with pytest.raises(ValueError):
+            get_colormap("gray").table(1)
+
+    def test_reversed(self):
+        cm = get_colormap("gray")
+        r = cm.reversed()
+        assert np.allclose(r(0.0), cm(1.0))
+        assert np.allclose(r(1.0), cm(0.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Colormap([0.0, 0.5], [[0, 0, 0], [1, 1, 1]])  # doesn't span [0,1]
+        with pytest.raises(ValueError):
+            Colormap([0.0, 1.0], [[0, 0, 0]])  # shape mismatch
+        with pytest.raises(ValueError):
+            Colormap([1.0, 0.0], [[0, 0, 0], [1, 1, 1]])  # decreasing
+
+
+class TestRegistry:
+    def test_all_builtins_resolve(self):
+        for name in available_colormaps():
+            cm = get_colormap(name)
+            assert cm(0.5).shape == (3,)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown colormap"):
+            get_colormap("nope")
+
+    def test_expected_palettes_present(self):
+        names = available_colormaps()
+        for expected in ("fire", "electric", "magnetic", "gray"):
+            assert expected in names

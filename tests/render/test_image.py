@@ -1,0 +1,129 @@
+"""PPM I/O and image metrics."""
+
+import numpy as np
+import pytest
+
+from repro.render.image import coverage, psnr, read_ppm, structural_detail, write_ppm
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, (17, 23, 3), dtype=np.uint8)
+        path = tmp_path / "t.ppm"
+        write_ppm(path, img)
+        back = read_ppm(path)
+        assert np.array_equal(back, img)
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4, 3), dtype=np.float64))
+
+    def test_rejects_non_p6(self, tmp_path):
+        p = tmp_path / "bad.ppm"
+        p.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError):
+            read_ppm(p)
+
+    def test_reads_comments(self, tmp_path):
+        p = tmp_path / "c.ppm"
+        p.write_bytes(b"P6\n# a comment\n2 1\n255\n" + bytes(6))
+        img = read_ppm(p)
+        assert img.shape == (1, 2, 3)
+
+
+class TestPSNR:
+    def test_identical_is_inf(self):
+        img = np.full((8, 8, 3), 100, dtype=np.uint8)
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0, abs=1e-9)
+
+    def test_mixed_dtypes(self):
+        a = np.zeros((2, 2, 3), dtype=np.uint8)
+        b = np.zeros((2, 2, 3))
+        assert psnr(a, b) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2, 3)), np.zeros((3, 2, 3)))
+
+
+class TestCoverage:
+    def test_empty_image(self):
+        assert coverage(np.zeros((8, 8, 3))) == 0.0
+
+    def test_half_covered(self):
+        img = np.zeros((2, 2, 3))
+        img[0] = 1.0
+        assert coverage(img) == pytest.approx(0.5)
+
+    def test_custom_background(self):
+        img = np.ones((4, 4, 3))
+        assert coverage(img, background=[1.0, 1.0, 1.0]) == 0.0
+
+
+class TestStructuralDetail:
+    def test_flat_image_zero(self):
+        assert structural_detail(np.full((8, 8, 3), 0.5)) == 0.0
+
+    def test_bands_raise_detail(self):
+        flat = np.full((16, 16, 3), 0.5)
+        banded = flat.copy()
+        banded[::2] = 0.1
+        assert structural_detail(banded) > structural_detail(flat)
+
+
+class TestPNG:
+    def test_valid_png_structure(self, tmp_path, rng):
+        from repro.render.image import write_png
+
+        img = rng.integers(0, 256, (9, 13, 3), dtype=np.uint8)
+        path = tmp_path / "t.png"
+        write_png(path, img)
+        data = path.read_bytes()
+        assert data[:8] == b"\x89PNG\r\n\x1a\n"
+        assert b"IHDR" in data and b"IDAT" in data and data.endswith(
+            b"IEND" + (0xAE426082).to_bytes(4, "big")
+        )
+
+    def test_dimensions_encoded(self, tmp_path):
+        import struct
+
+        from repro.render.image import write_png
+
+        path = tmp_path / "d.png"
+        write_png(path, np.zeros((7, 11, 3), dtype=np.uint8))
+        data = path.read_bytes()
+        w, h = struct.unpack(">II", data[16:24])
+        assert (w, h) == (11, 7)
+
+    def test_payload_decompresses_to_pixels(self, tmp_path, rng):
+        import struct
+        import zlib
+
+        from repro.render.image import write_png
+
+        img = rng.integers(0, 256, (4, 5, 3), dtype=np.uint8)
+        path = tmp_path / "p.png"
+        write_png(path, img)
+        data = path.read_bytes()
+        # locate the IDAT chunk and inflate it
+        i = data.index(b"IDAT")
+        (length,) = struct.unpack(">I", data[i - 4 : i])
+        raw = zlib.decompress(data[i + 4 : i + 4 + length])
+        rows = [
+            raw[r * (1 + 5 * 3) + 1 : (r + 1) * (1 + 5 * 3)] for r in range(4)
+        ]
+        recovered = np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(4, 5, 3)
+        assert np.array_equal(recovered, img)
+
+    def test_rejects_bad_input(self, tmp_path):
+        from repro.render.image import write_png
+
+        with pytest.raises(ValueError):
+            write_png(tmp_path / "x.png", np.zeros((4, 4, 3)))

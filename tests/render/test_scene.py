@@ -1,0 +1,141 @@
+"""Depth-correct multi-primitive scene compositing."""
+
+import numpy as np
+import pytest
+
+from repro.fieldlines.integrate import FieldLine
+from repro.fieldlines.sos import build_strips
+from repro.render.camera import Camera
+from repro.render.scene import Scene
+
+
+@pytest.fixture
+def cam():
+    return Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=64, height=64)
+
+
+def _line_at_z(z, n=16, width_axis=0):
+    pts = np.zeros((n, 3))
+    pts[:, width_axis] = np.linspace(-1.0, 1.0, n)
+    pts[:, 2] = z
+    t = np.zeros((n, 3))
+    t[:, width_axis] = 1.0
+    return FieldLine(points=pts, tangents=t, magnitudes=np.ones(n))
+
+
+class TestSceneFragments:
+    def test_empty_scene_blank(self, cam):
+        img = Scene(cam).render().to_rgb8()
+        assert img.sum() == 0
+
+    def test_fragment_accounting(self, cam):
+        scene = Scene(cam)
+        assert scene.n_fragments == 0
+        scene.add_points(np.array([[0.0, 0, 0]]), np.array([1.0, 0, 0, 1]))
+        assert scene.n_fragments == 1
+
+    def test_only_one_volume(self, cam):
+        scene = Scene(cam)
+        vol = np.zeros((2, 2, 2, 4))
+        scene.add_volume(vol, [-1, -1, -1], [1, 1, 1])
+        with pytest.raises(ValueError, match="at most one"):
+            scene.add_volume(vol, [-1, -1, -1], [1, 1, 1])
+
+
+class TestCrossPrimitiveOcclusion:
+    def test_near_strip_hides_far_point_regardless_of_add_order(self, cam):
+        """The point is added AFTER the strip but sits behind it: the
+        strip must win -- exactly what per-call layer_over gets wrong."""
+        strip_line = _line_at_z(1.0)   # nearer to the camera at z=5
+        strips = build_strips([strip_line], cam, width=0.4)
+        scene = Scene(cam)
+        scene.add_strips(strips, colormap="gray", halo_core=None)
+        scene.add_points(
+            np.array([[0.0, 0.0, -1.0]]), np.array([[0.0, 1.0, 0.0, 1.0]])
+        )
+        img = scene.render().to_rgb8()
+        center = img[32, 32]
+        # the gray strip wins: the pixel must not be green-dominant
+        assert int(center[1]) - int(center[0]) < 10
+        assert center.sum() > 0  # strip visible
+
+    def test_near_point_shows_over_far_strip(self, cam):
+        strip_line = _line_at_z(-1.0)  # farther
+        strips = build_strips([strip_line], cam, width=0.4)
+        scene = Scene(cam)
+        scene.add_strips(strips, colormap="gray", halo_core=None)
+        scene.add_points(
+            np.array([[0.0, 0.0, 1.0]]), np.array([[0.0, 1.0, 0.0, 1.0]])
+        )
+        img = scene.render().to_rgb8()
+        # find the point's pixel
+        xy, _, _ = cam.project(np.array([[0.0, 0.0, 1.0]]))
+        px = img[int(xy[0, 1]), int(xy[0, 0])]
+        assert px[1] > 120  # green point wins
+
+    def test_wireframe_occluded_by_strip(self, cam):
+        strips = build_strips([_line_at_z(1.0)], cam, width=0.5)
+        scene = Scene(cam)
+        # wireframe line behind the strip, same screen footprint
+        scene.add_polyline(
+            np.array([[-1.0, 0.0, -1.5], [1.0, 0.0, -1.5]]), color=(1.0, 0, 0)
+        )
+        scene.add_strips(strips, colormap="gray", halo_core=None)
+        img = scene.render().to_rgb8()
+        assert img[32, 32, 0] < 120  # red line hidden behind the strip
+
+    def test_volume_interleaves_with_fragments(self, cam):
+        """A point inside an opaque volume region is dimmed by the
+        slabs in front of it."""
+        vol = np.zeros((4, 4, 4, 4))
+        vol[..., 0] = 1.0
+        vol[..., 3] = 0.35
+        free = Scene(cam)
+        free.add_points(np.array([[0.0, 0.0, 0.0]]), np.array([[0, 1.0, 0, 1.0]]))
+        img_free = free.render(n_slices=16).to_rgb8()
+
+        fogged = Scene(cam)
+        fogged.add_points(np.array([[0.0, 0.0, 0.0]]), np.array([[0, 1.0, 0, 1.0]]))
+        fogged.add_volume(vol, [-1, -1, -1], [1, 1, 1])
+        img_fog = fogged.render(n_slices=16).to_rgb8()
+
+        xy, _, _ = cam.project(np.array([[0.0, 0.0, 0.0]]))
+        iy, ix = int(xy[0, 1]), int(xy[0, 0])
+        assert img_fog[iy, ix, 1] < img_free[iy, ix, 1]
+
+
+class TestSceneBuilders:
+    def test_add_tubes(self, cam):
+        from repro.fieldlines.streamtube import build_tubes
+
+        tubes = build_tubes([_line_at_z(0.0)], radius=0.1, n_sides=6)
+        img = Scene(cam).add_tubes(tubes).render().to_rgb8()
+        assert img.sum() > 0
+
+    def test_add_wireframe_structure(self, cam):
+        from repro.fields.geometry import make_multicell_structure
+
+        s = make_multicell_structure(2, n_xy=4, n_z_per_unit=3)
+        cam_s = Camera.fit_bounds(*s.bounds(), width=64, height=64)
+        img = (
+            Scene(cam_s).add_wireframe_structure(s, half="back").render().to_rgb8()
+        )
+        assert img.sum() > 0
+        with pytest.raises(ValueError):
+            Scene(cam_s).add_wireframe_structure(s, half="top")
+
+    def test_chaining(self, cam):
+        scene = (
+            Scene(cam)
+            .add_points(np.array([[0.0, 0, 0]]), np.array([1.0, 1, 1, 1]))
+            .add_polyline(np.array([[-1.0, 0, 0], [1.0, 0, 0]]))
+        )
+        assert scene.n_fragments > 1
+
+    def test_alpha_by_magnitude_strips(self, cam):
+        line = _line_at_z(0.0)
+        line.magnitudes = np.linspace(0.1, 1.0, line.n_points)
+        strips = build_strips([line], cam, width=0.3)
+        fb = Scene(cam).add_strips(strips, alpha_by_magnitude=True).render()
+        a = fb.rgba[..., 3]
+        assert 0 < a.max() <= 1.0

@@ -1,0 +1,107 @@
+"""Shading models: Phong, strip bump-mapping, halo profile,
+illuminated lines."""
+
+import numpy as np
+import pytest
+
+from repro.render.shading import (
+    halo_profile,
+    line_illumination,
+    phong,
+    strip_shading,
+)
+
+
+class TestPhong:
+    def test_facing_light_brightest(self):
+        n = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        view = light = np.array([0.0, 0.0, 1.0])
+        out = phong(n, view, light, np.array([0.5, 0.5, 0.5]))
+        assert out[0].sum() > out[1].sum()
+
+    def test_output_clipped(self):
+        n = np.array([[0.0, 0.0, 1.0]])
+        out = phong(n, np.array([0, 0, 1.0]), np.array([0, 0, 1.0]), np.array([1.0, 1, 1]),
+                    ambient=5.0)
+        assert out.max() <= 1.0
+
+    def test_ambient_floor(self):
+        n = np.array([[0.0, 0.0, -1.0]])  # facing away
+        out = phong(n, np.array([0, 0, 1.0]), np.array([0, 0, 1.0]), np.array([1.0, 1, 1]),
+                    ambient=0.2, specular=0.0)
+        assert np.allclose(out, 0.2)
+
+
+class TestStripShading:
+    def test_center_brighter_than_edges(self):
+        v = np.array([0.0, 0.5, 1.0])
+        out = strip_shading(v, np.array([0.8, 0.8, 0.8]))
+        assert out[1].sum() > out[0].sum()
+        assert out[1].sum() > out[2].sum()
+
+    def test_symmetric_cross_section(self):
+        v = np.linspace(0, 1, 21)
+        out = strip_shading(v, np.array([0.5, 0.5, 0.5])).sum(axis=1)
+        assert np.allclose(out, out[::-1], atol=1e-12)
+
+    def test_smooth_profile_interior(self):
+        """The 'smooth and very convincing cross section' claim: no
+        jumps across the lit interior (the silhouette rim itself has a
+        steep but physically correct cylinder falloff)."""
+        v = np.linspace(0, 1, 200)
+        lum = strip_shading(v, np.array([0.7, 0.7, 0.7])).sum(axis=1)
+        assert np.abs(np.diff(lum[5:-5])).max() < 0.1
+
+    def test_per_fragment_base_color(self):
+        v = np.array([0.5, 0.5])
+        base = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+        out = strip_shading(v, base)
+        assert out[0, 0] > out[0, 1]
+        assert out[1, 1] > out[1, 0]
+
+
+class TestHaloProfile:
+    def test_center_fully_lit(self):
+        assert halo_profile(np.array([0.5]))[0] == 1.0
+
+    def test_edges_black(self):
+        p = halo_profile(np.array([0.0, 1.0]))
+        assert np.allclose(p, 0.0)
+
+    def test_core_controls_width(self):
+        v = np.linspace(0, 1, 101)
+        wide = halo_profile(v, core=0.9).sum()
+        narrow = halo_profile(v, core=0.4).sum()
+        assert wide > narrow
+
+
+class TestLineIllumination:
+    def test_perpendicular_tangent_brightest(self):
+        # light along z; tangent along x is fully lit, tangent along z dark
+        t = np.array([[1.0, 0, 0], [0, 0, 1.0]])
+        view = light = np.array([0.0, 0.0, 1.0])
+        out = line_illumination(t, view, light, np.array([0.5, 0.5, 0.5]))
+        assert out[0].sum() > out[1].sum()
+
+    def test_tangent_sign_invariance(self):
+        """A line has no orientation: +T and -T must shade equally."""
+        t = np.array([[0.6, 0.8, 0.0]])
+        view = np.array([0.0, 0.0, 1.0])
+        light = np.array([0.3, 0.1, 0.95])
+        light = light / np.linalg.norm(light)
+        a = line_illumination(t, view, light, np.array([0.5, 0.5, 0.5]))
+        b = line_illumination(-t, view, light, np.array([0.5, 0.5, 0.5]))
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_unnormalized_tangents_handled(self):
+        t = np.array([[10.0, 0, 0]])
+        view = light = np.array([0.0, 0.0, 1.0])
+        a = line_illumination(t, view, light, np.array([0.5, 0.5, 0.5]))
+        b = line_illumination(t / 10.0, view, light, np.array([0.5, 0.5, 0.5]))
+        assert np.allclose(a, b)
+
+    def test_output_in_range(self, rng):
+        t = rng.standard_normal((100, 3))
+        view = np.array([0.0, 0.0, 1.0])
+        out = line_illumination(t, view, view, np.array([1.0, 1, 1]))
+        assert out.min() >= 0.0 and out.max() <= 1.0

@@ -1,0 +1,157 @@
+"""Volume rendering: trilinear sampling, depth ranges, and the mixed
+volume + point compositor that implements hybrid rendering."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.render.points import point_fragments
+from repro.render.volume import (
+    render_mixed,
+    render_volume,
+    trilinear_sample,
+    volume_depth_range,
+)
+
+
+@pytest.fixture
+def cam():
+    return Camera.fit_bounds([-1, -1, -1], [1, 1, 1], width=48, height=48)
+
+
+@pytest.fixture
+def blob_volume():
+    g = np.linspace(-1, 1, 16)
+    x, y, z = np.meshgrid(g, g, g, indexing="ij")
+    dens = np.exp(-(x**2 + y**2 + z**2) * 4)
+    rgba = np.zeros(dens.shape + (4,))
+    rgba[..., 0] = 1.0
+    rgba[..., 3] = dens * 0.3
+    return rgba
+
+
+class TestTrilinearSample:
+    def test_exact_at_texel_centers(self):
+        vol = np.arange(8.0).reshape(2, 2, 2)
+        # texel centers at 0.25 / 0.75 per axis for a 2-wide volume
+        c = np.array([[0.25, 0.25, 0.25], [0.75, 0.75, 0.75]])
+        out = trilinear_sample(vol, c)
+        assert out[0] == pytest.approx(vol[0, 0, 0])
+        assert out[1] == pytest.approx(vol[1, 1, 1])
+
+    def test_midpoint_average(self):
+        vol = np.zeros((2, 1, 1))
+        vol[1] = 1.0
+        out = trilinear_sample(vol, np.array([[0.5, 0.5, 0.5]]))
+        assert out[0] == pytest.approx(0.5)
+
+    def test_outside_is_zero(self):
+        vol = np.ones((4, 4, 4))
+        out = trilinear_sample(vol, np.array([[1.5, 0.5, 0.5], [-0.1, 0.5, 0.5]]))
+        assert np.all(out == 0.0)
+
+    def test_vector_volume(self):
+        vol = np.ones((3, 3, 3, 4))
+        out = trilinear_sample(vol, np.array([[0.5, 0.5, 0.5]]))
+        assert out.shape == (1, 4)
+        assert np.allclose(out, 1.0)
+
+    def test_constant_volume_interpolates_constant(self, rng):
+        vol = np.full((5, 6, 7), 3.25)
+        pts = rng.uniform(0.05, 0.95, (100, 3))
+        assert np.allclose(trilinear_sample(vol, pts), 3.25)
+
+
+class TestDepthRange:
+    def test_range_brackets_box(self, cam):
+        d0, d1 = volume_depth_range(cam, np.array([-1.0, -1, -1]), np.array([1.0, 1, 1]))
+        dist = np.linalg.norm(cam.eye)
+        assert d0 < dist < d1
+
+    def test_degenerate_behind_camera(self):
+        cam = Camera(eye=[0, 0, -5], target=[0, 0, -10])
+        d0, d1 = volume_depth_range(cam, np.array([10.0, 10, 10]), np.array([11.0, 11, 11]))
+        assert d1 <= d0 or d0 >= cam.near  # no crash; callers handle empties
+
+
+class TestRenderVolume:
+    def test_blob_renders_centered(self, cam, blob_volume):
+        fb = render_volume(cam, blob_volume, [-1, -1, -1], [1, 1, 1], n_slices=24)
+        img = fb.to_rgb8()
+        assert img[24, 24].sum() > img[2, 2].sum()
+
+    def test_more_slices_converge(self, cam, blob_volume):
+        a = render_volume(cam, blob_volume, [-1, -1, -1], [1, 1, 1], n_slices=32).rgba
+        b = render_volume(cam, blob_volume, [-1, -1, -1], [1, 1, 1], n_slices=64).rgba
+        c = render_volume(cam, blob_volume, [-1, -1, -1], [1, 1, 1], n_slices=128).rgba
+        # 64 vs 128 must be closer than 32 vs 128 (opacity correction works)
+        assert np.abs(b - c).mean() < np.abs(a - c).mean()
+
+    def test_empty_volume_transparent(self, cam):
+        vol = np.zeros((8, 8, 8, 4))
+        fb = render_volume(cam, vol, [-1, -1, -1], [1, 1, 1], n_slices=16)
+        assert np.all(fb.to_rgb8() == 0)
+
+
+class TestRenderMixed:
+    def test_point_behind_volume_occluded(self, cam):
+        # fully opaque red wall in front of a green point
+        vol = np.zeros((4, 4, 4, 4))
+        vol[..., 0] = 1.0
+        vol[..., 3] = 0.999
+        frag = point_fragments(cam, np.array([[0.0, 0.0, 0.0]]), np.array([0.0, 1.0, 0.0, 1.0]))
+        fb = render_mixed(cam, vol, [-1, -1, -1], [1, 1, 1], point_fragments=frag, n_slices=16)
+        img = fb.to_rgb8()
+        center = img[24, 24]
+        assert center[0] > 200 and center[1] < 100  # red wins
+
+    def test_point_in_front_of_volume_visible(self, cam):
+        vol = np.zeros((4, 4, 4, 4))
+        vol[..., 0] = 1.0
+        vol[..., 3] = 0.999
+        # point between the eye and the volume
+        toward_eye = cam.eye / np.linalg.norm(cam.eye)
+        p = toward_eye * (np.linalg.norm(cam.eye) - 1.3)  # just outside the box
+        frag = point_fragments(cam, p[None], np.array([0.0, 1.0, 0.0, 1.0]))
+        fb = render_mixed(cam, vol, [-1, -1, -1], [1, 1, 1], point_fragments=frag, n_slices=16)
+        pix, _, _ = frag
+        iy, ix = divmod(int(pix[0]), cam.width)
+        assert fb.to_rgb8()[iy, ix][1] > 150  # green point survives
+
+    def test_no_volume_points_only(self, cam):
+        frag = point_fragments(cam, np.array([[0.0, 0.0, 0.0]]), np.array([1.0, 1.0, 1.0, 1.0]))
+        fb = render_mixed(cam, None, [-1, -1, -1], [1, 1, 1], point_fragments=frag)
+        assert fb.to_rgb8().sum() > 0
+
+
+class TestRenderMIP:
+    def test_mip_shows_max_not_accumulation(self, cam):
+        """MIP of two blobs along one ray equals the brighter blob, not
+        their sum."""
+        from repro.render.volume import render_volume_mip
+
+        vol = np.zeros((16, 16, 16))
+        vol[3:6, 7:10, 7:10] = 1.0    # two blocks on roughly the same rays
+        vol[11:14, 7:10, 7:10] = 0.5
+        fb = render_volume_mip(cam, vol, [-1, -1, -1], [1, 1, 1], n_samples=96)
+        # brightest pixel maps to the max sample (~1.0), never the sum (1.5)
+        assert fb.rgba[..., 3].max() <= 1.0
+        assert 0.85 <= fb.rgba[..., :3].max() <= 1.0
+
+    def test_mip_empty_volume(self, cam):
+        from repro.render.volume import render_volume_mip
+
+        fb = render_volume_mip(cam, np.zeros((4, 4, 4)), [-1, -1, -1], [1, 1, 1])
+        assert fb.to_rgb8().sum() == 0
+
+    def test_mip_with_colormap(self, cam):
+        from repro.render.colormap import get_colormap
+        from repro.render.volume import render_volume_mip
+
+        vol = np.zeros((8, 8, 8))
+        vol[4, 4, 4] = 2.0
+        fb = render_volume_mip(
+            cam, vol, [-1, -1, -1], [1, 1, 1], colormap=get_colormap("fire")
+        )
+        img = fb.to_rgb8()
+        assert img.sum() > 0

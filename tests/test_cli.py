@@ -1,0 +1,154 @@
+"""End-to-end CLI workflow (the paper's separate 'programs')."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli_run")
+    rc = main(
+        [
+            "simulate",
+            "--out", str(d),
+            "--particles", "4000",
+            "--cells", "2",
+            "--frame-every", "10",
+        ]
+    )
+    assert rc == 0
+    return d
+
+
+class TestSimulate:
+    def test_frames_written(self, run_dir):
+        frames = sorted(run_dir.glob("*.frame"))
+        assert len(frames) == 2  # steps 0 and 10
+
+
+class TestPartitionExtractRender:
+    def test_full_chain(self, run_dir, tmp_path, capsys):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        stem = tmp_path / "p"
+        assert main(["partition", str(frame), "--out", str(stem),
+                     "--max-level", "5"]) == 0
+        assert stem.with_suffix(".nodes").exists()
+        assert stem.with_suffix(".particles").exists()
+
+        hybrid = tmp_path / "h.hybrid"
+        assert main(["extract", str(stem), "--out", str(hybrid),
+                     "--percentile", "60", "--resolution", "16",
+                     "--attributes", "pmag"]) == 0
+        assert hybrid.exists()
+
+        image = tmp_path / "img.ppm"
+        assert main(["render", str(hybrid), "--out", str(image),
+                     "--size", "64", "--slices", "8"]) == 0
+        from repro.render.image import read_ppm
+
+        img = read_ppm(image)
+        assert img.shape == (64, 64, 3)
+        assert img.sum() > 0
+
+    def test_render_parts(self, run_dir, tmp_path):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        stem = tmp_path / "p2"
+        main(["partition", str(frame), "--out", str(stem), "--max-level", "4"])
+        hybrid = tmp_path / "h2.hybrid"
+        main(["extract", str(stem), "--out", str(hybrid), "--resolution", "8"])
+        for part in ("volume", "points"):
+            out = tmp_path / f"{part}.ppm"
+            assert main(["render", str(hybrid), "--out", str(out),
+                         "--size", "32", "--slices", "4",
+                         "--part", part]) == 0
+            assert out.exists()
+
+    def test_parallel_partition(self, run_dir, tmp_path):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        stem = tmp_path / "pp"
+        assert main(["partition", str(frame), "--out", str(stem),
+                     "--max-level", "5", "--workers", "2"]) == 0
+        assert stem.with_suffix(".nodes").exists()
+
+    def test_absolute_threshold(self, run_dir, tmp_path):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        stem = tmp_path / "pt"
+        main(["partition", str(frame), "--out", str(stem), "--max-level", "4"])
+        hybrid = tmp_path / "ht.hybrid"
+        assert main(["extract", str(stem), "--out", str(hybrid),
+                     "--threshold", "1e9", "--resolution", "4"]) == 0
+        from repro.hybrid.representation import HybridFrame
+
+        h = HybridFrame.load(hybrid)
+        assert h.n_points == 4000  # everything below 1e9
+
+
+class TestFieldlines:
+    def test_trace_and_pack(self, tmp_path):
+        out = tmp_path / "lines.bin"
+        image = tmp_path / "lines.ppm"
+        assert main(["fieldlines", "--cells", "2", "--lines", "10",
+                     "--out", str(out), "--image", str(image),
+                     "--size", "48"]) == 0
+        assert out.exists() and image.exists()
+
+
+class TestInfo:
+    def test_identifies_every_format(self, run_dir, tmp_path, capsys):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        assert main(["info", str(frame)]) == 0
+        assert "particle frame" in capsys.readouterr().out
+
+        stem = tmp_path / "pi"
+        main(["partition", str(frame), "--out", str(stem), "--max-level", "4"])
+        assert main(["info", str(stem.with_suffix(".nodes"))]) == 0
+        assert "partitioned frame" in capsys.readouterr().out
+
+        hybrid = tmp_path / "hi.hybrid"
+        main(["extract", str(stem), "--out", str(hybrid), "--resolution", "4"])
+        assert main(["info", str(hybrid)]) == 0
+        assert "hybrid frame" in capsys.readouterr().out
+
+        lines = tmp_path / "li.bin"
+        main(["fieldlines", "--cells", "2", "--lines", "4", "--out", str(lines)])
+        capsys.readouterr()
+        assert main(["info", str(lines)]) == 0
+        assert "packed field lines" in capsys.readouterr().out
+
+    def test_unknown_file(self, tmp_path, capsys):
+        bad = tmp_path / "junk.bin"
+        bad.write_bytes(b"JUNKJUNKJUNK")
+        assert main(["info", str(bad)]) == 1
+        assert "unrecognized" in capsys.readouterr().err
+
+
+class TestEigen:
+    def test_eigen_subcommand(self, capsys):
+        rc = main(["eigen", "--radius", "1.0", "--length", "1.0",
+                   "--resolution", "8", "--duration", "30", "--peaks", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "measured" in out
+        assert "TM0n0" in out
+
+
+class TestExtractFromDisk:
+    def test_from_disk_flag(self, run_dir, tmp_path, capsys):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        stem = tmp_path / "pd"
+        main(["partition", str(frame), "--out", str(stem), "--max-level", "4"])
+        hybrid = tmp_path / "hd.hybrid"
+        assert main(["extract", str(stem), "--out", str(hybrid),
+                     "--resolution", "8", "--from-disk"]) == 0
+        assert "prefix-only I/O" in capsys.readouterr().out
+        assert hybrid.exists()
+
+    def test_from_disk_rejects_attributes(self, run_dir, tmp_path):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        stem = tmp_path / "pe"
+        main(["partition", str(frame), "--out", str(stem), "--max-level", "4"])
+        with pytest.raises(SystemExit):
+            main(["extract", str(stem), "--out", str(tmp_path / "x.hybrid"),
+                  "--from-disk", "--attributes", "pmag"])

@@ -1,0 +1,162 @@
+"""Failure injection: corrupt data, degenerate inputs, bad state.
+
+A library adopted downstream meets dirty data; these tests pin down
+that every entry point fails loudly (clear exceptions) or degrades
+gracefully (documented fallbacks) instead of silently corrupting
+output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.beams.io import read_frame, write_frame
+from repro.hybrid.representation import HybridFrame
+from repro.octree.format import load_partitioned, partition_paths, save_partitioned
+from repro.octree.octree import Octree
+from repro.octree.partition import partition
+
+
+class TestNonFiniteInputs:
+    def test_octree_rejects_nan(self, rng):
+        coords = rng.random((100, 3))
+        coords[5, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            Octree(coords)
+
+    def test_octree_rejects_inf(self, rng):
+        coords = rng.random((100, 3))
+        coords[0, 0] = np.inf
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            Octree(coords)
+
+    def test_partition_rejects_nan(self, rng):
+        particles = rng.standard_normal((100, 6))
+        particles[10, 3] = np.nan
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            partition(particles, "pxpypz")
+
+    def test_partition_clean_momenta_nan_elsewhere(self, rng):
+        """Only the plot-type columns must be finite: partitioning
+        (x,y,z) should survive NaN in an unused momentum column?  No --
+        the particle file stores all six columns, so we reject."""
+        particles = rng.standard_normal((100, 6))
+        particles[10, 3] = np.nan
+        # xyz partitioning only inspects columns 0..2; the NaN rides
+        # along in the payload, which round-trips bit-exact
+        pf = partition(particles, "xyz", max_level=4)
+        assert np.isnan(pf.particles).sum() == 1
+
+
+class TestTruncatedFiles:
+    def test_truncated_hybrid_payload(self, tmp_path, rng):
+        f = HybridFrame(
+            volume=rng.random((4, 4, 4)).astype(np.float32),
+            points=rng.random((20, 3)).astype(np.float32),
+            point_densities=rng.random(20).astype(np.float32),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+        )
+        path = tmp_path / "t.hybrid"
+        f.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            HybridFrame.load(path)
+
+    def test_truncated_partition_particles(self, tmp_path, rng):
+        pf = partition(rng.standard_normal((500, 6)), "xyz", max_level=4)
+        stem = tmp_path / "p"
+        save_partitioned(pf, stem)
+        _, parts = partition_paths(stem)
+        data = parts.read_bytes()
+        parts.write_bytes(data[: len(data) - 100])
+        with pytest.raises(Exception):
+            load_partitioned(stem)
+
+    def test_zero_byte_frame_file(self, tmp_path):
+        path = tmp_path / "empty.frame"
+        path.write_bytes(b"")
+        with pytest.raises(Exception):
+            read_frame(path)
+
+
+class TestDegenerateGeometry:
+    def test_all_identical_particles(self):
+        particles = np.ones((200, 6))
+        pf = partition(particles, "xyz", max_level=5, capacity=16)
+        pf.validate()
+        assert pf.n_nodes >= 1
+
+    def test_collinear_particles(self, rng):
+        particles = np.zeros((300, 6))
+        particles[:, 0] = rng.random(300)  # all on the x axis
+        pf = partition(particles, "xyz", max_level=5, capacity=16)
+        pf.validate()
+
+    def test_two_point_line_strip(self):
+        from repro.fieldlines.integrate import FieldLine
+        from repro.fieldlines.sos import build_strips
+        from repro.render.camera import Camera
+
+        cam = Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=16, height=16)
+        line = FieldLine(
+            points=np.array([[0.0, 0, 0], [0.1, 0, 0]]),
+            tangents=np.array([[1.0, 0, 0], [1.0, 0, 0]]),
+            magnitudes=np.ones(2),
+        )
+        strips = build_strips([line], cam, width=0.05)
+        assert strips.n_triangles == 2
+        assert np.isfinite(strips.vertices).all()
+
+    def test_camera_at_data_point(self):
+        """Projecting the eye position itself must not produce NaN
+        pixel coordinates that escape into buffers."""
+        from repro.render.camera import Camera
+
+        cam = Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=16, height=16)
+        xy, depth, vis = cam.project(np.array([[0.0, 0.0, 5.0]]))
+        assert not vis[0]
+        assert np.isfinite(xy).all()
+
+
+class TestRendererEdges:
+    def test_render_zero_point_hybrid(self):
+        from repro.hybrid.renderer import HybridRenderer
+        from repro.render.camera import Camera
+
+        frame = HybridFrame(
+            volume=np.zeros((4, 4, 4), dtype=np.float32),
+            points=np.empty((0, 3)),
+            point_densities=np.empty(0),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+        )
+        cam = Camera.fit_bounds(frame.lo, frame.hi, width=24, height=24)
+        img = HybridRenderer(n_slices=4).render(frame, cam).to_rgb8()
+        assert img.shape == (24, 24, 3)
+
+    def test_render_single_voxel_volume(self):
+        from repro.hybrid.renderer import HybridRenderer
+        from repro.render.camera import Camera
+
+        frame = HybridFrame(
+            volume=np.ones((1, 1, 1), dtype=np.float32),
+            points=np.empty((0, 3)),
+            point_densities=np.empty(0),
+            lo=np.zeros(3),
+            hi=np.ones(3),
+        )
+        cam = Camera.fit_bounds(frame.lo, frame.hi, width=16, height=16)
+        img = HybridRenderer(n_slices=4).render(frame, cam).to_rgb8()
+        assert np.isfinite(img).all()
+
+    def test_degenerate_bounds_volume(self):
+        """A flat (zero-extent) axis in the bounds must not divide by
+        zero during slicing."""
+        from repro.render.volume import render_volume
+        from repro.render.camera import Camera
+
+        cam = Camera(eye=[0, 0, 5.0], target=[0, 0, 0], width=16, height=16)
+        vol = np.zeros((4, 4, 4, 4))
+        fb = render_volume(cam, vol, [0, 0, 0], [1, 1, 0], n_slices=4)
+        assert np.isfinite(fb.rgba).all()

@@ -16,9 +16,8 @@ import time
 import numpy as np
 import pytest
 
-from common import record, scaled
+from common import record, record_bench, scaled, traced_run
 
-from repro.octree.parallel import partition_parallel
 from repro.octree.partition import partition
 
 
@@ -39,8 +38,8 @@ def test_partition_scaling(benchmark, n):
 def test_partition_parallel_workers(benchmark):
     particles = _bunch(scaled(80_000))
     benchmark.pedantic(
-        lambda: partition_parallel(
-            particles, "xyz", max_level=6, capacity=48, n_workers=4
+        lambda: partition(
+            particles, "xyz", max_level=6, capacity=48, workers=4
         ),
         rounds=2,
         iterations=1,
@@ -64,7 +63,7 @@ def test_partition_report(benchmark):
         partition(particles, "xyz", max_level=6, capacity=48)
         t_serial = time.perf_counter() - t0
         t0 = time.perf_counter()
-        partition_parallel(particles, "xyz", max_level=6, capacity=48, n_workers=4)
+        partition(particles, "xyz", max_level=6, capacity=48, workers=4)
         t_par = time.perf_counter() - t0
         return sizes, times, slope, per_particle, t_serial, t_par
 
@@ -85,3 +84,23 @@ def test_partition_report(benchmark):
         ],
     )
     assert 0.7 < slope < 1.4, "partitioning must scale ~linearly"
+
+
+def test_partition_traced_bench():
+    """Stage-level partitioning trace persisted as BENCH_partitioning.json."""
+    n = scaled(120_000)
+    particles = _bunch(n)
+    tracer = traced_run(
+        lambda: partition(particles, "xyz", max_level=6, capacity=48)
+    )
+    snap = tracer.snapshot()
+    record_bench(
+        "partitioning",
+        tracer,
+        extra={
+            "n_particles": n,
+            "particles_per_second": n / max(snap["wall_seconds"], 1e-12),
+        },
+    )
+    assert "octree_build" in snap["spans"]
+    assert snap["counters"]["particles_routed"] == n

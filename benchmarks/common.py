@@ -4,14 +4,24 @@ Every bench prints (and records under ``benchmarks/results/``) a
 "paper vs measured" block for its experiment id from DESIGN.md.  Sizes
 default to laptop scale; set ``REPRO_SCALE=2`` (or higher) to grow the
 workloads toward the paper's.
+
+``traced_run`` / ``record_bench`` connect the benches to the
+:mod:`repro.core.trace` subsystem: a bench runs its workload inside a
+fresh tracer and persists the structured output as ``BENCH_<id>.json``
+at the repository root, so the perf trajectory accumulates one JSON
+document per bench per run.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
+from repro.core.trace import Tracer, capture
+
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 SCALE = float(os.environ.get("REPRO_SCALE", "1"))
 
@@ -28,3 +38,35 @@ def record(exp_id: str, lines) -> str:
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
     print("\n" + text)
     return text
+
+
+def traced_run(fn) -> Tracer:
+    """Run ``fn()`` under a fresh enabled tracer; returns the tracer.
+
+    The global tracer is swapped for the duration, so the run's spans
+    and counters are isolated from any other instrumentation.
+    """
+    with capture(enabled=True) as tracer:
+        fn()
+    return tracer
+
+
+def record_bench(exp_id: str, tracer: Tracer, extra: dict | None = None) -> Path:
+    """Persist a tracer's output as ``BENCH_<exp_id>.json``.
+
+    The document lands at the repository root (next to README.md) so
+    successive runs over the project's history form the perf
+    trajectory.  ``extra`` carries bench-specific scalars (sizes,
+    derived rates) alongside the trace.
+    """
+    payload = {
+        "bench": exp_id,
+        "scale": SCALE,
+        "trace": tracer.snapshot(),
+    }
+    if extra:
+        payload["extra"] = extra
+    path = REPO_ROOT / f"BENCH_{exp_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    print(f"\nwrote {path}")
+    return path

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Lint + tier-1 tests, the pre-merge gate.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --no-lint  # tests only
+#
+# ruff is optional: environments without it (the pinned CI image bakes
+# only the runtime deps) skip the lint step with a notice instead of
+# failing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_lint=1
+if [[ "${1:-}" == "--no-lint" ]]; then
+    run_lint=0
+fi
+
+if [[ $run_lint -eq 1 ]]; then
+    if command -v ruff >/dev/null 2>&1; then
+        echo "== ruff =="
+        ruff check src tests benchmarks
+    elif python -c "import ruff" >/dev/null 2>&1; then
+        echo "== ruff (module) =="
+        python -m ruff check src tests benchmarks
+    else
+        echo "== ruff not installed; skipping lint =="
+    fi
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q

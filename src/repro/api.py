@@ -1,0 +1,73 @@
+"""The consolidated public API facade.
+
+One import surface for everything the project supports long-term::
+
+    from repro.api import beam_pipeline, partition, extract, Tracer
+
+Everything in ``__all__`` here is covered by the compatibility
+expectations in ``tests/test_public_api.py``; names *not* re-exported
+here are internal and may move between releases (the one-facade rule,
+see DESIGN.md).  The facade only re-exports -- no logic lives here --
+so importing it costs the same as importing :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.core.pipeline import (
+    BeamPipelineResult,
+    FieldLinePipelineResult,
+    beam_pipeline,
+    fieldline_pipeline,
+)
+from repro.core.trace import (
+    Tracer,
+    capture,
+    count,
+    gauge,
+    get_tracer,
+    span,
+)
+from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportional
+from repro.fieldlines.sos import build_strips, render_strips
+from repro.hybrid.renderer import HybridRenderer
+from repro.hybrid.representation import HybridFrame
+from repro.octree.extraction import extract
+from repro.octree.partition import PartitionedFrame, partition
+from repro.remote.client import VisualizationClient
+from repro.remote.server import VisualizationServer
+from repro.render.camera import Camera
+
+__all__ = [
+    # end-to-end pipelines + configuration
+    "beam_pipeline",
+    "fieldline_pipeline",
+    "BeamPipelineConfig",
+    "FieldLinePipelineConfig",
+    "BeamPipelineResult",
+    "FieldLinePipelineResult",
+    # beam workflow stages
+    "BeamConfig",
+    "BeamSimulation",
+    "partition",
+    "PartitionedFrame",
+    "extract",
+    "HybridFrame",
+    "HybridRenderer",
+    # field-line workflow stages
+    "seed_density_proportional",
+    "OrderedFieldLines",
+    "build_strips",
+    "render_strips",
+    # shared infrastructure
+    "Camera",
+    "VisualizationServer",
+    "VisualizationClient",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "count",
+    "gauge",
+    "capture",
+]

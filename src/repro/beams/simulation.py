@@ -23,6 +23,7 @@ from repro.beams.distributions import make_distribution
 from repro.beams.lattice import fodo_channel, one_turn_matrix
 from repro.beams.spacecharge import SpaceChargeSolver
 from repro.beams.transport import track_step
+from repro.core.trace import count, span
 
 __all__ = ["BeamConfig", "BeamSimulation"]
 
@@ -106,11 +107,14 @@ class BeamSimulation:
         if self._element_cursor >= len(self.lattice):
             raise StopIteration("end of channel reached")
         element = self.lattice[self._element_cursor]
-        track_step(self.particles, element)
+        with span("transport"):
+            track_step(self.particles, element)
         if self.solver is not None and (
             self._element_cursor % self.config.sc_every == 0
         ):
-            self.solver.kick(self.particles, element.length * self.config.sc_every)
+            with span("space_charge"):
+                self.solver.kick(self.particles, element.length * self.config.sc_every)
+        count("particles_stepped", len(self.particles))
         self._element_cursor += 1
         self.step_index += 1
         return self.particles

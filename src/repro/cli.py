@@ -13,6 +13,12 @@ the same program boundaries over the library:
     repro render    run/p50.hybrid --out p50.ppm --size 512
     repro fieldlines --cells 3 --lines 150 --out lines.bin --image lines.ppm
     repro info      run/p50.hybrid
+
+Every subcommand accepts ``--trace out.json`` to record a structured
+trace of the run (see :mod:`repro.core.trace`); ``repro trace-report
+out.json`` renders the per-stage breakdown.  Argparse defaults are
+derived from the pipeline config dataclasses in
+:mod:`repro.core.config` -- the single source of defaults.
 """
 
 from __future__ import annotations
@@ -23,47 +29,68 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.config import (
+    BeamPipelineConfig,
+    FieldLinePipelineConfig,
+    config_defaults,
+)
+from repro.core.trace import capture, format_report, load_trace, span
+
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
+    from repro.beams.simulation import BeamConfig
+
+    beam_d = config_defaults(BeamConfig)
+    bpipe_d = config_defaults(BeamPipelineConfig)
+    fpipe_d = config_defaults(FieldLinePipelineConfig)
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hybrid particle/volume and field-line visualization "
         "(Ma et al., SC 2002 reproduction)",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record a structured trace of this run to a "
+                             "JSON file (view with `repro trace-report`)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("simulate", help="run a beam simulation, write frames")
+    p = sub.add_parser("simulate", parents=[common],
+                       help="run a beam simulation, write frames")
     p.add_argument("--out", required=True, help="output directory for frames")
-    p.add_argument("--particles", type=int, default=100_000)
-    p.add_argument("--cells", type=int, default=10)
-    p.add_argument("--mismatch", type=float, default=1.5)
-    p.add_argument("--frame-every", type=int, default=5)
-    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--particles", type=int, default=beam_d["n_particles"])
+    p.add_argument("--cells", type=int, default=beam_d["n_cells"])
+    p.add_argument("--mismatch", type=float, default=beam_d["mismatch"])
+    p.add_argument("--frame-every", type=int, default=bpipe_d["frame_every"])
+    p.add_argument("--seed", type=int, default=beam_d["seed"])
     p.set_defaults(func=_cmd_simulate)
 
-    p = sub.add_parser("partition", help="partition a particle frame")
+    p = sub.add_parser("partition", parents=[common],
+                       help="partition a particle frame")
     p.add_argument("frame", help="a .frame file from `repro simulate`")
     p.add_argument("--out", required=True, help="output stem (.nodes/.particles)")
-    p.add_argument("--plot-type", default="xyz",
+    p.add_argument("--plot-type", default=bpipe_d["plot_type"],
                    choices=["xyz", "xpxy", "xpxz", "pxpypz"])
-    p.add_argument("--max-level", type=int, default=6)
-    p.add_argument("--capacity", type=int, default=64)
+    p.add_argument("--max-level", type=int, default=bpipe_d["max_level"])
+    p.add_argument("--capacity", type=int, default=bpipe_d["capacity"])
     p.add_argument("--workers", type=int, default=1,
                    help="multiprocess partitioning with this many workers")
     p.set_defaults(func=_cmd_partition)
 
-    p = sub.add_parser("extract", help="extract a hybrid representation")
+    p = sub.add_parser("extract", parents=[common],
+                       help="extract a hybrid representation")
     p.add_argument("stem", help="partition stem from `repro partition`")
     p.add_argument("--out", required=True, help="output .hybrid file")
     group = p.add_mutually_exclusive_group()
     group.add_argument("--threshold", type=float,
                        help="absolute threshold density")
-    group.add_argument("--percentile", type=float, default=60.0,
+    group.add_argument("--percentile", type=float,
+                       default=bpipe_d["threshold_percentile"],
                        help="threshold as a node-density percentile")
-    p.add_argument("--resolution", type=int, default=64)
+    p.add_argument("--resolution", type=int, default=bpipe_d["volume_resolution"])
     p.add_argument("--attributes", default="",
                    help="comma-separated derived point attributes "
                         "(pmag, pt, energy_t, radius, emittance)")
@@ -72,11 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "nodes, discarded particles never read")
     p.set_defaults(func=_cmd_extract)
 
-    p = sub.add_parser("render", help="render a hybrid frame to PPM")
+    p = sub.add_parser("render", parents=[common],
+                       help="render a hybrid frame to PPM")
     p.add_argument("hybrid", help="a .hybrid file")
     p.add_argument("--out", required=True, help="output .ppm image")
     p.add_argument("--size", type=int, default=512)
-    p.add_argument("--slices", type=int, default=64)
+    p.add_argument("--slices", type=int, default=bpipe_d["n_slices"])
     p.add_argument("--boundary", type=float, default=0.35,
                    help="linked transfer-function boundary (0..1)")
     p.add_argument("--color-by", default=None,
@@ -86,11 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the combined image or one region")
     p.set_defaults(func=_cmd_render)
 
-    p = sub.add_parser("fieldlines",
+    p = sub.add_parser("fieldlines", parents=[common],
                        help="trace field lines in an accelerator structure")
-    p.add_argument("--cells", type=int, default=3)
-    p.add_argument("--lines", type=int, default=120)
-    p.add_argument("--field", default="E", choices=["E", "B"])
+    p.add_argument("--cells", type=int, default=fpipe_d["n_cells"])
+    p.add_argument("--lines", type=int, default=fpipe_d["total_lines"])
+    p.add_argument("--field", default=fpipe_d["field"], choices=["E", "B"])
     p.add_argument("--solve", action="store_true",
                    help="run the time-domain solver (default: analytic mode)")
     p.add_argument("--out", default=None, help="packed line output file")
@@ -98,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=512)
     p.set_defaults(func=_cmd_fieldlines)
 
-    p = sub.add_parser("eigen", help="find cavity eigenfrequencies")
+    p = sub.add_parser("eigen", parents=[common],
+                       help="find cavity eigenfrequencies")
     p.add_argument("--radius", type=float, default=1.0)
     p.add_argument("--length", type=float, default=1.2)
     p.add_argument("--resolution", type=float, default=14.0,
@@ -108,9 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--peaks", type=int, default=3)
     p.set_defaults(func=_cmd_eigen)
 
-    p = sub.add_parser("info", help="describe any repro data file")
+    p = sub.add_parser("info", parents=[common],
+                       help="describe any repro data file")
     p.add_argument("path", help=".frame / .nodes / .hybrid / packed lines")
     p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("trace-report",
+                       help="render a --trace JSON file as a per-stage table")
+    p.add_argument("trace_file", help="a JSON file written by --trace")
+    p.set_defaults(func=_cmd_trace_report)
 
     return parser
 
@@ -131,7 +166,8 @@ def _cmd_simulate(args) -> int:
         )
     )
     writer = FrameWriter(args.out)
-    sim.run(on_frame=lambda s, p: writer.write(p, s), frame_every=args.frame_every)
+    with span("simulate", n_particles=args.particles):
+        sim.run(on_frame=lambda s, p: writer.write(p, s), frame_every=args.frame_every)
     print(
         f"wrote {len(writer)} frames ({writer.total_bytes / 1e6:.1f} MB) to {args.out}"
     )
@@ -141,19 +177,13 @@ def _cmd_simulate(args) -> int:
 def _cmd_partition(args) -> int:
     from repro.beams.io import read_frame
     from repro.octree.format import save_partitioned
-    from repro.octree.parallel import partition_parallel
     from repro.octree.partition import partition
 
     particles, step = read_frame(args.frame)
-    if args.workers > 1:
-        pf = partition_parallel(
-            particles, args.plot_type, max_level=args.max_level,
-            capacity=args.capacity, n_workers=args.workers, step=step,
-        )
-    else:
+    with span("partition", workers=args.workers):
         pf = partition(
             particles, args.plot_type, max_level=args.max_level,
-            capacity=args.capacity, step=step,
+            capacity=args.capacity, step=step, workers=args.workers,
         )
     nbytes = save_partitioned(pf, args.out)
     print(
@@ -178,9 +208,10 @@ def _cmd_extract(args) -> int:
             threshold = args.threshold
         else:
             threshold = float(np.percentile(nodes["density"], args.percentile))
-        hybrid = extract_from_disk(
-            args.stem, threshold, volume_resolution=args.resolution
-        )
+        with span("extract", from_disk=True):
+            hybrid = extract_from_disk(
+                args.stem, threshold, volume_resolution=args.resolution
+            )
         nbytes = hybrid.save(args.out)
         print(
             f"extracted (prefix-only I/O) {hybrid.n_points} points + "
@@ -193,9 +224,10 @@ def _cmd_extract(args) -> int:
         threshold = args.threshold
     else:
         threshold = float(np.percentile(pf.nodes["density"], args.percentile))
-    hybrid = extract(
-        pf, threshold, volume_resolution=args.resolution, point_attributes=attrs
-    )
+    with span("extract"):
+        hybrid = extract(
+            pf, threshold, volume_resolution=args.resolution, point_attributes=attrs
+        )
     nbytes = hybrid.save(args.out)
     print(
         f"extracted {hybrid.n_points} points + {args.resolution}^3 volume "
@@ -220,12 +252,13 @@ def _cmd_render(args) -> int:
         n_slices=args.slices,
         point_color_by=args.color_by,
     )
-    if args.part == "volume":
-        fb = renderer.render_volume_part(frame, camera)
-    elif args.part == "points":
-        fb = renderer.render_point_part(frame, camera)
-    else:
-        fb = renderer.render(frame, camera)
+    with span("render", part=args.part):
+        if args.part == "volume":
+            fb = renderer.render_volume_part(frame, camera)
+        elif args.part == "points":
+            fb = renderer.render_point_part(frame, camera)
+        else:
+            fb = renderer.render(frame, camera)
     write_ppm(args.out, fb.to_rgb8())
     print(f"rendered {args.part} view of step {frame.step} -> {args.out}")
     return 0
@@ -331,11 +364,42 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_trace_report(args) -> int:
+    import json
+
+    try:
+        data = load_trace(args.trace_file)
+    except FileNotFoundError:
+        print(f"{args.trace_file}: no such file", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{args.trace_file}: not a trace JSON file ({exc})",
+              file=sys.stderr)
+        return 1
+    print(format_report(data), end="")
+    return 0
+
+
 def main(argv=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``--trace out.json`` (any subcommand) enables the global tracer
+    for the command's duration and writes the collected spans,
+    counters, and gauges as JSON on the way out.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_out = getattr(args, "trace", None)
+    if not trace_out:
+        return args.func(args)
+    # run inside a fresh, enabled tracer so each --trace run writes an
+    # isolated document (and a library user's tracer is left alone)
+    with capture(enabled=True) as tracer:
+        try:
+            return args.func(args)
+        finally:
+            tracer.save(trace_out)
+            print(f"trace written to {trace_out}")
 
 
 if __name__ == "__main__":

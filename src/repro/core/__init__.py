@@ -9,12 +9,14 @@ Glues the substrates into the paper's two end-to-end workflows:
   self-orienting surfaces, render.
 
 ``metrics`` hosts the quantitative measures the benches report;
-``config`` the dataclass configuration for both pipelines.
+``config`` the dataclass configuration for both pipelines; ``trace``
+the pipeline-wide structured-tracing subsystem.
 """
 
 from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
 from repro.core.pipeline import beam_pipeline, fieldline_pipeline
 from repro.core.metrics import size_report, fps_estimate
+from repro.core.trace import Tracer, get_tracer, span
 
 __all__ = [
     "BeamPipelineConfig",
@@ -23,4 +25,7 @@ __all__ = [
     "fieldline_pipeline",
     "size_report",
     "fps_estimate",
+    "Tracer",
+    "get_tracer",
+    "span",
 ]

@@ -6,15 +6,43 @@ paper's corresponding parameter noted where one exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import MISSING, asdict, dataclass, field, fields
 
 from repro.beams.simulation import BeamConfig
 
-__all__ = ["BeamPipelineConfig", "FieldLinePipelineConfig"]
+__all__ = ["BeamPipelineConfig", "FieldLinePipelineConfig", "config_defaults"]
+
+
+def config_defaults(cls) -> dict:
+    """Field-name -> default-value map of a config dataclass.
+
+    This is the **single source of defaults** for the whole project:
+    the CLI derives its argparse defaults from it, so a default changed
+    here changes everywhere at once (no three-way drift between
+    argparse, dataclasses, and function signatures).
+    """
+    out = {}
+    for f in fields(cls):
+        out[f.name] = f.default_factory() if f.default is MISSING else f.default
+    return out
+
+
+class _DictConfigMixin:
+    """Round-trippable dict conversion shared by the pipeline configs."""
+
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (JSON-serializable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Rebuild a config from :meth:`to_dict` output; unknown keys
+        raise ``TypeError`` so stale configs fail loudly."""
+        return cls(**data)
 
 
 @dataclass
-class BeamPipelineConfig:
+class BeamPipelineConfig(_DictConfigMixin):
     """Simulate -> partition -> extract -> render.
 
     Attributes
@@ -42,9 +70,25 @@ class BeamPipelineConfig:
     n_slices: int = 48
     frame_every: int = 5
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "BeamPipelineConfig":
+        """Rebuild from :meth:`to_dict` output, re-inflating the nested
+        :class:`BeamConfig` (tuple fields survive a JSON round trip as
+        lists and are coerced back)."""
+        data = dict(data)
+        beam = data.get("beam")
+        if isinstance(beam, dict):
+            beam = dict(beam)
+            if isinstance(beam.get("sigmas"), list):
+                beam["sigmas"] = tuple(beam["sigmas"])
+            if isinstance(beam.get("sc_grid"), list):
+                beam["sc_grid"] = tuple(beam["sc_grid"])
+            data["beam"] = BeamConfig(**beam)
+        return cls(**data)
+
 
 @dataclass
-class FieldLinePipelineConfig:
+class FieldLinePipelineConfig(_DictConfigMixin):
     """Mesh -> fields -> seed -> strips -> render.
 
     Attributes

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.beams.simulation import BeamSimulation
 from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.core.trace import gauge, span
 from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportional
 from repro.fieldlines.sos import build_strips, render_strips
 from repro.fields.geometry import make_multicell_structure
@@ -60,30 +61,39 @@ def beam_pipeline(
     """
     config = config or BeamPipelineConfig()
     sim = BeamSimulation(config.beam)
+    gauge("beam_n_particles", config.beam.n_particles)
 
     partitioned: list[PartitionedFrame] = []
     steps: list[int] = []
 
-    def keep(step: int, particles: np.ndarray) -> None:
-        pf = partition(
-            particles,
-            config.plot_type,
-            max_level=config.max_level,
-            capacity=config.capacity,
-            step=step,
-        )
+    # drive the frame generator so simulation stepping and per-frame
+    # partitioning land in separate stage spans
+    frames = sim.frames(frame_every=config.frame_every)
+    while True:
+        with span("simulate"):
+            try:
+                step, particles = next(frames)
+            except StopIteration:
+                break
+        with span("partition", step=step):
+            pf = partition(
+                particles,
+                config.plot_type,
+                max_level=config.max_level,
+                capacity=config.capacity,
+                step=step,
+            )
         partitioned.append(pf)
         steps.append(step)
 
-    sim.run(on_frame=keep, frame_every=config.frame_every)
-
-    threshold = float(
-        np.percentile(partitioned[0].nodes["density"], config.threshold_percentile)
-    )
-    hybrids = [
-        extract(pf, threshold, volume_resolution=config.volume_resolution)
-        for pf in partitioned
-    ]
+    with span("extract"):
+        threshold = float(
+            np.percentile(partitioned[0].nodes["density"], config.threshold_percentile)
+        )
+        hybrids = [
+            extract(pf, threshold, volume_resolution=config.volume_resolution)
+            for pf in partitioned
+        ]
 
     camera = Camera.fit_bounds(
         hybrids[0].lo, hybrids[0].hi,
@@ -99,9 +109,10 @@ def beam_pipeline(
         camera=camera,
     )
     if render:
-        result.images = [
-            renderer.render(h, camera=camera).to_rgb8() for h in hybrids
-        ]
+        with span("render", n_frames=len(hybrids)):
+            result.images = [
+                renderer.render(h, camera=camera).to_rgb8() for h in hybrids
+            ]
     return result
 
 
@@ -110,30 +121,33 @@ def fieldline_pipeline(
 ) -> FieldLinePipelineResult:
     """Build a structure, obtain fields, seed lines, render strips."""
     config = config or FieldLinePipelineConfig()
-    structure = make_multicell_structure(
-        config.n_cells, n_xy=config.n_xy, n_z_per_unit=config.n_z_per_unit
-    )
-    if config.use_solver:
-        solver = TimeDomainSolver(
-            structure, cells_per_unit=config.solve_cells_per_unit
+    with span("mesh", n_cells=config.n_cells):
+        structure = make_multicell_structure(
+            config.n_cells, n_xy=config.n_xy, n_z_per_unit=config.n_z_per_unit
         )
-        solver.run(solver.steps_for(config.solve_duration))
-        solver.fields_on_mesh()
-        sampler = YeeSampler(solver, config.field)
-    else:
-        mode = multicell_standing_wave(structure)
-        t_snapshot = 0.0 if config.field == "E" else np.pi / (2 * mode.omega)
-        structure.mesh.set_field("E", mode.e_field(structure.mesh.vertices, t_snapshot))
-        structure.mesh.set_field("B", mode.b_field(structure.mesh.vertices, t_snapshot))
-        sampler = AnalyticSampler(mode, config.field, t=t_snapshot, structure=structure)
+    with span("solve", use_solver=config.use_solver):
+        if config.use_solver:
+            solver = TimeDomainSolver(
+                structure, cells_per_unit=config.solve_cells_per_unit
+            )
+            solver.run(solver.steps_for(config.solve_duration))
+            solver.fields_on_mesh()
+            sampler = YeeSampler(solver, config.field)
+        else:
+            mode = multicell_standing_wave(structure)
+            t_snapshot = 0.0 if config.field == "E" else np.pi / (2 * mode.omega)
+            structure.mesh.set_field("E", mode.e_field(structure.mesh.vertices, t_snapshot))
+            structure.mesh.set_field("B", mode.b_field(structure.mesh.vertices, t_snapshot))
+            sampler = AnalyticSampler(mode, config.field, t=t_snapshot, structure=structure)
 
-    ordered = seed_density_proportional(
-        structure.mesh,
-        sampler,
-        total_lines=config.total_lines,
-        field_name=config.field,
-        loop_tolerance=0.02 if config.field == "B" else None,
-    )
+    with span("seed", total_lines=config.total_lines):
+        ordered = seed_density_proportional(
+            structure.mesh,
+            sampler,
+            total_lines=config.total_lines,
+            field_name=config.field,
+            loop_tolerance=0.02 if config.field == "B" else None,
+        )
     camera = Camera.fit_bounds(
         *structure.bounds(), width=config.image_size, height=config.image_size
     )
@@ -145,7 +159,9 @@ def fieldline_pipeline(
         camera=camera,
     )
     if render:
-        strips = build_strips(ordered.lines, camera, width=config.line_width)
-        fb = render_strips(camera, strips)
-        result.image = fb.to_rgb8()
+        with span("strip"):
+            strips = build_strips(ordered.lines, camera, width=config.line_width)
+        with span("render"):
+            fb = render_strips(camera, strips)
+            result.image = fb.to_rgb8()
     return result

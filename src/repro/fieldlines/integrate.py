@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.trace import span
+
 __all__ = ["FieldLine", "integrate_streamline", "integrate_batch"]
 
 
@@ -97,6 +99,16 @@ def integrate_streamline(
     loop_tolerance : if set, stop when the line returns within this
         distance of the seed (after 10 steps) -- closed B lines
     """
+    with span("integrate"):
+        return _integrate_streamline(
+            field_fn, seed, step, max_steps, min_magnitude, bidirectional,
+            loop_tolerance,
+        )
+
+
+def _integrate_streamline(
+    field_fn, seed, step, max_steps, min_magnitude, bidirectional, loop_tolerance
+) -> FieldLine:
     seed = np.asarray(seed, dtype=np.float64).reshape(1, 3)
     halves = []
     term = "cap"
@@ -169,23 +181,24 @@ def integrate_batch(
     active = field_fn.inside(seeds).copy()
     terms = np.array(["cap"] * n, dtype=object)
     p = seeds.copy()
-    for _ in range(max_steps):
-        if not active.any():
-            break
-        idx = np.flatnonzero(active)
-        d = _rk4_direction(field_fn, p[idx], direction * step, min_magnitude)
-        p_new = p[idx] + direction * step * d
-        ins = field_fn.inside(p_new)
-        _, mag = _unit_direction(field_fn, p_new, min_magnitude)
-        weak = mag < min_magnitude
-        keep = ins & ~weak
-        for row, j in enumerate(idx):
-            if keep[row]:
-                trails[j].append(p_new[row].copy())
-            else:
-                terms[j] = "domain" if not ins[row] else "weak"
-                active[j] = False
-        p[idx[keep]] = p_new[keep]
+    with span("integrate_batch", n=n):
+        for _ in range(max_steps):
+            if not active.any():
+                break
+            idx = np.flatnonzero(active)
+            d = _rk4_direction(field_fn, p[idx], direction * step, min_magnitude)
+            p_new = p[idx] + direction * step * d
+            ins = field_fn.inside(p_new)
+            _, mag = _unit_direction(field_fn, p_new, min_magnitude)
+            weak = mag < min_magnitude
+            keep = ins & ~weak
+            for row, j in enumerate(idx):
+                if keep[row]:
+                    trails[j].append(p_new[row].copy())
+                else:
+                    terms[j] = "domain" if not ins[row] else "weak"
+                    active[j] = False
+            p[idx[keep]] = p_new[keep]
     return [
         _finalize(field_fn, np.array(t) if len(t) > 1 else np.array([t[0], t[0]]), terms[i], min_magnitude)
         for i, t in enumerate(trails)

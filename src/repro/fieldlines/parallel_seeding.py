@@ -20,8 +20,11 @@ density-accuracy gap against the strict greedy order.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro.core.trace import count
 from repro.fieldlines.integrate import FieldLine, integrate_batch
 from repro.fieldlines.seeding import (
     OrderedFieldLines,
@@ -49,6 +52,33 @@ def _stitch(forward: FieldLine, backward: FieldLine, field_fn, floor: float) -> 
 
 
 def seed_density_proportional_batched(
+    mesh: HexMesh,
+    field_fn,
+    total_lines: int = 200,
+    field_name: str = "E",
+    batch_size: int = 8,
+    step: float | None = None,
+    max_steps: int = 300,
+    min_magnitude_fraction: float = 1e-3,
+    rng=None,
+) -> OrderedFieldLines:
+    """Deprecated alias: use ``seed_density_proportional(...,
+    batch_size=N)`` (or ``workers=N``) instead."""
+    warnings.warn(
+        "seed_density_proportional_batched is deprecated; call "
+        "repro.fieldlines.seeding.seed_density_proportional(..., "
+        "batch_size=N) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _seed_batched(
+        mesh, field_fn, total_lines=total_lines, field_name=field_name,
+        batch_size=batch_size, step=step, max_steps=max_steps,
+        min_magnitude_fraction=min_magnitude_fraction, rng=rng,
+    )
+
+
+def _seed_batched(
     mesh: HexMesh,
     field_fn,
     total_lines: int = 200,
@@ -104,6 +134,7 @@ def seed_density_proportional_batched(
             remaining[visited] -= 1.0
             achieved[visited] += 1.0
             lines.append(line)
+            count("lines_seeded")
 
     return OrderedFieldLines(
         lines=lines,

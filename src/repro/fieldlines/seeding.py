@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.core.trace import count, span
 from repro.fieldlines.integrate import FieldLine, integrate_streamline
 from repro.fields.mesh import HexMesh
 
@@ -120,6 +121,8 @@ def seed_density_proportional(
     loop_tolerance: float | None = None,
     rng=None,
     on_line=None,
+    workers: int = 1,
+    batch_size: int | None = None,
 ) -> OrderedFieldLines:
     """The greedy incremental seeding loop of paper section 3.2.
 
@@ -134,7 +137,26 @@ def seed_density_proportional(
     min_magnitude_fraction : termination floor as a fraction of the
         mesh's peak field intensity
     on_line : optional callback(i, line) fired as each line lands
+    workers / batch_size : > 1 selects the round-based batched seeder
+        (:mod:`repro.fieldlines.parallel_seeding`), integrating
+        ``batch_size or workers`` lines simultaneously per round; the
+        greedy path (the default) supports ``loop_tolerance`` and
+        ``on_line``, the batched path does not
     """
+    n_batch = int(batch_size or workers)
+    if n_batch > 1:
+        if loop_tolerance is not None or on_line is not None:
+            raise ValueError(
+                "batched seeding (workers/batch_size > 1) supports neither "
+                "loop_tolerance nor on_line; use the default greedy path"
+            )
+        from repro.fieldlines.parallel_seeding import _seed_batched
+
+        return _seed_batched(
+            mesh, field_fn, total_lines=total_lines, field_name=field_name,
+            batch_size=n_batch, step=step, max_steps=max_steps,
+            min_magnitude_fraction=min_magnitude_fraction, rng=rng,
+        )
     rng = rng or np.random.default_rng(0)
     desired = desired_line_counts(mesh, field_name, total_lines)
     remaining = desired.copy()
@@ -162,10 +184,12 @@ def seed_density_proportional(
             loop_tolerance=loop_tolerance,
         )
         line.order = i
-        visited = counter.visits(line.points)
+        with span("visit_accounting"):
+            visited = counter.visits(line.points)
         remaining[visited] -= 1.0
         achieved[visited] += 1.0
         lines.append(line)
+        count("lines_seeded")
         if on_line is not None:
             on_line(i, line)
 

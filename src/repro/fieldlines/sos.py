@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.trace import count, span
 from repro.render.camera import Camera
 from repro.render.colormap import Colormap, get_colormap
 from repro.render.framebuffer import Framebuffer, composite_fragments
@@ -107,43 +108,44 @@ def build_strips(
     ids = []
     v_offset = 0
     eye = np.asarray(camera.eye, dtype=np.float64)
-    for li, line in enumerate(lines):
-        pts = line.points
-        if len(pts) < 2:
-            continue
-        side = _side_vectors(pts, line.tangents, eye)
-        w = np.full(len(pts), width)
-        if width_by_magnitude:
-            peak = max(float(line.magnitudes.max()), 1e-300)
-            w = width * (0.35 + 0.65 * line.magnitudes / peak)
-        left = pts - side * (w[:, None] / 2.0)
-        right = pts + side * (w[:, None] / 2.0)
-        k = len(pts)
-        strip_verts = np.empty((2 * k, 3))
-        strip_verts[0::2] = left
-        strip_verts[1::2] = right
-        u = line.arc_lengths() / max(width, 1e-12)
-        i = np.arange(k - 1)
-        a = v_offset + 2 * i
-        b = a + 1
-        c = a + 2
-        d = a + 3
-        strip_tris = np.concatenate(
-            [np.stack([a, b, c], axis=1), np.stack([b, d, c], axis=1)]
-        )
-        verts.append(strip_verts)
-        tris.append(strip_tris)
-        v_coords.append(np.tile([0.0, 1.0], k))
-        u_coords.append(np.repeat(u, 2))
-        mags.append(np.repeat(line.magnitudes, 2))
-        ids.append(np.full(2 * k, li))
-        v_offset += 2 * k
+    with span("build_strips", n_lines=len(lines)):
+        for li, line in enumerate(lines):
+            pts = line.points
+            if len(pts) < 2:
+                continue
+            side = _side_vectors(pts, line.tangents, eye)
+            w = np.full(len(pts), width)
+            if width_by_magnitude:
+                peak = max(float(line.magnitudes.max()), 1e-300)
+                w = width * (0.35 + 0.65 * line.magnitudes / peak)
+            left = pts - side * (w[:, None] / 2.0)
+            right = pts + side * (w[:, None] / 2.0)
+            k = len(pts)
+            strip_verts = np.empty((2 * k, 3))
+            strip_verts[0::2] = left
+            strip_verts[1::2] = right
+            u = line.arc_lengths() / max(width, 1e-12)
+            i = np.arange(k - 1)
+            a = v_offset + 2 * i
+            b = a + 1
+            c = a + 2
+            d = a + 3
+            strip_tris = np.concatenate(
+                [np.stack([a, b, c], axis=1), np.stack([b, d, c], axis=1)]
+            )
+            verts.append(strip_verts)
+            tris.append(strip_tris)
+            v_coords.append(np.tile([0.0, 1.0], k))
+            u_coords.append(np.repeat(u, 2))
+            mags.append(np.repeat(line.magnitudes, 2))
+            ids.append(np.full(2 * k, li))
+            v_offset += 2 * k
 
     if not verts:
         empty3 = np.empty((0, 3))
         empty = np.empty(0)
         return StripMesh(empty3, np.empty((0, 3), dtype=np.int64), empty, empty, empty, empty)
-    return StripMesh(
+    mesh = StripMesh(
         vertices=np.vstack(verts),
         triangles=np.vstack(tris).astype(np.int64),
         v_coord=np.concatenate(v_coords),
@@ -152,6 +154,8 @@ def build_strips(
         line_id=np.concatenate(ids),
         meta={"width": width, "n_lines": len(lines)},
     )
+    count("triangles_emitted", mesh.n_triangles)
+    return mesh
 
 
 def render_strips(
@@ -183,12 +187,13 @@ def render_strips(
         return fb
     cmap = get_colormap(colormap) if isinstance(colormap, str) else colormap
 
-    frags = rasterize(
-        camera,
-        strips.vertices,
-        strips.triangles,
-        {"v": strips.v_coord, "mag": strips.magnitude},
-    )
+    with span("rasterize", n_triangles=strips.n_triangles):
+        frags = rasterize(
+            camera,
+            strips.vertices,
+            strips.triangles,
+            {"v": strips.v_coord, "mag": strips.magnitude},
+        )
     if len(frags) == 0:
         return fb
 

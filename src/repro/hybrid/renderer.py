@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.trace import span
 from repro.hybrid.representation import HybridFrame
 from repro.hybrid.transfer import DensityNormalizer, LinkedTransferFunctions
 from repro.render.camera import Camera
@@ -118,13 +119,15 @@ class HybridRenderer:
         camera = camera or Camera.fit_bounds(
             frame.lo, frame.hi, width=256, height=256
         )
-        rgba_volume = self.classify_volume(frame)
-        pos, rgba = self.classified_points(frame)
-        frags = (
-            point_fragments(camera, pos, rgba, point_size=self.point_size)
-            if len(pos)
-            else None
-        )
+        with span("classify_volume"):
+            rgba_volume = self.classify_volume(frame)
+        with span("classify_points", n_points=frame.n_points):
+            pos, rgba = self.classified_points(frame)
+            frags = (
+                point_fragments(camera, pos, rgba, point_size=self.point_size)
+                if len(pos)
+                else None
+            )
         return render_mixed(
             camera,
             rgba_volume,

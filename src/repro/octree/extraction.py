@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.beams.spacecharge import deposit_cic
+from repro.core.trace import count, span
 from repro.hybrid.representation import HybridFrame
 from repro.octree.partition import PartitionedFrame
 
@@ -55,24 +56,28 @@ def extract(
     """
     if volume_from not in ("all", "rest"):
         raise ValueError("volume_from must be 'all' or 'rest'")
-    cutoff = frame.density_cutoff_index(threshold_density)
-    coords = frame.coords
-    halo = coords[:cutoff]
-    halo_dens = np.repeat(
-        frame.nodes["density"], frame.nodes["count"].astype(np.int64)
-    )[:cutoff]
+    with span("point_prefix"):
+        cutoff = frame.density_cutoff_index(threshold_density)
+        coords = frame.coords
+        halo = coords[:cutoff]
+        halo_dens = np.repeat(
+            frame.nodes["density"], frame.nodes["count"].astype(np.int64)
+        )[:cutoff]
     attributes = {}
     if point_attributes:
         from repro.hybrid.attributes import compute_attributes
 
-        attributes = compute_attributes(frame.particles[:cutoff], point_attributes)
+        with span("point_attributes"):
+            attributes = compute_attributes(frame.particles[:cutoff], point_attributes)
 
     vol_src = coords if volume_from == "all" else coords[cutoff:]
     res = (int(volume_resolution),) * 3
-    if len(vol_src):
-        counts = deposit_cic(vol_src, res, frame.lo, frame.hi)
-    else:
-        counts = np.zeros(res)
+    with span("volume_deposit", resolution=int(volume_resolution)):
+        if len(vol_src):
+            counts = deposit_cic(vol_src, res, frame.lo, frame.hi)
+        else:
+            counts = np.zeros(res)
+    count("points_extracted", cutoff)
     cell_volume = float(
         np.prod((frame.hi - frame.lo) / (np.array(res) - 1))
     )

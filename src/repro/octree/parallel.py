@@ -12,14 +12,22 @@ octree of its subdomain, and the master merges the per-worker node
 lists and re-sorts groups by global density.  The merge is exact: a
 worker's subdomain is itself an octree cell, so its leaves are valid
 leaves of the global tree.
+
+The supported entry point is :func:`repro.octree.partition.partition`
+with ``workers > 1``; :func:`partition_parallel` remains as a
+deprecated alias.  Workers record their own trace spans in an isolated
+:func:`repro.core.trace.capture` and the master merges the snapshots,
+so per-octant build time is visible in the parent's trace.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.core.trace import capture, count, get_tracer, span
 from repro.octree.octree import NODE_DTYPE, Octree, morton_keys, plot_columns
 from repro.octree.partition import PartitionedFrame
 
@@ -27,22 +35,29 @@ __all__ = ["partition_parallel"]
 
 
 def _worker_build(args):
-    """Build the octree of one top-level octant (runs in a worker)."""
-    (coords, lo, hi, max_level, capacity, prefix, top_level) = args
-    if len(coords) == 0:
-        return np.empty(0, dtype=NODE_DTYPE), np.empty(0, dtype=np.int64)
-    tree = Octree(coords, lo=lo, hi=hi, max_level=max_level, capacity=capacity)
-    nodes = tree.nodes.copy()
-    # re-root: worker levels/keys are relative to the octant cell
-    nodes["level"] = nodes["level"] + top_level
-    nodes["key"] = (np.uint64(prefix) << (np.uint64(3) * nodes["level"].astype(np.uint64))) | nodes["key"]
-    # density needs no fix-up: the octant cell volume at depth d inside
-    # the worker equals the global volume at depth top_level + d only if
-    # the octant box is the global box / 2^top_level -- which it is.
-    return nodes, tree.order
+    """Build the octree of one top-level octant (runs in a worker).
+
+    Returns (nodes, order, trace-snapshot); the snapshot carries the
+    worker's spans/counters back for the master to merge.
+    """
+    (coords, lo, hi, max_level, capacity, prefix, top_level, trace_enabled) = args
+    with capture(enabled=trace_enabled) as tracer:
+        if len(coords) == 0:
+            return np.empty(0, dtype=NODE_DTYPE), np.empty(0, dtype=np.int64), tracer.snapshot()
+        with span("octant_build", prefix=prefix, n=len(coords)):
+            tree = Octree(coords, lo=lo, hi=hi, max_level=max_level, capacity=capacity)
+            nodes = tree.nodes.copy()
+            # re-root: worker levels/keys are relative to the octant cell
+            nodes["level"] = nodes["level"] + top_level
+            nodes["key"] = (np.uint64(prefix) << (np.uint64(3) * nodes["level"].astype(np.uint64))) | nodes["key"]
+            # density needs no fix-up: the octant cell volume at depth d inside
+            # the worker equals the global volume at depth top_level + d only if
+            # the octant box is the global box / 2^top_level -- which it is.
+        count("octree_nodes", len(nodes))
+        return nodes, tree.order, tracer.snapshot()
 
 
-def partition_parallel(
+def _partition_parallel(
     particles: np.ndarray,
     plot_type: str = "xyz",
     max_level: int = 6,
@@ -51,7 +66,7 @@ def partition_parallel(
     top_level: int = 1,
     step: int = 0,
 ) -> PartitionedFrame:
-    """Partition a frame using worker processes over spatial octants.
+    """Implementation behind ``partition(..., workers=N)``.
 
     ``top_level`` controls the decomposition granularity: the box is
     split into 8**top_level tasks distributed over ``n_workers``
@@ -68,6 +83,7 @@ def partition_parallel(
         raise ValueError("particles must be (N, 6)")
     if top_level < 1 or top_level >= max_level:
         raise ValueError("need 1 <= top_level < max_level")
+    tracer = get_tracer()
     columns = plot_columns(plot_type)
     coords = particles[:, list(columns)]
     dlo = coords.min(axis=0)
@@ -76,72 +92,79 @@ def partition_parallel(
     lo = dlo - pad
     hi = dhi + pad
 
-    # route particles to their top-level octant
-    keys = morton_keys(coords, lo, hi, top_level)
-    n_tasks = 8**top_level
-    order = np.argsort(keys, kind="stable")
-    sorted_keys = keys[order]
-    bounds = np.searchsorted(sorted_keys, np.arange(n_tasks + 1, dtype=np.uint64))
+    with span("route", n=len(particles)):
+        # route particles to their top-level octant
+        keys = morton_keys(coords, lo, hi, top_level)
+        n_tasks = 8**top_level
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        bounds = np.searchsorted(sorted_keys, np.arange(n_tasks + 1, dtype=np.uint64))
 
-    cell_count = 1 << top_level
-    size = (hi - lo) / cell_count
-    tasks = []
-    for prefix in range(n_tasks):
-        s, e = int(bounds[prefix]), int(bounds[prefix + 1])
-        if s == e:
-            continue
-        ix = iy = iz = 0
-        for b in range(top_level):
-            octant = (prefix >> (3 * (top_level - 1 - b))) & 7
-            ix = (ix << 1) | (octant & 1)
-            iy = (iy << 1) | ((octant >> 1) & 1)
-            iz = (iz << 1) | ((octant >> 2) & 1)
-        cell_lo = lo + size * np.array([ix, iy, iz])
-        cell_hi = cell_lo + size
-        sub_idx = order[s:e]
-        tasks.append(
-            (
-                coords[sub_idx],
-                cell_lo,
-                cell_hi,
-                max_level - top_level,
-                capacity,
-                prefix,
-                top_level,
-                sub_idx,
+        cell_count = 1 << top_level
+        size = (hi - lo) / cell_count
+        tasks = []
+        for prefix in range(n_tasks):
+            s, e = int(bounds[prefix]), int(bounds[prefix + 1])
+            if s == e:
+                continue
+            ix = iy = iz = 0
+            for b in range(top_level):
+                octant = (prefix >> (3 * (top_level - 1 - b))) & 7
+                ix = (ix << 1) | (octant & 1)
+                iy = (iy << 1) | ((octant >> 1) & 1)
+                iz = (iz << 1) | ((octant >> 2) & 1)
+            cell_lo = lo + size * np.array([ix, iy, iz])
+            cell_hi = cell_lo + size
+            sub_idx = order[s:e]
+            tasks.append(
+                (
+                    coords[sub_idx],
+                    cell_lo,
+                    cell_hi,
+                    max_level - top_level,
+                    capacity,
+                    prefix,
+                    top_level,
+                    tracer.enabled,
+                    sub_idx,
+                )
             )
-        )
+    count("particles_routed", len(particles))
 
     all_nodes = []
     all_orders = []
-    if n_workers <= 1:
-        results = [_worker_build(t[:7]) for t in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(_worker_build, [t[:7] for t in tasks]))
+    with span("octant_builds", n_tasks=len(tasks), n_workers=n_workers):
+        worker_path = tracer.current_path() or None
+        if n_workers <= 1:
+            results = [_worker_build(t[:8]) for t in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                results = list(pool.map(_worker_build, [t[:8] for t in tasks]))
     offset = 0
-    for (nodes, worker_order), task in zip(results, tasks):
-        sub_idx = task[7]
+    for (nodes, worker_order, snap), task in zip(results, tasks):
+        tracer.merge(snap, prefix=worker_path)
+        sub_idx = task[8]
         nodes = nodes.copy()
         nodes["start"] = nodes["start"] + offset
         all_nodes.append(nodes)
         all_orders.append(sub_idx[worker_order])
         offset += len(sub_idx)
 
-    nodes = np.concatenate(all_nodes) if all_nodes else np.empty(0, dtype=NODE_DTYPE)
-    global_order = np.concatenate(all_orders) if all_orders else np.empty(0, dtype=np.int64)
+    with span("merge"):
+        nodes = np.concatenate(all_nodes) if all_nodes else np.empty(0, dtype=NODE_DTYPE)
+        global_order = np.concatenate(all_orders) if all_orders else np.empty(0, dtype=np.int64)
 
-    # global density sort of the merged groups
-    density_order = np.argsort(nodes["density"], kind="stable")
-    nodes_sorted = nodes[density_order].copy()
-    counts = nodes_sorted["count"].astype(np.int64)
-    starts_old = nodes_sorted["start"].astype(np.int64)
-    perm = np.concatenate(
-        [global_order[s : s + c] for s, c in zip(starts_old, counts)]
-    ) if len(nodes_sorted) else np.empty(0, dtype=np.int64)
-    nodes_sorted["start"] = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(
-        np.uint64
-    ) if len(nodes_sorted) else nodes_sorted["start"]
+        # global density sort of the merged groups
+        density_order = np.argsort(nodes["density"], kind="stable")
+        nodes_sorted = nodes[density_order].copy()
+        counts = nodes_sorted["count"].astype(np.int64)
+        starts_old = nodes_sorted["start"].astype(np.int64)
+        perm = np.concatenate(
+            [global_order[s : s + c] for s, c in zip(starts_old, counts)]
+        ) if len(nodes_sorted) else np.empty(0, dtype=np.int64)
+        nodes_sorted["start"] = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(
+            np.uint64
+        ) if len(nodes_sorted) else nodes_sorted["start"]
 
     return PartitionedFrame(
         plot_type=plot_type,
@@ -154,3 +177,14 @@ def partition_parallel(
         capacity=int(capacity),
         step=int(step),
     )
+
+
+def partition_parallel(*args, **kwargs) -> PartitionedFrame:
+    """Deprecated alias: use ``partition(..., workers=N)`` instead."""
+    warnings.warn(
+        "partition_parallel is deprecated; call "
+        "repro.octree.partition.partition(..., workers=N) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _partition_parallel(*args, **kwargs)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.trace import count, span
 from repro.octree.octree import NODE_DTYPE, Octree, plot_columns
 
 __all__ = ["PartitionedFrame", "partition"]
@@ -99,35 +100,54 @@ def partition(
     lo=None,
     hi=None,
     step: int = 0,
+    workers: int = 1,
+    top_level: int = 1,
 ) -> PartitionedFrame:
     """Partition a particle frame into the two-part representation.
 
     Parameters mirror the paper's program: the frame, a plot type, and
     a maximal subdivision level.  ``capacity`` is the split threshold
     (particles per node) driving adaptivity.
+
+    ``workers > 1`` selects the multiprocess path (the paper's
+    multi-node mode): the box is decomposed into ``8**top_level``
+    octants built by a pool of worker processes -- see
+    :mod:`repro.octree.parallel` for the equivalence guarantee.
+    ``lo``/``hi`` overrides apply to the serial path only.
     """
+    if workers > 1:
+        from repro.octree.parallel import _partition_parallel
+
+        return _partition_parallel(
+            particles, plot_type, max_level=max_level, capacity=capacity,
+            n_workers=workers, top_level=top_level, step=step,
+        )
     particles = np.asarray(particles, dtype=np.float64)
     if particles.ndim != 2 or particles.shape[1] != 6:
         raise ValueError("particles must be (N, 6)")
     columns = plot_columns(plot_type)
     coords = particles[:, list(columns)]
-    tree = Octree(coords, lo=lo, hi=hi, max_level=max_level, capacity=capacity)
+    with span("octree_build", n=len(particles)):
+        tree = Octree(coords, lo=lo, hi=hi, max_level=max_level, capacity=capacity)
 
-    # order leaves by increasing density, then build the particle file:
-    # groups concatenated in that density order
-    density_order = np.argsort(tree.nodes["density"], kind="stable")
-    nodes_sorted = tree.nodes[density_order].copy()
+    with span("density_sort"):
+        # order leaves by increasing density, then build the particle
+        # file: groups concatenated in that density order
+        density_order = np.argsort(tree.nodes["density"], kind="stable")
+        nodes_sorted = tree.nodes[density_order].copy()
 
-    leaf_of = tree.leaf_of_particles()           # per ordered particle
-    rank_of_leaf = np.empty(tree.n_nodes, dtype=np.int64)
-    rank_of_leaf[density_order] = np.arange(tree.n_nodes)
-    particle_rank = rank_of_leaf[leaf_of]
-    regroup = np.argsort(particle_rank, kind="stable")
-    final_order = tree.order[regroup]
+        leaf_of = tree.leaf_of_particles()           # per ordered particle
+        rank_of_leaf = np.empty(tree.n_nodes, dtype=np.int64)
+        rank_of_leaf[density_order] = np.arange(tree.n_nodes)
+        particle_rank = rank_of_leaf[leaf_of]
+        regroup = np.argsort(particle_rank, kind="stable")
+        final_order = tree.order[regroup]
 
-    counts = nodes_sorted["count"].astype(np.int64)
-    nodes_sorted["start"] = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.uint64)
+        counts = nodes_sorted["count"].astype(np.int64)
+        nodes_sorted["start"] = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.uint64)
 
+    count("particles_routed", len(particles))
+    count("octree_nodes", tree.n_nodes)
     frame = PartitionedFrame(
         plot_type=plot_type,
         columns=columns,

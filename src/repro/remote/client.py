@@ -11,6 +11,7 @@ from __future__ import annotations
 import socket
 import time
 
+from repro.core.trace import count, span
 from repro.hybrid.representation import HybridFrame
 from repro.remote import protocol
 from repro.remote.protocol import Message, MessageType
@@ -47,19 +48,21 @@ class VisualizationClient:
     ) -> HybridFrame:
         """Request one extraction; timing lands in ``stats``."""
         t0 = time.perf_counter()
-        protocol.send_message(
-            self.sock,
-            Message(
-                MessageType.GET_HYBRID,
-                protocol.encode_get_hybrid(frame_index, threshold, resolution),
-            ),
-        )
-        reply = protocol.recv_message(self.sock)
+        with span("remote_fetch", frame=frame_index):
+            protocol.send_message(
+                self.sock,
+                Message(
+                    MessageType.GET_HYBRID,
+                    protocol.encode_get_hybrid(frame_index, threshold, resolution),
+                ),
+            )
+            reply = protocol.recv_message(self.sock)
         elapsed = time.perf_counter() - t0
         self._check(reply, MessageType.HYBRID_FRAME)
         self.stats["bytes_received"] += len(reply.payload)
         self.stats["frames"] += 1
         self.stats["seconds"] += elapsed
+        count("remote_bytes_received", len(reply.payload))
         return protocol.decode_hybrid(reply.payload)
 
     def throughput_bps(self) -> float:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import socket
 import threading
 
+from repro.core.trace import count, span
 from repro.octree.extraction import extract
 from repro.octree.partition import PartitionedFrame
 from repro.remote import protocol
@@ -96,6 +97,7 @@ class VisualizationServer:
             except (ConnectionError, OSError):
                 return
             self.stats["requests"] += 1
+            count("remote_requests")
             if msg.type == MessageType.SHUTDOWN:
                 self._stop.set()
                 return
@@ -113,14 +115,15 @@ class VisualizationServer:
                         ),
                     )
                     continue
-                hybrid = extract(
-                    self.frames[index], threshold, volume_resolution=resolution
-                )
-                self.stats["extractions"] += 1
-                self._send(
-                    conn,
-                    Message(MessageType.HYBRID_FRAME, protocol.encode_hybrid(hybrid)),
-                )
+                with span("serve_hybrid", frame=index):
+                    hybrid = extract(
+                        self.frames[index], threshold, volume_resolution=resolution
+                    )
+                    self.stats["extractions"] += 1
+                    self._send(
+                        conn,
+                        Message(MessageType.HYBRID_FRAME, protocol.encode_hybrid(hybrid)),
+                    )
             else:
                 self._send(
                     conn,
@@ -128,6 +131,8 @@ class VisualizationServer:
                 )
 
     def _send(self, conn, message: Message) -> None:
-        self.stats["bytes_sent"] += protocol.send_message(
+        sent = protocol.send_message(
             conn, message, bandwidth_bps=self.bandwidth_bps
         )
+        self.stats["bytes_sent"] += sent
+        count("remote_bytes_sent", sent)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.trace import span
 from repro.render.camera import Camera
 from repro.render.framebuffer import Framebuffer, composite_fragments, composite_over
 
@@ -265,32 +266,33 @@ def render_mixed(
     # fragment index boundaries per slab (pdep sorted descending)
     cursor = 0
     n_frag = 0 if pix is None else len(pix)
-    if pix is not None:
-        # fragments farther than the volume: composite them first
-        behind = int(np.searchsorted(-pdep, -d1))
-        composite_point_range(0, behind)
-        cursor = behind
-
-    for s in range(n_slices):
-        # slab s covers depth (d1 - (s+1)*slab, d1 - s*slab]; slice at center
-        slab_far = d1 - s * slab
-        slab_near = slab_far - slab
-        depth_slice = 0.5 * (slab_far + slab_near)
+    with span("slice_composite", n_slices=n_slices, n_fragments=n_frag):
         if pix is not None:
-            # points behind the slice plane within this slab
-            upto = int(np.searchsorted(-pdep, -depth_slice))
-            composite_point_range(cursor, upto)
-            cursor = upto
-        layer = _slice_layer(
-            camera, rgba_volume, lo, hi, depth_slice, exponent, rays=rays
-        )
-        depth_img = np.full((fb.height, fb.width), depth_slice)
-        fb.layer_over(layer, depth_img)
-        if pix is not None:
-            upto = int(np.searchsorted(-pdep, -slab_near))
-            composite_point_range(cursor, upto)
-            cursor = upto
+            # fragments farther than the volume: composite them first
+            behind = int(np.searchsorted(-pdep, -d1))
+            composite_point_range(0, behind)
+            cursor = behind
 
-    # fragments nearer than the volume
-    composite_point_range(cursor, n_frag)
+        for s in range(n_slices):
+            # slab s covers depth (d1 - (s+1)*slab, d1 - s*slab]; slice at center
+            slab_far = d1 - s * slab
+            slab_near = slab_far - slab
+            depth_slice = 0.5 * (slab_far + slab_near)
+            if pix is not None:
+                # points behind the slice plane within this slab
+                upto = int(np.searchsorted(-pdep, -depth_slice))
+                composite_point_range(cursor, upto)
+                cursor = upto
+            layer = _slice_layer(
+                camera, rgba_volume, lo, hi, depth_slice, exponent, rays=rays
+            )
+            depth_img = np.full((fb.height, fb.width), depth_slice)
+            fb.layer_over(layer, depth_img)
+            if pix is not None:
+                upto = int(np.searchsorted(-pdep, -slab_near))
+                composite_point_range(cursor, upto)
+                cursor = upto
+
+        # fragments nearer than the volume
+        composite_point_range(cursor, n_frag)
     return fb

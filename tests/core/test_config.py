@@ -27,6 +27,37 @@ class TestBeamPipelineConfig:
         assert cfg.beam.n_particles == 123
 
 
+class TestDictRoundTrip:
+    def test_beam_config_round_trip(self):
+        import json
+
+        cfg = BeamPipelineConfig(frame_every=7, threshold_percentile=55.0)
+        cfg.beam.n_particles = 1234
+        d = cfg.to_dict()
+        # survives a JSON round trip (what --trace-adjacent tooling needs)
+        back = BeamPipelineConfig.from_dict(json.loads(json.dumps(d)))
+        assert back == cfg
+        assert isinstance(back.beam, BeamConfig)
+        assert isinstance(back.beam.sigmas, tuple)
+
+    def test_fieldline_config_round_trip(self):
+        cfg = FieldLinePipelineConfig(field="B", total_lines=17)
+        back = FieldLinePipelineConfig.from_dict(cfg.to_dict())
+        assert back == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(TypeError):
+            FieldLinePipelineConfig.from_dict({"not_a_field": 1})
+
+    def test_config_defaults_helper(self):
+        from repro.core.config import config_defaults
+
+        d = config_defaults(FieldLinePipelineConfig)
+        assert d["total_lines"] == FieldLinePipelineConfig().total_lines
+        bd = config_defaults(BeamConfig)
+        assert bd["n_particles"] == BeamConfig().n_particles
+
+
 class TestFieldLinePipelineConfig:
     def test_defaults(self):
         cfg = FieldLinePipelineConfig()

@@ -124,6 +124,53 @@ class TestInfo:
         assert "unrecognized" in capsys.readouterr().err
 
 
+class TestTrace:
+    def test_simulate_writes_trace_json(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        assert main(["simulate", "--out", str(tmp_path / "run"),
+                     "--particles", "2000", "--cells", "1",
+                     "--frame-every", "20",
+                     "--trace", str(trace_file)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        doc = json.loads(trace_file.read_text())
+        assert doc["version"] == 1
+        assert "simulate" in doc["spans"]
+        assert doc["counters"]["particles_stepped"] > 0
+
+    def test_trace_report_prints_table(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        main(["fieldlines", "--cells", "2", "--lines", "4",
+              "--out", str(tmp_path / "l.bin"),
+              "--image", str(tmp_path / "l.ppm"), "--size", "32",
+              "--trace", str(trace_file)])
+        capsys.readouterr()
+        assert main(["trace-report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        for stage in ("mesh", "solve", "seed", "strip", "render"):
+            assert stage in out, f"missing stage {stage!r} in report"
+        assert "lines_seeded" in out
+
+    def test_trace_flag_accepted_by_every_subcommand(self, tmp_path):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        argvs = {
+            "simulate": ["simulate", "--out", "d"],
+            "partition": ["partition", "f", "--out", "p"],
+            "extract": ["extract", "p", "--out", "h"],
+            "render": ["render", "h", "--out", "i"],
+            "fieldlines": ["fieldlines"],
+            "eigen": ["eigen"],
+            "info": ["info", "f"],
+        }
+        for sub, argv in argvs.items():
+            args = parser.parse_args(argv)
+            assert hasattr(args, "trace"), f"{sub} lacks --trace"
+
+
 class TestEigen:
     def test_eigen_subcommand(self, capsys):
         rc = main(["eigen", "--radius", "1.0", "--length", "1.0",

@@ -77,7 +77,28 @@ MODULES = [
     "repro.core.pipeline",
     "repro.core.config",
     "repro.core.metrics",
+    "repro.core.trace",
+    "repro.api",
     "repro.cli",
+]
+
+# Names the facade must expose forever (the one-facade rule, DESIGN.md).
+FACADE_REQUIRED = [
+    "beam_pipeline",
+    "fieldline_pipeline",
+    "BeamPipelineConfig",
+    "FieldLinePipelineConfig",
+    "partition",
+    "extract",
+    "seed_density_proportional",
+    "build_strips",
+    "render_strips",
+    "HybridRenderer",
+    "VisualizationServer",
+    "VisualizationClient",
+    "Tracer",
+    "span",
+    "capture",
 ]
 
 
@@ -112,3 +133,29 @@ def test_version():
     import repro
 
     assert repro.__version__ == "1.0.0"
+
+
+class TestFacade:
+    def test_facade_has_explicit_all(self):
+        import repro.api
+
+        assert isinstance(repro.api.__all__, list)
+        assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+    @pytest.mark.parametrize("symbol", FACADE_REQUIRED)
+    def test_required_names_exported(self, symbol):
+        import repro.api
+
+        assert symbol in repro.api.__all__
+        assert getattr(repro.api, symbol) is not None
+
+    def test_facade_matches_source_modules(self):
+        """Facade re-exports are the same objects as the originals."""
+        import repro.api
+        from repro.core.pipeline import beam_pipeline
+        from repro.core.trace import Tracer
+        from repro.octree.partition import partition
+
+        assert repro.api.beam_pipeline is beam_pipeline
+        assert repro.api.partition is partition
+        assert repro.api.Tracer is Tracer

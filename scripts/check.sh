@@ -3,6 +3,11 @@
 #
 #   scripts/check.sh            # everything
 #   scripts/check.sh --no-lint  # tests only
+#   scripts/check.sh --faults   # the fault-injection pass only
+#
+# --faults runs the resilience suites (fault harness, crash-safe
+# executors, checkpoint/resume, remote link under injected damage)
+# plus the fault-rate bench that refreshes BENCH_remote_faults.json.
 #
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
@@ -12,8 +17,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_lint=1
+run_faults=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
+elif [[ "${1:-}" == "--faults" ]]; then
+    run_lint=0
+    run_faults=1
+fi
+
+if [[ $run_faults -eq 1 ]]; then
+    echo "== fault-injection pass =="
+    PYTHONPATH=src python -m pytest -x -q \
+        tests/core/test_faults.py \
+        tests/core/test_checkpoint.py \
+        tests/remote/test_faults_remote.py \
+        tests/remote/test_protocol.py \
+        tests/test_robustness.py
+    echo "== fault-rate bench =="
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_remote_faults.py
+    exit 0
 fi
 
 if [[ $run_lint -eq 1 ]]; then

@@ -13,7 +13,20 @@ so importing it costs the same as importing :mod:`repro`.
 
 from __future__ import annotations
 
+from repro.core.atomic import atomic_write_bytes
+from repro.core.checkpoint import Checkpoint
 from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.core.errors import (
+    ChecksumError,
+    FormatError,
+    ProtocolError,
+    RemoteError,
+    ReproError,
+    RetryExhaustedError,
+    TruncatedMessageError,
+)
+from repro.core.executor import run_shards
+from repro.core.faults import FaultPlan
 from repro.core.pipeline import (
     BeamPipelineResult,
     FieldLinePipelineResult,
@@ -70,4 +83,16 @@ __all__ = [
     "count",
     "gauge",
     "capture",
+    # fault tolerance
+    "ReproError",
+    "FormatError",
+    "ProtocolError",
+    "ChecksumError",
+    "TruncatedMessageError",
+    "RemoteError",
+    "RetryExhaustedError",
+    "atomic_write_bytes",
+    "run_shards",
+    "Checkpoint",
+    "FaultPlan",
 ]

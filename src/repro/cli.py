@@ -19,6 +19,15 @@ trace of the run (see :mod:`repro.core.trace`); ``repro trace-report
 out.json`` renders the per-stage breakdown.  Argparse defaults are
 derived from the pipeline config dataclasses in
 :mod:`repro.core.config` -- the single source of defaults.
+
+Typed failures map to distinct exit codes with a one-line stderr
+message (no traceback): a damaged data file
+(:class:`~repro.core.errors.FormatError`) exits 3, a damaged wire
+stream (:class:`~repro.core.errors.ProtocolError`) exits 4, and a
+remote request that failed after retries
+(:class:`~repro.core.errors.RemoteError` /
+:class:`~repro.core.errors.RetryExhaustedError`) exits 5.  A missing
+input file exits 2, matching argparse's usage-error code.
 """
 
 from __future__ import annotations
@@ -34,9 +43,20 @@ from repro.core.config import (
     FieldLinePipelineConfig,
     config_defaults,
 )
+from repro.core.errors import (
+    FormatError,
+    ProtocolError,
+    RemoteError,
+    RetryExhaustedError,
+)
 from repro.core.trace import capture, format_report, load_trace, span
 
 __all__ = ["main", "build_parser"]
+
+EXIT_USAGE = 2          # argparse's own code, reused for missing inputs
+EXIT_FORMAT_ERROR = 3   # a damaged / truncated / foreign data file
+EXIT_PROTOCOL_ERROR = 4  # a damaged remote stream
+EXIT_REMOTE_ERROR = 5   # the remote link failed after retries
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -380,6 +400,24 @@ def _cmd_trace_report(args) -> int:
     return 0
 
 
+def _dispatch(args) -> int:
+    """Run a subcommand, mapping typed failures to exit codes."""
+    try:
+        return args.func(args)
+    except FormatError as exc:
+        print(f"repro: damaged data file: {exc}", file=sys.stderr)
+        return EXIT_FORMAT_ERROR
+    except (RemoteError, RetryExhaustedError) as exc:
+        print(f"repro: remote request failed: {exc}", file=sys.stderr)
+        return EXIT_REMOTE_ERROR
+    except ProtocolError as exc:
+        print(f"repro: protocol error: {exc}", file=sys.stderr)
+        return EXIT_PROTOCOL_ERROR
+    except FileNotFoundError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -391,12 +429,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     trace_out = getattr(args, "trace", None)
     if not trace_out:
-        return args.func(args)
+        return _dispatch(args)
     # run inside a fresh, enabled tracer so each --trace run writes an
     # isolated document (and a library user's tracer is left alone)
     with capture(enabled=True) as tracer:
         try:
-            return args.func(args)
+            return _dispatch(args)
         finally:
             tracer.save(trace_out)
             print(f"trace written to {trace_out}")

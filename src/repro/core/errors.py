@@ -1,0 +1,88 @@
+"""Typed failure vocabulary shared by every process/socket boundary.
+
+The robustness layer (remote link, on-disk formats, parallel
+executors, checkpointing) communicates failure through these exception
+types instead of whatever the stdlib or numpy happened to raise, so
+callers -- and the CLI's exit-code mapping -- can tell *what kind* of
+thing went wrong:
+
+- :class:`FormatError` -- an on-disk artifact is truncated, corrupted,
+  or of the wrong kind/version.  Subclasses :class:`ValueError` so
+  pre-existing ``except ValueError`` call sites keep working.
+- :class:`ProtocolError` -- the wire stream of the remote link is
+  damaged (bad magic, unsupported version, checksum mismatch,
+  mid-message truncation).  :class:`TruncatedMessageError` also
+  subclasses :class:`ConnectionError` because a peer closing
+  mid-message *is* a connection failure.
+- :class:`RemoteError` -- the server answered with an application
+  ERROR message (request was delivered intact; retrying is pointless).
+- :class:`RetryExhaustedError` -- the client's bounded retry loop gave
+  up; carries the last underlying error as ``__cause__``.
+- :class:`SimulatedCrash` -- raised only by the fault-injection layer
+  (:mod:`repro.core.faults`) to emulate a process killed mid-write;
+  deliberately *not* caught by any resilience code.
+
+Only stdlib is used; this module imports nothing else from
+:mod:`repro` and can be imported from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "ProtocolError",
+    "BadMagicError",
+    "BadVersionError",
+    "ChecksumError",
+    "MessageTooLargeError",
+    "TruncatedMessageError",
+    "RemoteError",
+    "RetryExhaustedError",
+    "SimulatedCrash",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error the package raises on purpose."""
+
+
+class FormatError(ReproError, ValueError):
+    """An on-disk artifact is damaged, truncated, or the wrong kind."""
+
+
+class ProtocolError(ReproError):
+    """The remote link's wire stream is damaged or out of spec."""
+
+
+class BadMagicError(ProtocolError):
+    """Frame header does not start with the protocol magic (desync)."""
+
+
+class BadVersionError(ProtocolError):
+    """Peer speaks an unsupported protocol version."""
+
+
+class ChecksumError(ProtocolError):
+    """Payload CRC32 does not match the header (corrupted in flight)."""
+
+
+class MessageTooLargeError(ProtocolError):
+    """Declared payload length exceeds the protocol maximum."""
+
+
+class TruncatedMessageError(ProtocolError, ConnectionError):
+    """Peer closed the connection in the middle of a framed message."""
+
+
+class RemoteError(ReproError, RuntimeError):
+    """The server replied with an application-level ERROR message."""
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """A bounded retry loop ran out of attempts; see ``__cause__``."""
+
+
+class SimulatedCrash(ReproError):
+    """An injected process-kill (fault injection only; never caught by
+    resilience code -- it must propagate like a real kill)."""

@@ -1,0 +1,94 @@
+"""Crash-safe multiprocess shard execution.
+
+The paper's multi-node runs treat node failure as routine; here the
+equivalent is a ``ProcessPoolExecutor`` worker dying (OOM kill, node
+loss, :class:`repro.core.faults.CrashOnce`), which poisons the whole
+pool -- ``concurrent.futures`` raises ``BrokenProcessPool`` for every
+outstanding future and plain ``pool.map`` loses the entire run.
+
+:func:`run_shards` recovers instead of dying: results that completed
+before the break are kept, the failed shards are retried in a fresh
+pool (bounded attempts), and if pools keep breaking the remainder runs
+serially in the parent -- slower, never wrong.  Deterministic
+exceptions raised *by the shard function itself* propagate immediately
+(retrying them would loop), only pool breakage is retried.
+
+Recovery is visible in the tracer:
+
+- ``parallel_pool_breaks``     -- pools lost to worker death
+- ``parallel_shard_retries``   -- shards resubmitted to a fresh pool
+- ``parallel_serial_fallbacks``-- shards finished serially in-parent
+
+Both multiprocess entry points of the package
+(:func:`repro.octree.partition.partition` with ``workers > 1`` and
+:func:`repro.fieldlines.seeding.seed_density_proportional` with
+``workers > 1``) run their shards through this function.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.trace import count, span
+
+__all__ = ["run_shards"]
+
+_UNSET = object()
+
+
+def run_shards(
+    fn,
+    tasks,
+    workers: int = 1,
+    max_retries: int = 2,
+    label: str = "shards",
+):
+    """Map ``fn`` over ``tasks`` on worker processes, surviving worker
+    death; returns results in task order.
+
+    ``fn`` and each task must be picklable.  ``workers <= 1`` (or a
+    single task) runs serially in the parent.  After ``max_retries``
+    broken pools, the still-unfinished shards fall back to serial
+    execution with a warning.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+
+    results = [_UNSET] * len(tasks)
+    pending = list(range(len(tasks)))
+    attempt = 0
+    while pending:
+        if attempt > max_retries:
+            count("parallel_serial_fallbacks", len(pending))
+            warnings.warn(
+                f"{label}: worker pool broke {attempt} times; finishing "
+                f"{len(pending)} shard(s) serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            with span("serial_fallback", label=label, shards=len(pending)):
+                for i in pending:
+                    results[i] = fn(tasks[i])
+            break
+        broke = False
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                futures = [(i, pool.submit(fn, tasks[i])) for i in pending]
+                for i, future in futures:
+                    try:
+                        results[i] = future.result()
+                    except BrokenProcessPool:
+                        broke = True
+        except BrokenProcessPool:
+            # pool shutdown itself can re-raise after a break
+            broke = True
+        pending = [i for i in pending if results[i] is _UNSET]
+        if broke:
+            count("parallel_pool_breaks")
+        if pending:
+            count("parallel_shard_retries", len(pending))
+        attempt += 1
+    return results

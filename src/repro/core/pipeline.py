@@ -1,14 +1,24 @@
-"""End-to-end pipelines reproducing the paper's two workflows."""
+"""End-to-end pipelines reproducing the paper's two workflows.
+
+Both pipelines accept ``checkpoint_dir=...``: stage outputs are saved
+into a :class:`repro.core.checkpoint.Checkpoint` directory through the
+package's atomic on-disk formats, and a re-run after a kill loads the
+completed stages instead of recomputing them.  Resumption is visible
+in a trace as the ``checkpoint_stages_resumed`` /
+``checkpoint_steps_resumed`` counters.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.beams.simulation import BeamSimulation
+from repro.core.checkpoint import Checkpoint
 from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
-from repro.core.trace import gauge, span
+from repro.core.trace import count, gauge, span
 from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportional
 from repro.fieldlines.sos import build_strips, render_strips
 from repro.fields.geometry import make_multicell_structure
@@ -49,8 +59,14 @@ class FieldLinePipelineResult:
     image: np.ndarray | None = None
 
 
+def _part_stem(ckpt: Checkpoint, step: int):
+    return ckpt.path(f"part_{step:06d}")
+
+
 def beam_pipeline(
-    config: BeamPipelineConfig | None = None, render: bool = True
+    config: BeamPipelineConfig | None = None,
+    render: bool = True,
+    checkpoint_dir=None,
 ) -> BeamPipelineResult:
     """Simulate a beam, partition and extract every kept frame, and
     (optionally) render each hybrid.
@@ -58,42 +74,85 @@ def beam_pipeline(
     The extraction threshold is the configured percentile of the first
     frame's node densities, held fixed across the run so frame sizes
     are comparable.
+
+    With ``checkpoint_dir``, each partitioned frame and each extracted
+    hybrid is saved as it completes; a killed run re-invoked with the
+    same directory resumes from the last completed stage (a fully
+    checkpointed partition stage even skips re-simulating the beam).
     """
     config = config or BeamPipelineConfig()
-    sim = BeamSimulation(config.beam)
+    ckpt = Checkpoint(checkpoint_dir) if checkpoint_dir is not None else None
     gauge("beam_n_particles", config.beam.n_particles)
+
+    from repro.octree.format import load_partitioned, save_partitioned
 
     partitioned: list[PartitionedFrame] = []
     steps: list[int] = []
 
-    # drive the frame generator so simulation stepping and per-frame
-    # partitioning land in separate stage spans
-    frames = sim.frames(frame_every=config.frame_every)
-    while True:
-        with span("simulate"):
-            try:
-                step, particles = next(frames)
-            except StopIteration:
-                break
-        with span("partition", step=step):
-            pf = partition(
-                particles,
-                config.plot_type,
-                max_level=config.max_level,
-                capacity=config.capacity,
-                step=step,
-            )
-        partitioned.append(pf)
-        steps.append(step)
+    if ckpt is not None and ckpt.done("partition"):
+        # the beam never needs re-simulating: every kept frame is on disk
+        count("checkpoint_stages_resumed")
+        with span("partition_resume"):
+            for step in ckpt.meta("partition")["steps"]:
+                partitioned.append(load_partitioned(_part_stem(ckpt, step)))
+                steps.append(int(step))
+                count("checkpoint_steps_resumed")
+    else:
+        sim = BeamSimulation(config.beam)
+        # drive the frame generator so simulation stepping and per-frame
+        # partitioning land in separate stage spans
+        frames = sim.frames(frame_every=config.frame_every)
+        while True:
+            with span("simulate"):
+                try:
+                    step, particles = next(frames)
+                except StopIteration:
+                    break
+            if ckpt is not None and ckpt.has_step("partition", step):
+                count("checkpoint_steps_resumed")
+                pf = load_partitioned(_part_stem(ckpt, step))
+            else:
+                with span("partition", step=step):
+                    pf = partition(
+                        particles,
+                        config.plot_type,
+                        max_level=config.max_level,
+                        capacity=config.capacity,
+                        step=step,
+                    )
+                if ckpt is not None:
+                    save_partitioned(pf, _part_stem(ckpt, step))
+                    ckpt.record_step("partition", step)
+            partitioned.append(pf)
+            steps.append(step)
+        if ckpt is not None:
+            ckpt.mark_done("partition", steps=steps)
 
-    with span("extract"):
-        threshold = float(
-            np.percentile(partitioned[0].nodes["density"], config.threshold_percentile)
-        )
-        hybrids = [
-            extract(pf, threshold, volume_resolution=config.volume_resolution)
-            for pf in partitioned
-        ]
+    if ckpt is not None and ckpt.done("extract"):
+        count("checkpoint_stages_resumed")
+        with span("extract_resume"):
+            threshold = float(ckpt.meta("extract")["threshold"])
+            hybrids = []
+            for step in steps:
+                hybrids.append(
+                    HybridFrame.load(ckpt.path(f"hyb_{step:06d}.hybrid"))
+                )
+                count("checkpoint_steps_resumed")
+    else:
+        with span("extract"):
+            threshold = float(
+                np.percentile(
+                    partitioned[0].nodes["density"], config.threshold_percentile
+                )
+            )
+            hybrids = [
+                extract(pf, threshold, volume_resolution=config.volume_resolution)
+                for pf in partitioned
+            ]
+        if ckpt is not None:
+            for step, h in zip(steps, hybrids):
+                h.save(ckpt.path(f"hyb_{step:06d}.hybrid"))
+            ckpt.mark_done("extract", threshold=threshold)
 
     camera = Camera.fit_bounds(
         hybrids[0].lo, hybrids[0].hi,
@@ -117,10 +176,18 @@ def beam_pipeline(
 
 
 def fieldline_pipeline(
-    config: FieldLinePipelineConfig | None = None, render: bool = True
+    config: FieldLinePipelineConfig | None = None,
+    render: bool = True,
+    checkpoint_dir=None,
 ) -> FieldLinePipelineResult:
-    """Build a structure, obtain fields, seed lines, render strips."""
+    """Build a structure, obtain fields, seed lines, render strips.
+
+    With ``checkpoint_dir``, the seeded/ordered lines (the expensive
+    stage) are saved as a packed-line blob plus the ordering ledger; a
+    re-run loads them instead of re-integrating.
+    """
     config = config or FieldLinePipelineConfig()
+    ckpt = Checkpoint(checkpoint_dir) if checkpoint_dir is not None else None
     with span("mesh", n_cells=config.n_cells):
         structure = make_multicell_structure(
             config.n_cells, n_xy=config.n_xy, n_z_per_unit=config.n_z_per_unit
@@ -140,14 +207,40 @@ def fieldline_pipeline(
             structure.mesh.set_field("B", mode.b_field(structure.mesh.vertices, t_snapshot))
             sampler = AnalyticSampler(mode, config.field, t=t_snapshot, structure=structure)
 
-    with span("seed", total_lines=config.total_lines):
-        ordered = seed_density_proportional(
-            structure.mesh,
-            sampler,
-            total_lines=config.total_lines,
-            field_name=config.field,
-            loop_tolerance=0.02 if config.field == "B" else None,
-        )
+    if ckpt is not None and ckpt.done("seed"):
+        count("checkpoint_stages_resumed")
+        with span("seed_resume"):
+            from repro.fieldlines.compact import unpack_lines
+
+            lines = unpack_lines(ckpt.path("seed.lines").read_bytes())
+            ledger = np.load(ckpt.path("seed_ledger.npz"))
+            ordered = OrderedFieldLines(
+                lines=lines,
+                desired=ledger["desired"],
+                achieved=ledger["achieved"],
+                field_name=config.field,
+                meta=json.loads(ckpt.meta("seed").get("meta", "{}")),
+            )
+    else:
+        with span("seed", total_lines=config.total_lines):
+            ordered = seed_density_proportional(
+                structure.mesh,
+                sampler,
+                total_lines=config.total_lines,
+                field_name=config.field,
+                loop_tolerance=0.02 if config.field == "B" else None,
+            )
+        if ckpt is not None:
+            from repro.core.atomic import atomic_write_bytes
+            from repro.fieldlines.compact import pack_lines
+
+            atomic_write_bytes(ckpt.path("seed.lines"), pack_lines(ordered.lines))
+            import io
+
+            buf = io.BytesIO()
+            np.savez(buf, desired=ordered.desired, achieved=ordered.achieved)
+            atomic_write_bytes(ckpt.path("seed_ledger.npz"), buf.getvalue())
+            ckpt.mark_done("seed", meta=json.dumps(ordered.meta, default=str))
     camera = Camera.fit_bounds(
         *structure.bounds(), width=config.image_size, height=config.image_size
     )

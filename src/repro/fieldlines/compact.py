@@ -9,6 +9,7 @@ versus the pre-integrated lines (section 3.4 / Figure 9 discussion).
 Packed layout (little-endian):
 
     magic  b"RPRLINES"
+    u16    format version (2)
     u64    n_lines
     u64    total points
     u8     quantized flag
@@ -16,6 +17,9 @@ Packed layout (little-endian):
     u32[n_lines + 1] point offsets
     payload: points as f4 xyz (or u16 xyz quantized over the bounds),
              then |F| per point as f4
+
+Unpacking a truncated or non-line blob raises a typed
+:class:`repro.core.errors.FormatError`.
 """
 
 from __future__ import annotations
@@ -24,12 +28,14 @@ import struct
 
 import numpy as np
 
+from repro.core.errors import FormatError
 from repro.fieldlines.integrate import FieldLine
 
 __all__ = ["pack_lines", "unpack_lines", "compression_report"]
 
 MAGIC = b"RPRLINES"
-_HEADER = struct.Struct("<8sQQB6d")
+FORMAT_VERSION = 2
+_HEADER = struct.Struct("<8sHQQB6d")
 
 
 def pack_lines(lines, quantize: bool = False) -> bytes:
@@ -56,7 +62,7 @@ def pack_lines(lines, quantize: bool = False) -> bytes:
         lo = np.zeros(3)
         hi = np.ones(3)
     header = _HEADER.pack(
-        MAGIC, n_lines, total, 1 if quantize else 0, *lo, *hi
+        MAGIC, FORMAT_VERSION, n_lines, total, 1 if quantize else 0, *lo, *hi
     )
     parts = [header, offsets.astype("<u4").tobytes()]
     if quantize:
@@ -73,13 +79,25 @@ def unpack_lines(data: bytes):
     """Deserialize; returns a list of :class:`FieldLine` (tangents are
     recomputed from the polyline)."""
     if len(data) < _HEADER.size:
-        raise ValueError("not a packed field-line blob (truncated header)")
+        raise FormatError("not a packed field-line blob (truncated header)")
     fields = _HEADER.unpack_from(data, 0)
     if fields[0] != MAGIC:
-        raise ValueError("not a packed field-line blob")
-    n_lines, total, quantized = fields[1], fields[2], fields[3]
-    lo = np.array(fields[4:7])
-    hi = np.array(fields[7:10])
+        raise FormatError("not a packed field-line blob")
+    if fields[1] != FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported packed-line format version {fields[1]} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    n_lines, total, quantized = fields[2], fields[3], fields[4]
+    lo = np.array(fields[5:8])
+    hi = np.array(fields[8:11])
+    point_bytes = total * (6 if quantized else 12)
+    expected = _HEADER.size + (n_lines + 1) * 4 + point_bytes + total * 4
+    if len(data) < expected:
+        raise FormatError(
+            f"packed field-line blob truncated ({len(data)} bytes, "
+            f"{expected} expected for {n_lines} lines / {total} points)"
+        )
     off = _HEADER.size
     offsets = np.frombuffer(data, dtype="<u4", count=n_lines + 1, offset=off)
     off += offsets.nbytes

@@ -16,6 +16,14 @@ elements, so they would rarely have affected each other's selection.
 The ordering still loads strong-field regions first and keeps the
 prefix-superset property; the ablation bench quantifies the
 density-accuracy gap against the strict greedy order.
+
+With ``workers > 1`` each round's half-traces are farmed out to worker
+*processes* through :func:`repro.core.executor.run_shards` -- the
+actual "PC cluster" of the quote, with its failure semantics: a dead
+worker's shard is retried in a fresh pool, and persistent pool
+breakage falls back to in-process integration (identical results,
+tracked by the executor's tracer counters).  The field sampler must be
+picklable for this path.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import warnings
 
 import numpy as np
 
+from repro.core.executor import run_shards
 from repro.core.trace import count
 from repro.fieldlines.integrate import FieldLine, integrate_batch
 from repro.fieldlines.seeding import (
@@ -35,6 +44,41 @@ from repro.fieldlines.seeding import (
 from repro.fields.mesh import HexMesh
 
 __all__ = ["seed_density_proportional_batched"]
+
+
+def _integrate_shard(args):
+    """Integrate one chunk of a round's seeds (runs in a worker)."""
+    field_fn, seeds, step, max_steps, floor, direction = args
+    return integrate_batch(
+        field_fn, seeds, step=step, max_steps=max_steps,
+        min_magnitude=floor, direction=direction,
+    )
+
+
+def _integrate_round(field_fn, seeds, step, max_steps, floor, workers, _shard_fn=None):
+    """Forward+backward half-traces for a round's seeds.
+
+    ``workers > 1`` splits each direction into per-worker shards run
+    through :func:`run_shards` (crash-safe); otherwise both directions
+    integrate in-process.  ``_shard_fn`` is the fault-injection seam.
+    """
+    if workers <= 1:
+        fwd = _integrate_shard((field_fn, seeds, step, max_steps, floor, +1.0))
+        bwd = _integrate_shard((field_fn, seeds, step, max_steps, floor, -1.0))
+        return fwd, bwd
+    chunks = np.array_split(np.arange(len(seeds)), min(workers, len(seeds)))
+    chunks = [c for c in chunks if len(c)]
+    tasks = [
+        (field_fn, seeds[c], step, max_steps, floor, direction)
+        for direction in (+1.0, -1.0)
+        for c in chunks
+    ]
+    shard_fn = _shard_fn if _shard_fn is not None else _integrate_shard
+    results = run_shards(shard_fn, tasks, workers=workers, label="seed_rounds")
+    half = len(chunks)
+    fwd = [line for shard in results[:half] for line in shard]
+    bwd = [line for shard in results[half:] for line in shard]
+    return fwd, bwd
 
 
 def _stitch(forward: FieldLine, backward: FieldLine, field_fn, floor: float) -> FieldLine:
@@ -88,11 +132,16 @@ def _seed_batched(
     max_steps: int = 300,
     min_magnitude_fraction: float = 1e-3,
     rng=None,
+    workers: int = 1,
+    _shard_fn=None,
 ) -> OrderedFieldLines:
     """Round-based batched version of the density-proportional seeder.
 
     ``batch_size`` lines integrate simultaneously per round; with
     ``batch_size=1`` this reduces exactly to the greedy algorithm.
+    ``workers > 1`` integrates each round on worker processes (see the
+    module docstring for the failure semantics); the line ordering and
+    geometry are identical to the in-process batched path.
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
@@ -119,13 +168,9 @@ def _seed_batched(
         seeds = np.array(
             [_random_point_in_element(mesh, int(e), rng) for e in order]
         )
-        fwd = integrate_batch(
-            field_fn, seeds, step=step, max_steps=max_steps,
-            min_magnitude=floor, direction=+1.0,
-        )
-        bwd = integrate_batch(
-            field_fn, seeds, step=step, max_steps=max_steps,
-            min_magnitude=floor, direction=-1.0,
+        fwd, bwd = _integrate_round(
+            field_fn, seeds, step, max_steps, floor, workers,
+            _shard_fn=_shard_fn,
         )
         for f_half, b_half in zip(fwd, bwd):
             line = _stitch(f_half, b_half, field_fn, floor)
@@ -146,5 +191,6 @@ def _seed_batched(
             "floor": floor,
             "total_requested": int(total_lines),
             "batch_size": int(batch_size),
+            "workers": int(workers),
         },
     )

@@ -139,9 +139,13 @@ def seed_density_proportional(
     on_line : optional callback(i, line) fired as each line lands
     workers / batch_size : > 1 selects the round-based batched seeder
         (:mod:`repro.fieldlines.parallel_seeding`), integrating
-        ``batch_size or workers`` lines simultaneously per round; the
-        greedy path (the default) supports ``loop_tolerance`` and
-        ``on_line``, the batched path does not
+        ``batch_size or workers`` lines simultaneously per round;
+        ``workers > 1`` additionally farms each round out to worker
+        *processes* (crash-safe: dead workers are retried, persistent
+        pool breakage falls back in-process -- see
+        :mod:`repro.core.executor`).  The greedy path (the default)
+        supports ``loop_tolerance`` and ``on_line``, the batched path
+        does not.
     """
     n_batch = int(batch_size or workers)
     if n_batch > 1:
@@ -156,6 +160,7 @@ def seed_density_proportional(
             mesh, field_fn, total_lines=total_lines, field_name=field_name,
             batch_size=n_batch, step=step, max_steps=max_steps,
             min_magnitude_fraction=min_magnitude_fraction, rng=rng,
+            workers=int(workers),
         )
     rng = rng or np.random.default_rng(0)
     desired = desired_line_counts(mesh, field_name, total_lines)

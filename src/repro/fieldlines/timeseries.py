@@ -9,7 +9,10 @@ to reside in memory for interactive viewing."
 
 ``LineSequence`` is that store: one packed line file per time step on
 disk, a byte-budgeted cache in memory, and the storage accounting that
-compares the whole sequence against saving raw vertex fields.
+compares the whole sequence against saving raw vertex fields.  Step
+files are written atomically (a killed writer never leaves a torn
+step), and loading a damaged step raises a typed
+:class:`repro.core.errors.FormatError`.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import time
 from collections import OrderedDict
 from pathlib import Path
 
+from repro.core.atomic import atomic_write_bytes
 from repro.fieldlines.compact import pack_lines, unpack_lines
 
 __all__ = ["LineSequence"]
@@ -62,9 +66,9 @@ class LineSequence:
 
     # ------------------------------------------------------------------
     def save(self, step: int, lines) -> int:
-        """Pack and write one step; returns bytes written."""
+        """Pack and write one step atomically; returns bytes written."""
         blob = pack_lines(lines, quantize=self.quantize)
-        self._path(step).write_bytes(blob)
+        atomic_write_bytes(self._path(step), blob)
         # refresh the cache entry if present
         if step in self._cache:
             self._evict(step)

@@ -15,6 +15,7 @@ hybrid size as a small one (paper section 2.5).
 On-disk format (little-endian):
 
     bytes 0..7    magic b"RPRHYBRD"
+    u16           format version (2)
     header        struct: volume resolution (3 x u32), n_points (u64),
                   step (u64), threshold (f8), lo (3 x f8), hi (3 x f8),
                   plot-type name (16 bytes, NUL padded)
@@ -24,6 +25,10 @@ On-disk format (little-endian):
                   16-byte NUL-padded name + float32 values (M,)
                   (absent in blobs written before attributes existed;
                   readers treat a missing trailer as zero attributes)
+
+Writes are atomic (temp file + ``os.replace``); parsing a damaged
+blob raises a typed :class:`repro.core.errors.FormatError` describing
+what is wrong instead of numpy decode noise.
 
 The optional *attributes* carry dynamically calculated per-point
 properties (momentum magnitude, single-particle emittance, ...; see
@@ -39,10 +44,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.atomic import atomic_write_bytes
+from repro.core.errors import FormatError
+
 __all__ = ["HybridFrame"]
 
 MAGIC = b"RPRHYBRD"
-_HEADER = struct.Struct("<8s3IQQd3d3d16s")
+FORMAT_VERSION = 2
+_HEADER = struct.Struct("<8sH3IQQd3d3d16s")
 
 
 @dataclass
@@ -117,6 +126,7 @@ class HybridFrame:
         name = self.plot_type.encode("ascii")[:16].ljust(16, b"\0")
         header = _HEADER.pack(
             MAGIC,
+            FORMAT_VERSION,
             *(int(r) for r in self.volume.shape),
             self.n_points,
             int(self.step),
@@ -138,11 +148,8 @@ class HybridFrame:
         return b"".join(parts)
 
     def save(self, path) -> int:
-        """Write the frame; returns bytes written."""
-        blob = self.to_bytes()
-        with open(path, "wb") as f:
-            f.write(blob)
-        return len(blob)
+        """Write the frame atomically; returns bytes written."""
+        return atomic_write_bytes(path, self.to_bytes())
 
     @classmethod
     def load(cls, path) -> "HybridFrame":
@@ -153,19 +160,33 @@ class HybridFrame:
     @classmethod
     def from_bytes(cls, raw: bytes, source: str = "<bytes>") -> "HybridFrame":
         path = source
+        if len(raw) < _HEADER.size:
+            raise FormatError(f"{path}: truncated hybrid frame header")
         fields = _HEADER.unpack_from(raw, 0)
-        magic = fields[0]
+        magic, version = fields[0], fields[1]
         if magic != MAGIC:
-            raise ValueError(f"{path}: not a hybrid frame file")
-        rx, ry, rz = fields[1:4]
-        n_points = fields[4]
-        step = fields[5]
-        threshold = fields[6]
-        lo = np.array(fields[7:10])
-        hi = np.array(fields[10:13])
-        plot_type = fields[13].rstrip(b"\0").decode("ascii")
+            raise FormatError(f"{path}: not a hybrid frame file")
+        if version != FORMAT_VERSION:
+            raise FormatError(
+                f"{path}: unsupported format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        rx, ry, rz = fields[2:5]
+        n_points = fields[5]
+        step = fields[6]
+        threshold = fields[7]
+        lo = np.array(fields[8:11])
+        hi = np.array(fields[11:14])
+        plot_type = fields[14].rstrip(b"\0").decode("ascii")
         off = _HEADER.size
         vol_count = rx * ry * rz
+        payload_bytes = vol_count * 4 + n_points * 16
+        if len(raw) < off + payload_bytes:
+            raise FormatError(
+                f"{path}: truncated payload ({len(raw)} bytes, "
+                f"{off + payload_bytes} expected for a {rx}x{ry}x{rz} volume "
+                f"and {n_points} points)"
+            )
         volume = np.frombuffer(raw, dtype="<f4", count=vol_count, offset=off).reshape(
             rx, ry, rz
         )
@@ -181,6 +202,11 @@ class HybridFrame:
             (n_attrs,) = struct.unpack_from("<I", raw, off)
             off += 4
             for _ in range(n_attrs):
+                if len(raw) < off + 16 + n_points * 4:
+                    raise FormatError(
+                        f"{path}: truncated attribute trailer "
+                        f"({n_attrs} attributes declared)"
+                    )
                 attr_name = raw[off : off + 16].rstrip(b"\0").decode("ascii")
                 off += 16
                 values = np.frombuffer(raw, dtype="<f4", count=n_points, offset=off)

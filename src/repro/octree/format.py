@@ -8,9 +8,16 @@ build metadata (plot type, bounds, levels); the particle file is the
 density-sorted raw particle payload that extraction slices a prefix
 from.
 
+Both parts are written atomically (temp file + ``os.replace``, see
+:mod:`repro.core.atomic`): a process killed mid-save never leaves a
+torn file.  Loads validate magic, version, and payload sizes and raise
+:class:`repro.core.errors.FormatError` on damage instead of numpy
+decode noise.
+
 Node file layout (little-endian):
 
     bytes 0..7   magic b"RPRNODES"
+    u16          format version (2)
     header       struct: n_nodes u64, n_particles u64, max_level u32,
                  capacity u32, step u64, lo 3xf8, hi 3xf8,
                  plot type 16 bytes NUL padded
@@ -19,7 +26,8 @@ Node file layout (little-endian):
 Particle file layout:
 
     bytes 0..7   magic b"RPRPARTS"
-    bytes 8..15  n_particles u64
+    u16          format version (2)
+    u64          n_particles
     payload      (N, 6) float64
 """
 
@@ -30,15 +38,20 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.atomic import atomic_write_bytes
+from repro.core.errors import FormatError
 from repro.octree.octree import NODE_DTYPE
 from repro.octree.partition import PartitionedFrame
 
-__all__ = ["save_partitioned", "load_partitioned", "load_particle_prefix", "partition_paths"]
+__all__ = ["save_partitioned", "load_partitioned", "load_particle_prefix",
+           "partition_paths", "FORMAT_VERSION"]
 
 NODES_MAGIC = b"RPRNODES"
 PARTS_MAGIC = b"RPRPARTS"
-_NODES_HEADER = struct.Struct("<8sQQIIQ3d3d16s")
-_PARTS_HEADER = struct.Struct("<8sQ")
+FORMAT_VERSION = 2
+_NODES_HEADER = struct.Struct("<8sHQQIIQ3d3d16s")
+_PARTS_HEADER = struct.Struct("<8sHQ")
+_PARTICLE_BYTES = 6 * 8
 
 
 def partition_paths(stem) -> tuple[Path, Path]:
@@ -48,11 +61,12 @@ def partition_paths(stem) -> tuple[Path, Path]:
 
 
 def save_partitioned(frame: PartitionedFrame, stem) -> int:
-    """Write both parts; returns total bytes written."""
+    """Write both parts atomically; returns total bytes written."""
     nodes_path, parts_path = partition_paths(stem)
     name = frame.plot_type.encode("ascii")[:16].ljust(16, b"\0")
     header = _NODES_HEADER.pack(
         NODES_MAGIC,
+        FORMAT_VERSION,
         frame.n_nodes,
         frame.n_particles,
         int(frame.max_level),
@@ -63,35 +77,58 @@ def save_partitioned(frame: PartitionedFrame, stem) -> int:
         name,
     )
     nodes = np.ascontiguousarray(frame.nodes, dtype=NODE_DTYPE)
-    with open(nodes_path, "wb") as f:
-        f.write(header)
-        f.write(nodes.tobytes())
+    nodes_bytes = atomic_write_bytes(nodes_path, header + nodes.tobytes())
     particles = np.ascontiguousarray(frame.particles, dtype="<f8")
-    with open(parts_path, "wb") as f:
-        f.write(_PARTS_HEADER.pack(PARTS_MAGIC, frame.n_particles))
-        f.write(particles.tobytes())
-    return (
-        _NODES_HEADER.size
-        + nodes.nbytes
-        + _PARTS_HEADER.size
-        + particles.nbytes
+    parts_bytes = atomic_write_bytes(
+        parts_path,
+        _PARTS_HEADER.pack(PARTS_MAGIC, FORMAT_VERSION, frame.n_particles)
+        + particles.tobytes(),
     )
+    return nodes_bytes + parts_bytes
 
 
 def _read_nodes(nodes_path):
     with open(nodes_path, "rb") as f:
         raw = f.read()
+    if len(raw) < _NODES_HEADER.size:
+        raise FormatError(f"{nodes_path}: truncated node-file header")
     fields = _NODES_HEADER.unpack_from(raw, 0)
     if fields[0] != NODES_MAGIC:
-        raise ValueError(f"{nodes_path}: not a partition nodes file")
-    n_nodes, n_particles, max_level, capacity, step = fields[1:6]
-    lo = np.array(fields[6:9])
-    hi = np.array(fields[9:12])
-    plot_type = fields[12].rstrip(b"\0").decode("ascii")
+        raise FormatError(f"{nodes_path}: not a partition nodes file")
+    if fields[1] != FORMAT_VERSION:
+        raise FormatError(
+            f"{nodes_path}: unsupported format version {fields[1]} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    n_nodes, n_particles, max_level, capacity, step = fields[2:7]
+    expected = _NODES_HEADER.size + n_nodes * NODE_DTYPE.itemsize
+    if len(raw) < expected:
+        raise FormatError(
+            f"{nodes_path}: truncated payload ({len(raw)} bytes, "
+            f"{expected} expected for {n_nodes} nodes)"
+        )
+    lo = np.array(fields[7:10])
+    hi = np.array(fields[10:13])
+    plot_type = fields[13].rstrip(b"\0").decode("ascii")
     nodes = np.frombuffer(
         raw, dtype=NODE_DTYPE, count=n_nodes, offset=_NODES_HEADER.size
     ).copy()
     return nodes, n_particles, max_level, capacity, step, lo, hi, plot_type
+
+
+def _read_parts_header(f, parts_path):
+    head = f.read(_PARTS_HEADER.size)
+    if len(head) < _PARTS_HEADER.size:
+        raise FormatError(f"{parts_path}: truncated particle-file header")
+    magic, version, n = _PARTS_HEADER.unpack(head)
+    if magic != PARTS_MAGIC:
+        raise FormatError(f"{parts_path}: not a partition particles file")
+    if version != FORMAT_VERSION:
+        raise FormatError(
+            f"{parts_path}: unsupported format version {version} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return n
 
 
 def load_partitioned(stem) -> PartitionedFrame:
@@ -101,13 +138,18 @@ def load_partitioned(stem) -> PartitionedFrame:
         nodes_path
     )
     with open(parts_path, "rb") as f:
-        head = f.read(_PARTS_HEADER.size)
-        magic, n = _PARTS_HEADER.unpack(head)
-        if magic != PARTS_MAGIC:
-            raise ValueError(f"{parts_path}: not a partition particles file")
+        n = _read_parts_header(f, parts_path)
         if n != n_particles:
-            raise ValueError("node/particle file disagree on particle count")
-        payload = f.read(n * 48)
+            raise FormatError(
+                f"{parts_path}: node/particle file disagree on particle count "
+                f"({n_particles} vs {n})"
+            )
+        payload = f.read(n * _PARTICLE_BYTES)
+    if len(payload) < n * _PARTICLE_BYTES:
+        raise FormatError(
+            f"{parts_path}: truncated payload ({len(payload)} bytes for "
+            f"{n} particles)"
+        )
     particles = np.frombuffer(payload, dtype="<f8").reshape(n, 6).copy()
     from repro.octree.octree import plot_columns
 
@@ -130,10 +172,12 @@ def load_particle_prefix(stem, n_particles: int) -> np.ndarray:
     disk" fast path."""
     _, parts_path = partition_paths(stem)
     with open(parts_path, "rb") as f:
-        head = f.read(_PARTS_HEADER.size)
-        magic, n = _PARTS_HEADER.unpack(head)
-        if magic != PARTS_MAGIC:
-            raise ValueError(f"{parts_path}: not a partition particles file")
+        n = _read_parts_header(f, parts_path)
         take = min(int(n_particles), n)
-        payload = f.read(take * 48)
+        payload = f.read(take * _PARTICLE_BYTES)
+    if len(payload) < take * _PARTICLE_BYTES:
+        raise FormatError(
+            f"{parts_path}: truncated payload ({len(payload)} bytes for a "
+            f"{take}-particle prefix)"
+        )
     return np.frombuffer(payload, dtype="<f8").reshape(take, 6).copy()

@@ -23,10 +23,10 @@ so per-octant build time is visible in the parent's trace.
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.core.executor import run_shards
 from repro.core.trace import capture, count, get_tracer, span
 from repro.octree.octree import NODE_DTYPE, Octree, morton_keys, plot_columns
 from repro.octree.partition import PartitionedFrame
@@ -65,6 +65,7 @@ def _partition_parallel(
     n_workers: int = 4,
     top_level: int = 1,
     step: int = 0,
+    _worker_fn=None,
 ) -> PartitionedFrame:
     """Implementation behind ``partition(..., workers=N)``.
 
@@ -77,6 +78,10 @@ def _partition_parallel(
     as one coarse node appear as (at most 8**top_level) finer leaves.
     Extraction results are unaffected -- the prefix property and
     density ordering hold either way.
+
+    ``_worker_fn`` is the fault-injection seam: it replaces
+    :func:`_worker_build` as the per-octant shard function (wrap it
+    with :class:`repro.core.faults.CrashOnce` to test worker loss).
     """
     particles = np.asarray(particles, dtype=np.float64)
     if particles.ndim != 2 or particles.shape[1] != 6:
@@ -135,11 +140,17 @@ def _partition_parallel(
     all_orders = []
     with span("octant_builds", n_tasks=len(tasks), n_workers=n_workers):
         worker_path = tracer.current_path() or None
-        if n_workers <= 1:
-            results = [_worker_build(t[:8]) for t in tasks]
-        else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                results = list(pool.map(_worker_build, [t[:8] for t in tasks]))
+        # run_shards survives worker death: octants whose worker crashed
+        # are retried in a fresh pool and, if pools keep breaking, built
+        # serially in this process -- the merged frame is identical
+        # either way (each octant build is deterministic).
+        worker_fn = _worker_fn if _worker_fn is not None else _worker_build
+        results = run_shards(
+            worker_fn,
+            [t[:8] for t in tasks],
+            workers=n_workers,
+            label="octant_builds",
+        )
     offset = 0
     for (nodes, worker_order, snap), task in zip(results, tasks):
         tracer.merge(snap, prefix=worker_path)

@@ -4,6 +4,21 @@ Requests hybrid extractions from a :class:`VisualizationServer`,
 timing each transfer and accounting bytes -- the measurements behind
 the paper's claim that compact hybrid frames make remote exploration
 practical ("quickly transferring over a network", section 2.3).
+
+The link is treated as unreliable: every request runs under a socket
+timeout inside a bounded retry loop with exponential backoff, and any
+transport or protocol failure (dropped connection, corrupted frame,
+timeout) transparently reconnects before the next attempt.  Only an
+application-level server ERROR aborts immediately -- the request
+arrived intact, so retrying cannot help.  When every attempt fails a
+:class:`~repro.core.errors.RetryExhaustedError` carries the last
+underlying error.
+
+Graceful degradation mirrors the paper's view-time quality/latency
+trade: with ``degrade_below_bps`` set, a measured throughput below the
+threshold halves the *requested* volume resolution (never below
+``min_resolution``), so a congested link keeps delivering frames --
+coarser ones -- instead of stalling.
 """
 
 from __future__ import annotations
@@ -11,6 +26,7 @@ from __future__ import annotations
 import socket
 import time
 
+from repro.core.errors import ProtocolError, RemoteError, RetryExhaustedError
 from repro.core.trace import count, span
 from repro.hybrid.representation import HybridFrame
 from repro.remote import protocol
@@ -20,14 +36,73 @@ __all__ = ["VisualizationClient"]
 
 
 class VisualizationClient:
-    """Connects to a server and fetches hybrid frames."""
+    """Connects to a server and fetches hybrid frames.
 
-    def __init__(self, address, timeout: float = 30.0):
-        self.sock = socket.create_connection(address, timeout=timeout)
-        self.stats = {"bytes_received": 0, "frames": 0, "seconds": 0.0}
+    Parameters
+    ----------
+    address : (host, port) of a :class:`VisualizationServer`
+    timeout : per-socket-operation timeout in seconds
+    retries : extra attempts per request after the first
+    backoff, backoff_max : exponential backoff delays between attempts
+    degrade_below_bps : measured-throughput floor that triggers a
+        resolution downshift (``None`` disables degradation)
+    min_resolution : downshift floor for the volume resolution
+    fault_plan : optional :class:`repro.core.faults.FaultPlan` wrapping
+        the socket with injected stream faults (testing only)
+    """
+
+    def __init__(
+        self,
+        address,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        degrade_below_bps: float | None = None,
+        min_resolution: int = 8,
+        fault_plan=None,
+    ):
+        self.address = address
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_max = float(backoff_max)
+        self.degrade_below_bps = degrade_below_bps
+        self.min_resolution = int(min_resolution)
+        self._fault_plan = fault_plan
+        self._degrade_factor = 1
+        self.stats = {
+            "bytes_received": 0,
+            "frames": 0,
+            "seconds": 0.0,
+            "errors": 0,
+            "retries": 0,
+            "reconnects": 0,
+            "degradations": 0,
+        }
+        self.sock = None
+        self._connect()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        if self._fault_plan is not None:
+            sock = self._fault_plan.wrap_socket(sock)
+        self.sock = sock
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+        self.stats["reconnects"] += 1
+        count("remote_reconnects")
 
     def close(self) -> None:
-        self.sock.close()
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "VisualizationClient":
         return self
@@ -36,44 +111,103 @@ class VisualizationClient:
         self.close()
 
     # ------------------------------------------------------------------
+    def _request(self, message: Message, expected: MessageType) -> Message:
+        """One request/reply under the retry policy.
+
+        Bytes and seconds are accounted as soon as a full reply frame
+        arrives -- *before* any payload decode -- so a decode failure
+        cannot silently skew :meth:`throughput_bps`.
+        """
+        delay = self.backoff
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.stats["retries"] += 1
+                count("remote_retries")
+                time.sleep(delay)
+                delay = min(delay * 2.0, self.backoff_max)
+                try:
+                    self._reconnect()
+                except OSError as exc:
+                    self.stats["errors"] += 1
+                    count("remote_errors")
+                    last = exc
+                    continue
+            try:
+                t0 = time.perf_counter()
+                protocol.send_message(self.sock, message)
+                reply = protocol.recv_message(self.sock)
+            except (ProtocolError, OSError) as exc:
+                self.stats["errors"] += 1
+                count("remote_errors")
+                last = exc
+                continue
+            elapsed = time.perf_counter() - t0
+            self.stats["bytes_received"] += len(reply.payload)
+            self.stats["seconds"] += elapsed
+            count("remote_bytes_received", len(reply.payload))
+            if reply.type == MessageType.ERROR:
+                self.stats["errors"] += 1
+                count("remote_errors")
+                raise RemoteError(f"server error: {reply.payload.decode()}")
+            if reply.type != expected:
+                self.stats["errors"] += 1
+                count("remote_errors")
+                raise RemoteError(f"expected {expected}, got {reply.type}")
+            return reply
+        raise RetryExhaustedError(
+            f"{expected.name} request failed after {self.retries + 1} "
+            f"attempt(s): {last}"
+        ) from last
+
+    # ------------------------------------------------------------------
     def list_frames(self):
         """Step indices of the frames the server holds."""
-        protocol.send_message(self.sock, Message(MessageType.LIST_FRAMES))
-        reply = protocol.recv_message(self.sock)
-        self._check(reply, MessageType.FRAME_LIST)
+        reply = self._request(Message(MessageType.LIST_FRAMES), MessageType.FRAME_LIST)
         return protocol.decode_frame_list(reply.payload)
+
+    def effective_resolution(self, resolution: int) -> int:
+        """The resolution a request would use after degradation."""
+        return max(int(resolution) // self._degrade_factor, self.min_resolution)
+
+    def _maybe_degrade(self) -> None:
+        if self.degrade_below_bps is None or self.stats["frames"] == 0:
+            return
+        if self.throughput_bps() < self.degrade_below_bps:
+            self._degrade_factor *= 2
+            self.stats["degradations"] += 1
+            count("remote_degradations")
 
     def get_hybrid(
         self, frame_index: int, threshold: float, resolution: int = 64
     ) -> HybridFrame:
-        """Request one extraction; timing lands in ``stats``."""
-        t0 = time.perf_counter()
-        with span("remote_fetch", frame=frame_index):
-            protocol.send_message(
-                self.sock,
+        """Request one extraction; timing lands in ``stats``.
+
+        The requested resolution may be downshifted by the degradation
+        policy; the frame actually received tells the caller what it
+        got (``frame.resolution``).
+        """
+        self._maybe_degrade()
+        resolution = self.effective_resolution(resolution)
+        with span("remote_fetch", frame=frame_index, resolution=resolution):
+            reply = self._request(
                 Message(
                     MessageType.GET_HYBRID,
                     protocol.encode_get_hybrid(frame_index, threshold, resolution),
                 ),
+                MessageType.HYBRID_FRAME,
             )
-            reply = protocol.recv_message(self.sock)
-        elapsed = time.perf_counter() - t0
-        self._check(reply, MessageType.HYBRID_FRAME)
-        self.stats["bytes_received"] += len(reply.payload)
+        try:
+            frame = protocol.decode_hybrid(reply.payload)
+        except Exception:
+            self.stats["errors"] += 1
+            count("remote_errors")
+            raise
         self.stats["frames"] += 1
-        self.stats["seconds"] += elapsed
-        count("remote_bytes_received", len(reply.payload))
-        return protocol.decode_hybrid(reply.payload)
+        return frame
 
     def throughput_bps(self) -> float:
         """Mean received throughput over all requests so far."""
         if self.stats["seconds"] <= 0:
             return 0.0
         return self.stats["bytes_received"] / self.stats["seconds"]
-
-    @staticmethod
-    def _check(reply: Message, expected: MessageType) -> None:
-        if reply.type == MessageType.ERROR:
-            raise RuntimeError(f"server error: {reply.payload.decode()}")
-        if reply.type != expected:
-            raise RuntimeError(f"expected {expected}, got {reply.type}")

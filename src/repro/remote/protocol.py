@@ -1,8 +1,19 @@
 """Wire protocol for the remote visualization link.
 
-Length-prefixed binary messages:
+Length-prefixed binary messages, version 2 of the framing:
 
-    u32 message type | u64 payload length | payload bytes
+    4s  magic  b"RPV2"
+    u16 protocol version (2)
+    u16 message type
+    u64 payload length
+    u32 CRC32 of the payload
+
+followed by the payload bytes.  The magic keeps a desynchronized or
+non-protocol stream from being interpreted as a length field; the
+CRC32 rejects payloads corrupted in flight.  :func:`recv_message`
+raises typed :class:`~repro.core.errors.ProtocolError` subclasses --
+never garbage decodes -- so both ends can distinguish a damaged stream
+(reconnect / drop the connection) from application errors.
 
 Payloads reuse the package's on-disk codecs (hybrid frames serialize
 with :meth:`HybridFrame.save`'s layout); requests are small structs.
@@ -11,17 +22,30 @@ with :meth:`HybridFrame.save`'s layout); requests are small structs.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from enum import IntEnum
 
 import numpy as np
 
+from repro.core.errors import (
+    BadMagicError,
+    BadVersionError,
+    ChecksumError,
+    MessageTooLargeError,
+    ProtocolError,
+    TruncatedMessageError,
+)
 from repro.hybrid.representation import HybridFrame
 
 __all__ = ["MessageType", "Message", "send_message", "recv_message",
-           "encode_hybrid", "decode_hybrid"]
+           "encode_hybrid", "decode_hybrid", "PROTOCOL_MAGIC",
+           "PROTOCOL_VERSION", "MAX_PAYLOAD"]
 
-_FRAME_HEADER = struct.Struct("<IQ")
+PROTOCOL_MAGIC = b"RPV2"
+PROTOCOL_VERSION = 2
+MAX_PAYLOAD = 1 << 32  # 4 GiB; anything larger is a corrupted length
+_FRAME_HEADER = struct.Struct("<4sHHQI")
 
 
 class MessageType(IntEnum):
@@ -49,7 +73,14 @@ def send_message(sock, message: Message, bandwidth_bps: float | None = None) -> 
     """
     import time
 
-    data = _FRAME_HEADER.pack(int(message.type), len(message.payload)) + message.payload
+    header = _FRAME_HEADER.pack(
+        PROTOCOL_MAGIC,
+        PROTOCOL_VERSION,
+        int(message.type),
+        len(message.payload),
+        zlib.crc32(message.payload) & 0xFFFFFFFF,
+    )
+    data = header + message.payload
     if bandwidth_bps is None:
         sock.sendall(data)
     else:
@@ -66,17 +97,51 @@ def _recv_exact(sock, n: int) -> bytes:
     while len(buf) < n:
         part = sock.recv(min(n - len(buf), 1 << 20))
         if not part:
-            raise ConnectionError("peer closed the connection mid-message")
+            raise TruncatedMessageError(
+                f"peer closed the connection mid-message "
+                f"({len(buf)}/{n} bytes received)"
+            )
         buf.extend(part)
     return bytes(buf)
 
 
 def recv_message(sock) -> Message:
-    """Read exactly one framed message from the socket."""
+    """Read exactly one framed message from the socket.
+
+    Raises :class:`BadMagicError`, :class:`BadVersionError`,
+    :class:`MessageTooLargeError`, :class:`ChecksumError`, or
+    :class:`TruncatedMessageError` when the stream is damaged, and
+    :class:`ProtocolError` for an unknown message type.
+    """
     head = _recv_exact(sock, _FRAME_HEADER.size)
-    mtype, length = _FRAME_HEADER.unpack(head)
+    magic, version, mtype, length, crc = _FRAME_HEADER.unpack(head)
+    if magic != PROTOCOL_MAGIC:
+        raise BadMagicError(f"bad frame magic {magic!r} (stream desynchronized?)")
+    if version != PROTOCOL_VERSION:
+        raise BadVersionError(
+            f"peer speaks protocol v{version}, expected v{PROTOCOL_VERSION}"
+        )
+    if length > MAX_PAYLOAD:
+        raise MessageTooLargeError(
+            f"declared payload of {length} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+        )
     payload = _recv_exact(sock, length) if length else b""
-    return Message(MessageType(mtype), payload)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ChecksumError(
+            f"payload CRC mismatch on a {length}-byte {_type_name(mtype)} message"
+        )
+    try:
+        mtype = MessageType(mtype)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message type {mtype}") from exc
+    return Message(mtype, payload)
+
+
+def _type_name(mtype: int) -> str:
+    try:
+        return MessageType(mtype).name
+    except ValueError:
+        return f"type-{mtype}"
 
 
 # ----------------------------------------------------------------------
@@ -91,7 +156,10 @@ def encode_get_hybrid(frame_index: int, threshold: float, resolution: int) -> by
 
 
 def decode_get_hybrid(payload: bytes):
-    return _GET_HYBRID.unpack(payload)
+    try:
+        return _GET_HYBRID.unpack(payload)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed GET_HYBRID payload: {exc}") from exc
 
 
 def encode_frame_list(steps) -> bytes:
@@ -100,7 +168,15 @@ def encode_frame_list(steps) -> bytes:
 
 
 def decode_frame_list(payload: bytes):
-    (count,) = _U64.unpack_from(payload, 0)
+    try:
+        (count,) = _U64.unpack_from(payload, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed FRAME_LIST payload: {exc}") from exc
+    if len(payload) < _U64.size + count * 8:
+        raise ProtocolError(
+            f"FRAME_LIST payload truncated ({len(payload)} bytes for "
+            f"{count} steps)"
+        )
     return np.frombuffer(payload, dtype="<u8", count=count, offset=_U64.size).tolist()
 
 

@@ -5,6 +5,16 @@ holds partitioned frames and answers extraction requests, so only the
 compact hybrid representation ever crosses the network -- the paper's
 core remote-visualization argument.
 
+The serve loop is failure-isolated: each accepted connection is
+handled on its own daemon thread under a per-connection timeout, and
+*no* client behaviour -- a damaged stream, a mid-message disconnect, a
+request that makes extraction blow up -- can take down the loop or
+other connections.  Protocol damage closes the offending connection
+(the stream can no longer be trusted); per-request application errors
+are answered with an ERROR message and the connection lives on.
+``stop()`` is idempotent and joins the serve thread and any open
+connection handlers.
+
 The server runs in a daemon thread on localhost; tests and benches
 connect a :class:`repro.remote.client.VisualizationClient` to it.
 """
@@ -14,6 +24,7 @@ from __future__ import annotations
 import socket
 import threading
 
+from repro.core.errors import ProtocolError
 from repro.core.trace import count, span
 from repro.octree.extraction import extract
 from repro.octree.partition import PartitionedFrame
@@ -33,6 +44,10 @@ class VisualizationServer:
         wide-area link
     host, port : bind address; port 0 picks a free port (see
         ``address`` after ``start()``)
+    connection_timeout : seconds a connection may sit idle (or stall
+        mid-message) before the server gives up on it
+    fault_plan : optional :class:`repro.core.faults.FaultPlan` wrapping
+        accepted connections with injected stream faults (testing only)
     """
 
     def __init__(
@@ -41,17 +56,28 @@ class VisualizationServer:
         bandwidth_bps: float | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        connection_timeout: float = 30.0,
+        fault_plan=None,
     ):
         self.frames: list[PartitionedFrame] = list(frames)
         self.bandwidth_bps = bandwidth_bps
+        self.connection_timeout = float(connection_timeout)
+        self._fault_plan = fault_plan
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
-        self._sock.listen(4)
+        self._sock.listen(16)
         self.address = self._sock.getsockname()
         self._thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
         self._stop = threading.Event()
-        self.stats = {"requests": 0, "bytes_sent": 0, "extractions": 0}
+        self.stats = {
+            "requests": 0,
+            "bytes_sent": 0,
+            "extractions": 0,
+            "protocol_errors": 0,
+            "handler_errors": 0,
+        }
 
     # ------------------------------------------------------------------
     def start(self) -> "VisualizationServer":
@@ -70,6 +96,8 @@ class VisualizationServer:
             pass
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+        for handler in self._handlers:
+            handler.join(timeout=1.0)
         self._sock.close()
 
     def __enter__(self) -> "VisualizationServer":
@@ -85,50 +113,82 @@ class VisualizationServer:
                 conn, _ = self._sock.accept()
             except OSError:
                 break
+            self._handlers = [t for t in self._handlers if t.is_alive()]
+            handler = threading.Thread(
+                target=self._client_loop, args=(conn,), daemon=True
+            )
+            self._handlers.append(handler)
+            handler.start()
+
+    def _client_loop(self, conn) -> None:
+        """One connection's lifetime; exceptions never leave here."""
+        try:
+            conn.settimeout(self.connection_timeout)
+            if self._fault_plan is not None:
+                conn = self._fault_plan.wrap_socket(conn)
+            self._handle(conn)
+        except ProtocolError:
+            # the stream can't be trusted any more: drop this connection
+            self.stats["protocol_errors"] += 1
+            count("remote_server_protocol_errors")
+        except (ConnectionError, socket.timeout, OSError):
+            pass
+        except Exception:
+            self.stats["handler_errors"] += 1
+            count("remote_server_handler_errors")
+        finally:
             try:
-                self._handle(conn)
-            finally:
                 conn.close()
+            except OSError:
+                pass
 
     def _handle(self, conn) -> None:
-        while True:
-            try:
-                msg = protocol.recv_message(conn)
-            except (ConnectionError, OSError):
-                return
+        while not self._stop.is_set():
+            msg = protocol.recv_message(conn)
             self.stats["requests"] += 1
             count("remote_requests")
             if msg.type == MessageType.SHUTDOWN:
                 self._stop.set()
                 return
-            if msg.type == MessageType.LIST_FRAMES:
-                payload = protocol.encode_frame_list(f.step for f in self.frames)
-                self._send(conn, Message(MessageType.FRAME_LIST, payload))
-            elif msg.type == MessageType.GET_HYBRID:
-                index, threshold, resolution = protocol.decode_get_hybrid(msg.payload)
-                if not 0 <= index < len(self.frames):
-                    self._send(
-                        conn,
-                        Message(
-                            MessageType.ERROR,
-                            f"frame index {index} out of range".encode(),
-                        ),
-                    )
-                    continue
-                with span("serve_hybrid", frame=index):
-                    hybrid = extract(
-                        self.frames[index], threshold, volume_resolution=resolution
-                    )
-                    self.stats["extractions"] += 1
-                    self._send(
-                        conn,
-                        Message(MessageType.HYBRID_FRAME, protocol.encode_hybrid(hybrid)),
-                    )
-            else:
+            try:
+                self._answer(conn, msg)
+            except (ProtocolError, ConnectionError, socket.timeout, OSError):
+                raise
+            except Exception as exc:
+                # isolate per-request failures: report and keep serving
+                self.stats["handler_errors"] += 1
+                count("remote_server_handler_errors")
+                self._send(conn, Message(MessageType.ERROR, str(exc).encode()))
+
+    def _answer(self, conn, msg: Message) -> None:
+        if msg.type == MessageType.LIST_FRAMES:
+            payload = protocol.encode_frame_list(f.step for f in self.frames)
+            self._send(conn, Message(MessageType.FRAME_LIST, payload))
+        elif msg.type == MessageType.GET_HYBRID:
+            index, threshold, resolution = protocol.decode_get_hybrid(msg.payload)
+            if not 0 <= index < len(self.frames):
                 self._send(
                     conn,
-                    Message(MessageType.ERROR, f"unexpected {msg.type}".encode()),
+                    Message(
+                        MessageType.ERROR,
+                        f"frame index {index} out of range".encode(),
+                    ),
                 )
+                return
+            with span("serve_hybrid", frame=index):
+                hybrid = extract(
+                    self.frames[index], threshold, volume_resolution=resolution
+                )
+                self.stats["extractions"] += 1
+                self._send(
+                    conn,
+                    Message(MessageType.HYBRID_FRAME, protocol.encode_hybrid(hybrid)),
+                )
+        else:
+            self._send(
+                conn,
+                Message(MessageType.ERROR, f"unexpected {msg.type}".encode()),
+            )
 
     def _send(self, conn, message: Message) -> None:
         sent = protocol.send_message(

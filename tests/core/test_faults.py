@@ -1,0 +1,186 @@
+"""The fault-injection harness and the crash-safe shard executor.
+
+These tests exercise the injectors themselves (deterministic streams,
+exactly-once crashes, torn-write atomicity) and the recovery machinery
+that consumes them: ``run_shards`` surviving worker death and the
+parallel partition producing identical frames with and without a
+crashed worker.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import atomic
+from repro.core.atomic import atomic_write_bytes
+from repro.core.errors import SimulatedCrash
+from repro.core.executor import run_shards
+from repro.core.faults import CrashAlways, CrashOnce, FaultPlan
+from repro.core.trace import capture
+
+
+# module level so ProcessPoolExecutor can pickle it
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("task three is broken")
+    return x
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=7)
+        b = FaultPlan(seed=7)
+        da = [a.fire("corrupt", 0.3) for _ in range(200)]
+        db = [b.fire("corrupt", 0.3) for _ in range(200)]
+        assert da == db
+        assert any(da) and not all(da)
+        assert a.injected == b.injected
+
+    def test_kinds_draw_from_independent_streams(self):
+        """Adding decisions of one kind must not perturb another's."""
+        a = FaultPlan(seed=7)
+        b = FaultPlan(seed=7)
+        da = [a.fire("corrupt", 0.3) for _ in range(100)]
+        db = []
+        for _ in range(100):
+            b.fire("drop", 0.5)  # interleaved traffic on another kind
+            db.append(b.fire("corrupt", 0.3))
+        assert da == db
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(seed=0)
+        assert not any(plan.fire("drop", 0.0) for _ in range(100))
+        assert plan.injected == {}
+
+    def test_corrupt_bytes_flips_exactly_one_byte(self):
+        plan = FaultPlan(seed=3)
+        data = bytes(range(64))
+        mutated = plan.corrupt_bytes(data)
+        assert len(mutated) == len(data)
+        diffs = [i for i in range(64) if mutated[i] != data[i]]
+        assert len(diffs) == 1
+        i = diffs[0]
+        assert mutated[i] == data[i] ^ 0xFF
+
+    def test_injection_counters_reach_tracer(self):
+        with capture(enabled=True) as tracer:
+            plan = FaultPlan(seed=1)
+            while not plan.fire("corrupt", 0.5):
+                pass
+        assert tracer.counters.get("faults_injected_corrupt", 0) >= 1
+
+
+class TestAtomicWrites:
+    def test_roundtrip_and_no_temp_left(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        n = atomic_write_bytes(path, b"payload")
+        assert n == 7
+        assert path.read_bytes() == b"payload"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_torn_write_leaves_target_intact(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"old content")
+        plan = FaultPlan(seed=0, torn_write=1.0)
+        with plan.file_faults():
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(path, b"NEW content that must not land")
+        assert path.read_bytes() == b"old content"
+        assert list(tmp_path.iterdir()) == [path]  # temp cleaned up
+
+    def test_hook_cleared_after_block(self, tmp_path):
+        plan = FaultPlan(seed=0, torn_write=1.0)
+        with plan.file_faults():
+            pass
+        assert atomic._fault_hook is None
+        atomic_write_bytes(tmp_path / "ok.bin", b"fine")
+
+
+class TestRunShards:
+    def test_serial_path(self):
+        assert run_shards(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        tasks = list(range(8))
+        assert run_shards(_square, tasks, workers=2) == [_square(t) for t in tasks]
+
+    def test_deterministic_task_error_propagates(self):
+        """A bug in the shard function must not be retried into a loop."""
+        with pytest.raises(ValueError, match="task three"):
+            run_shards(_raise_on_three, [1, 2, 3, 4], workers=2)
+
+    def test_survives_one_worker_crash(self, tmp_path):
+        tasks = list(range(6))
+        fn = CrashOnce(_square, tmp_path / "crash.token")
+        with capture(enabled=True) as tracer:
+            results = run_shards(fn, tasks, workers=2)
+        assert results == [_square(t) for t in tasks]
+        assert (tmp_path / "crash.token").exists()
+        assert tracer.counters.get("parallel_pool_breaks", 0) >= 1
+        assert tracer.counters.get("parallel_shard_retries", 0) >= 1
+
+    def test_persistent_breakage_falls_back_to_serial(self):
+        tasks = list(range(4))
+        with capture(enabled=True) as tracer:
+            with pytest.warns(RuntimeWarning, match="finishing .* serially"):
+                results = run_shards(
+                    CrashAlways(_square), tasks, workers=2, max_retries=1
+                )
+        assert results == [_square(t) for t in tasks]
+        assert tracer.counters.get("parallel_serial_fallbacks", 0) == len(tasks)
+
+
+class TestParallelPartitionUnderCrash:
+    def test_worker_crash_yields_identical_frame(self, tmp_path):
+        """One 'node' dying mid-partition must not change the output."""
+        from repro.octree.parallel import _partition_parallel, _worker_build
+
+        rng = np.random.default_rng(5)
+        particles = np.vstack(
+            [rng.normal(0, 0.3, (3000, 6)), rng.normal(0, 1.5, (300, 6))]
+        )
+        clean = _partition_parallel(
+            particles, "xyz", max_level=5, capacity=32, n_workers=2
+        )
+        crashing = CrashOnce(_worker_build, tmp_path / "node.token")
+        with capture(enabled=True) as tracer:
+            survived = _partition_parallel(
+                particles, "xyz", max_level=5, capacity=32, n_workers=2,
+                _worker_fn=crashing,
+            )
+        assert tracer.counters.get("parallel_pool_breaks", 0) >= 1
+        survived.validate()
+        assert np.array_equal(survived.nodes, clean.nodes)
+        assert np.array_equal(survived.particles, clean.particles)
+
+
+class TestParallelSeedingUnderCrash:
+    def test_seeding_survives_worker_crash(self, tmp_path, structure3, e_sampler):
+        from repro.fieldlines.parallel_seeding import (
+            _integrate_shard,
+            _seed_batched,
+        )
+
+        kwargs = dict(
+            total_lines=10, field_name="E", batch_size=5, max_steps=60,
+        )
+        clean = _seed_batched(
+            structure3.mesh, e_sampler,
+            rng=np.random.default_rng(4), workers=2, **kwargs,
+        )
+        crashing = CrashOnce(_integrate_shard, tmp_path / "seed.token")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            survived = _seed_batched(
+                structure3.mesh, e_sampler,
+                rng=np.random.default_rng(4), workers=2,
+                _shard_fn=crashing, **kwargs,
+            )
+        assert len(survived) == len(clean)
+        for a, b in zip(clean.lines, survived.lines):
+            assert np.allclose(a.points, b.points)

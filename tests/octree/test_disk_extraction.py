@@ -99,9 +99,10 @@ class TestExtractFromDisk:
                 stem.with_suffix(suffix), new_stem.with_suffix(suffix)
             )
         parts_path = partition_paths(new_stem)[1]
-        header_size = 16
+        from repro.octree.format import _PARTS_HEADER
+
         parts_path.write_bytes(
-            parts_path.read_bytes()[: header_size + cutoff * 48]
+            parts_path.read_bytes()[: _PARTS_HEADER.size + cutoff * 48]
         )
 
         h = extract_from_disk(new_stem, thr, volume_resolution=8)

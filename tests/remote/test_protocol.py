@@ -1,13 +1,24 @@
 """Wire protocol framing and codecs."""
 
 import socket
+import struct
 import threading
 
 import numpy as np
 import pytest
 
+from repro.core.errors import (
+    BadMagicError,
+    BadVersionError,
+    ChecksumError,
+    ProtocolError,
+    TruncatedMessageError,
+)
 from repro.hybrid.representation import HybridFrame
 from repro.remote.protocol import (
+    _FRAME_HEADER,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
     Message,
     MessageType,
     decode_frame_list,
@@ -39,7 +50,8 @@ class TestFraming:
             msg = recv_message(b)
             assert msg.type == MessageType.LIST_FRAMES
             assert msg.payload == b"hello"
-            assert sent == 12 + 5  # 4-byte type + 8-byte length + payload
+            # magic + version + type + length + crc32, then the payload
+            assert sent == _FRAME_HEADER.size + 5
         finally:
             a.close()
             b.close()
@@ -96,6 +108,88 @@ class TestFraming:
         finally:
             a.close()
             b.close()
+
+
+class TestTypedProtocolErrors:
+    """A damaged stream raises typed errors, never garbage decodes."""
+
+    def test_bad_magic(self):
+        a, b = _socket_pair()
+        try:
+            a.sendall(b"GARBAGE!" + bytes(12))
+            with pytest.raises(BadMagicError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_version(self):
+        a, b = _socket_pair()
+        try:
+            a.sendall(_FRAME_HEADER.pack(PROTOCOL_MAGIC, 99, 1, 0, 0))
+            with pytest.raises(BadVersionError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_corrupted_payload_crc(self):
+        a, b = _socket_pair()
+        try:
+            payload = b"precious bytes"
+            head = _FRAME_HEADER.pack(
+                PROTOCOL_MAGIC, PROTOCOL_VERSION, 1, len(payload),
+                0xDEADBEEF,  # wrong checksum
+            )
+            a.sendall(head + payload)
+            with pytest.raises(ChecksumError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_mid_message_disconnect(self):
+        """Peer dies halfway through a declared payload."""
+        a, b = _socket_pair()
+        payload = bytes(1000)
+        import zlib
+
+        head = _FRAME_HEADER.pack(
+            PROTOCOL_MAGIC, PROTOCOL_VERSION, 1, len(payload),
+            zlib.crc32(payload),
+        )
+        a.sendall(head + payload[:300])
+        a.close()
+        with pytest.raises(TruncatedMessageError):
+            recv_message(b)
+        b.close()
+
+    def test_unknown_message_type(self):
+        a, b = _socket_pair()
+        try:
+            import zlib
+
+            a.sendall(
+                _FRAME_HEADER.pack(
+                    PROTOCOL_MAGIC, PROTOCOL_VERSION, 250, 0, zlib.crc32(b"")
+                )
+            )
+            with pytest.raises(ProtocolError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncated_errors_are_connection_errors(self):
+        """Pre-existing ``except ConnectionError`` call sites keep
+        catching mid-message disconnects."""
+        assert issubclass(TruncatedMessageError, ConnectionError)
+
+    def test_malformed_codec_payloads(self):
+        with pytest.raises(ProtocolError):
+            decode_get_hybrid(b"short")
+        with pytest.raises(ProtocolError):
+            decode_frame_list(struct.pack("<Q", 100) + bytes(8))
 
 
 class TestCodecs:

@@ -199,3 +199,40 @@ class TestExtractFromDisk:
         with pytest.raises(SystemExit):
             main(["extract", str(stem), "--out", str(tmp_path / "x.hybrid"),
                   "--from-disk", "--attributes", "pmag"])
+
+
+class TestExitCodes:
+    """Typed failures map to distinct exit codes with one-line stderr."""
+
+    def test_damaged_hybrid_exits_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hybrid"
+        bad.write_bytes(b"RPRHYBRD" + b"\x00" * 8)  # right magic, torn header
+        assert main(["render", str(bad), "--out", str(tmp_path / "o.ppm")]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("repro: damaged data file:")
+        assert "Traceback" not in err
+
+    def test_damaged_partition_exits_3(self, tmp_path, capsys):
+        stem = tmp_path / "junk"
+        stem.with_suffix(".nodes").write_bytes(b"\xff" * 64)
+        stem.with_suffix(".particles").write_bytes(b"\xff" * 64)
+        assert main(["extract", str(stem),
+                     "--out", str(tmp_path / "h.hybrid")]) == 3
+        assert "repro: damaged data file:" in capsys.readouterr().err
+
+    def test_missing_input_exits_2(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.hybrid")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct(self):
+        from repro.cli import (
+            EXIT_FORMAT_ERROR,
+            EXIT_PROTOCOL_ERROR,
+            EXIT_REMOTE_ERROR,
+            EXIT_USAGE,
+        )
+
+        codes = [EXIT_USAGE, EXIT_FORMAT_ERROR, EXIT_PROTOCOL_ERROR,
+                 EXIT_REMOTE_ERROR]
+        assert len(set(codes)) == len(codes)
+        assert all(c != 0 for c in codes)

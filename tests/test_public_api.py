@@ -78,6 +78,11 @@ MODULES = [
     "repro.core.config",
     "repro.core.metrics",
     "repro.core.trace",
+    "repro.core.errors",
+    "repro.core.atomic",
+    "repro.core.faults",
+    "repro.core.executor",
+    "repro.core.checkpoint",
     "repro.api",
     "repro.cli",
 ]
@@ -99,6 +104,15 @@ FACADE_REQUIRED = [
     "Tracer",
     "span",
     "capture",
+    # the fault-tolerance vocabulary (PR 2)
+    "ReproError",
+    "FormatError",
+    "ProtocolError",
+    "RetryExhaustedError",
+    "atomic_write_bytes",
+    "run_shards",
+    "Checkpoint",
+    "FaultPlan",
 ]
 
 

@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 
 from repro.beams.io import read_frame, write_frame
+from repro.core.errors import FormatError, SimulatedCrash
+from repro.core.faults import FaultPlan
 from repro.hybrid.representation import HybridFrame
 from repro.octree.format import load_partitioned, partition_paths, save_partitioned
 from repro.octree.octree import Octree
@@ -60,7 +62,7 @@ class TestTruncatedFiles:
         f.save(path)
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2])
-        with pytest.raises(Exception):
+        with pytest.raises(FormatError):
             HybridFrame.load(path)
 
     def test_truncated_partition_particles(self, tmp_path, rng):
@@ -70,7 +72,7 @@ class TestTruncatedFiles:
         _, parts = partition_paths(stem)
         data = parts.read_bytes()
         parts.write_bytes(data[: len(data) - 100])
-        with pytest.raises(Exception):
+        with pytest.raises(FormatError):
             load_partitioned(stem)
 
     def test_zero_byte_frame_file(self, tmp_path):
@@ -78,6 +80,82 @@ class TestTruncatedFiles:
         path.write_bytes(b"")
         with pytest.raises(Exception):
             read_frame(path)
+
+    def test_garbage_files_raise_typed_format_error(self, tmp_path):
+        """Foreign bytes under our extensions fail with FormatError,
+        not numpy/struct decode noise."""
+        from repro.fieldlines.compact import unpack_lines
+
+        garbage = tmp_path / "junk.hybrid"
+        garbage.write_bytes(b"\x00" * 256)
+        with pytest.raises(FormatError):
+            HybridFrame.load(garbage)
+        (tmp_path / "junk.nodes").write_bytes(b"\xff" * 128)
+        (tmp_path / "junk.particles").write_bytes(b"\xff" * 128)
+        with pytest.raises(FormatError):
+            load_partitioned(tmp_path / "junk")
+        with pytest.raises(FormatError):
+            unpack_lines(b"not a packed line blob at all")
+
+    def test_format_error_is_still_a_value_error(self):
+        """Pre-existing ``except ValueError`` call sites keep working."""
+        assert issubclass(FormatError, ValueError)
+
+
+class TestAtomicSaves:
+    def test_killed_hybrid_save_leaves_old_frame(self, tmp_path, rng):
+        """A write killed between temp-write and rename must leave the
+        previous frame fully readable (no torn file)."""
+        def make(step):
+            return HybridFrame(
+                volume=rng.random((4, 4, 4)).astype(np.float32),
+                points=rng.random((10, 3)).astype(np.float32),
+                point_densities=rng.random(10).astype(np.float32),
+                lo=np.zeros(3),
+                hi=np.ones(3),
+                step=step,
+            )
+
+        path = tmp_path / "frame.hybrid"
+        old = make(step=1)
+        old.save(path)
+        plan = FaultPlan(seed=0, torn_write=1.0)
+        with plan.file_faults():
+            with pytest.raises(SimulatedCrash):
+                make(step=2).save(path)
+        back = HybridFrame.load(path)
+        assert back.step == 1
+        assert np.array_equal(back.volume, old.volume)
+
+    def test_killed_partition_save_leaves_old_files(self, tmp_path, rng):
+        pf = partition(rng.standard_normal((300, 6)), "xyz", max_level=4, step=3)
+        stem = tmp_path / "p"
+        save_partitioned(pf, stem)
+        plan = FaultPlan(seed=0, torn_write=1.0)
+        with plan.file_faults():
+            with pytest.raises(SimulatedCrash):
+                save_partitioned(pf, stem)
+        back = load_partitioned(stem)
+        assert back.step == 3
+        assert np.array_equal(back.particles, pf.particles)
+
+    def test_killed_line_step_save_leaves_old_step(self, tmp_path):
+        from repro.fieldlines.integrate import FieldLine
+        from repro.fieldlines.timeseries import LineSequence
+
+        def line(scale):
+            pts = np.linspace([0, 0, 0], [scale, 0, 0], 5)
+            t = np.tile([1.0, 0, 0], (5, 1))
+            return FieldLine(points=pts, tangents=t, magnitudes=np.ones(5))
+
+        seq = LineSequence(tmp_path / "seq")
+        seq.save(0, [line(1.0)])
+        plan = FaultPlan(seed=0, torn_write=1.0)
+        with plan.file_faults():
+            with pytest.raises(SimulatedCrash):
+                seq.save(0, [line(2.0)])
+        back = seq.load(0)
+        assert np.allclose(back[0].points[-1], [1.0, 0, 0])
 
 
 class TestDegenerateGeometry:

@@ -4,10 +4,16 @@
 #   scripts/check.sh            # everything
 #   scripts/check.sh --no-lint  # tests only
 #   scripts/check.sh --faults   # the fault-injection pass only
+#   scripts/check.sh --perf     # the perf bench + regression gate only
 #
 # --faults runs the resilience suites (fault harness, crash-safe
 # executors, checkpoint/resume, remote link under injected damage)
 # plus the fault-rate bench that refreshes BENCH_remote_faults.json.
+#
+# --perf refreshes BENCH_frame_cache.json (frame cache, batched
+# seeding, space-charge kernels) and fails if any recorded speedup
+# ratio regressed more than 20% against the baseline committed at
+# HEAD (scripts/perf_gate.py).
 #
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
@@ -18,11 +24,23 @@ cd "$(dirname "$0")/.."
 
 run_lint=1
 run_faults=0
+run_perf=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
 elif [[ "${1:-}" == "--faults" ]]; then
     run_lint=0
     run_faults=1
+elif [[ "${1:-}" == "--perf" ]]; then
+    run_lint=0
+    run_perf=1
+fi
+
+if [[ $run_perf -eq 1 ]]; then
+    echo "== perf bench =="
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_frame_cache.py
+    echo "== perf gate =="
+    python scripts/perf_gate.py
+    exit 0
 fi
 
 if [[ $run_faults -eq 1 ]]; then

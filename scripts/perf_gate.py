@@ -1,0 +1,85 @@
+"""Perf regression gate over BENCH_frame_cache.json.
+
+Compares the freshly measured speedup ratios against the baseline
+committed at HEAD and fails when any gated ratio regressed by more
+than ``TOLERANCE`` (20 %).  Ratios, not absolute times, so the gate is
+stable across machines of different speed.
+
+Run via ``scripts/check.sh --perf`` (which refreshes the JSON first).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_FILE = "BENCH_frame_cache.json"
+TOLERANCE = 0.20
+
+# (human label, path into extra{}) for every gated ratio
+GATES = [
+    ("warm-frame speedup", ("frame", "warm_speedup")),
+    ("space-charge run speedup", ("spacecharge", "run_speedup")),
+    ("cached-solve speedup", ("spacecharge", "solve_speedup")),
+]
+
+
+def _lookup(extra: dict, path) -> float:
+    node = extra
+    for key in path:
+        node = node[key]
+    return float(node)
+
+
+def _seeding_speedup(extra: dict, batch_size: int = 8) -> float:
+    for row in extra["seeding"]["batched"]:
+        if row["batch_size"] == batch_size:
+            return float(row["speedup"])
+    raise KeyError(f"no batched seeding row for batch_size={batch_size}")
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    fresh_path = root / BENCH_FILE
+    if not fresh_path.exists():
+        print(f"perf gate: {BENCH_FILE} missing -- run the bench first", file=sys.stderr)
+        return 2
+    fresh = json.loads(fresh_path.read_text())["extra"]
+
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{BENCH_FILE}"],
+        cwd=root, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"perf gate: no committed {BENCH_FILE} baseline; nothing to compare")
+        return 0
+    base = json.loads(proc.stdout)["extra"]
+
+    checks = [(label, _lookup(base, path), _lookup(fresh, path)) for label, path in GATES]
+    checks.append(
+        ("batched-seeding speedup (K=8)", _seeding_speedup(base), _seeding_speedup(fresh))
+    )
+
+    failed = False
+    for label, was, now in checks:
+        floor = (1.0 - TOLERANCE) * was
+        ok = now >= floor
+        status = "ok  " if ok else "FAIL"
+        print(f"  {status} {label}: x{now:.2f} (baseline x{was:.2f}, floor x{floor:.2f})")
+        failed |= not ok
+
+    if not bool(fresh["frame"].get("bit_identical")):
+        print("  FAIL cached frame no longer bit-identical to uncached")
+        failed = True
+
+    if failed:
+        print("perf gate: regression beyond 20% of committed baseline", file=sys.stderr)
+        return 1
+    print("perf gate: all ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

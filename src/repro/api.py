@@ -51,6 +51,11 @@ from repro.octree.partition import PartitionedFrame, partition
 from repro.remote.client import VisualizationClient
 from repro.remote.server import VisualizationServer
 from repro.render.camera import Camera
+from repro.render.frame_cache import (
+    FrameGeometry,
+    FrameGeometryCache,
+    frame_geometry_cache,
+)
 
 __all__ = [
     # end-to-end pipelines + configuration
@@ -75,6 +80,9 @@ __all__ = [
     "render_strips",
     # shared infrastructure
     "Camera",
+    "FrameGeometry",
+    "FrameGeometryCache",
+    "frame_geometry_cache",
     "VisualizationServer",
     "VisualizationClient",
     "Tracer",

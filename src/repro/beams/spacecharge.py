@@ -14,21 +14,106 @@ IMPACT code (ref [11]) uses:
 
 Everything is dimensionless: the ``strength`` parameter plays the role
 of the generalized beam perveance.
+
+Two caches keep multi-step runs off the FFT floor:
+
+* the padded Green's-function spectrum depends only on grid shape and
+  cell size, so it is computed once per (shape, cell) and reused
+  (``green_cache_hit`` / ``green_cache_miss`` trace counters);
+* :class:`SpaceChargeSolver` holds its grid bounds steady while the
+  beam stays inside them and the grid is not oversized
+  (``bounds_tolerance``), so consecutive steps of a quiet beam keep
+  the same cell size and therefore keep hitting the Green's cache.
+
+FFTs go through ``scipy.fft`` with multi-threaded ``workers=`` when
+scipy is importable, falling back to ``numpy.fft``.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.beams.distributions import PX, PY, PZ
+from repro.core.trace import count, span
+
+try:  # scipy's pocketfft supports multi-threaded transforms
+    import scipy.fft as _sfft
+except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
+    _sfft = None
 
 __all__ = [
     "deposit_cic",
     "gather_cic",
     "solve_poisson_open",
     "electric_field",
+    "green_function_rfft",
+    "clear_green_cache",
+    "green_cache_stats",
     "SpaceChargeSolver",
 ]
+
+_FFT_WORKERS = max(1, min(8, os.cpu_count() or 1))
+
+
+def _rfftn(a: np.ndarray) -> np.ndarray:
+    if _sfft is not None:
+        return _sfft.rfftn(a, workers=_FFT_WORKERS)
+    return np.fft.rfftn(a)
+
+
+def _fft1(a, n, axis):
+    if _sfft is not None:
+        return _sfft.fft(a, n=n, axis=axis, workers=_FFT_WORKERS)
+    return np.fft.fft(a, n=n, axis=axis)
+
+
+def _ifft1(a, n, axis):
+    if _sfft is not None:
+        return _sfft.ifft(a, n=n, axis=axis, workers=_FFT_WORKERS)
+    return np.fft.ifft(a, n=n, axis=axis)
+
+
+def _rfft1(a, n, axis):
+    if _sfft is not None:
+        return _sfft.rfft(a, n=n, axis=axis, workers=_FFT_WORKERS)
+    return np.fft.rfft(a, n=n, axis=axis)
+
+
+def _irfft1(a, n, axis):
+    if _sfft is not None:
+        return _sfft.irfft(a, n=n, axis=axis, workers=_FFT_WORKERS)
+    return np.fft.irfft(a, n=n, axis=axis)
+
+
+def _rfftn_padded(a: np.ndarray, padded_shape) -> np.ndarray:
+    """rFFT of ``a`` zero-padded to ``padded_shape``, staged per axis.
+
+    The doubled Hockney grid is seven-eighths zeros; transforming axis
+    by axis and letting each 1-D FFT do the zero-padding (``n=``)
+    never touches the empty octants, cutting the forward transform to
+    roughly half the naive padded-array cost.
+    """
+    px, py, pz = padded_shape
+    f = _rfft1(a, pz, 2)
+    f = _fft1(f, py, 1)
+    return _fft1(f, px, 0)
+
+
+def _irfftn_truncated(spec: np.ndarray, padded_shape, out_shape) -> np.ndarray:
+    """Inverse of the padded rFFT, keeping only the leading octant.
+
+    Hockney's method discards everything outside ``out_shape``; axis
+    transforms are independent across the other axes, so each stage
+    can slice to the needed range before the next one runs.
+    """
+    px, py, pz = padded_shape
+    nx, ny, nz = out_shape
+    g = _ifft1(spec, px, 0)[:nx]
+    g = _ifft1(g, py, 1)[:, :ny]
+    return _irfft1(g, pz, 2)[:, :, :nz]
 
 
 def deposit_cic(
@@ -61,13 +146,18 @@ def deposit_cic(
     i0[:, 2] = np.clip(i0[:, 2], 0, shape[2] - 2)
     f = np.clip(rel - i0, 0.0, 1.0)
     w = np.ones(len(positions)) if weights is None else np.asarray(weights, dtype=np.float64)
+    # flat-index bincount: far faster than np.add.at's buffered scatter
+    nx, ny, nz = shape
+    base = (i0[:, 0] * ny + i0[:, 1]) * nz + i0[:, 2]
+    flat = grid.reshape(-1)
     for dx in (0, 1):
         wx = w * (f[:, 0] if dx else 1.0 - f[:, 0])
         for dy in (0, 1):
             wy = wx * (f[:, 1] if dy else 1.0 - f[:, 1])
             for dz in (0, 1):
                 wz = wy * (f[:, 2] if dz else 1.0 - f[:, 2])
-                np.add.at(grid, (i0[:, 0] + dx, i0[:, 1] + dy, i0[:, 2] + dz), wz)
+                idx = base + ((dx * ny + dy) * nz + dz)
+                flat += np.bincount(idx, weights=wz, minlength=flat.size)
     return grid
 
 
@@ -92,27 +182,24 @@ def gather_cic(field: np.ndarray, positions: np.ndarray, lo, hi) -> np.ndarray:
     i0[:, 2] = np.clip(i0[:, 2], 0, nz - 2)
     f = np.clip(rel - i0, 0.0, 1.0)
     out = np.zeros((comps.shape[0], len(positions)))
+    # flat-index gathers: one (C, N) take per corner instead of
+    # re-deriving 3-D index arithmetic per component
+    flat = comps.reshape(comps.shape[0], -1)
+    base = (i0[:, 0] * ny + i0[:, 1]) * nz + i0[:, 2]
     for dx in (0, 1):
         wx = f[:, 0] if dx else 1.0 - f[:, 0]
         for dy in (0, 1):
             wy = wx * (f[:, 1] if dy else 1.0 - f[:, 1])
             for dz in (0, 1):
                 wz = wy * (f[:, 2] if dz else 1.0 - f[:, 2])
-                out += comps[:, i0[:, 0] + dx, i0[:, 1] + dy, i0[:, 2] + dz] * wz
+                idx = base + ((dx * ny + dy) * nz + dz)
+                out += flat[:, idx] * wz
     return out if vector else out[0]
 
 
-def solve_poisson_open(rho: np.ndarray, cell) -> np.ndarray:
-    """Open-boundary Poisson solve (Hockney's doubled-grid method).
-
-    Solves  lap(phi) = -rho  for an isolated charge distribution.
-    The free-space Green's function 1/(4 pi r) is sampled on a grid of
-    twice the size, the density is zero-padded, and the convolution is
-    done with FFTs.  Returns phi on the original grid.
-    """
-    rho = np.asarray(rho, dtype=np.float64)
-    nx, ny, nz = rho.shape
-    cell = np.asarray(cell, dtype=np.float64)
+def _green_rfft_fresh(shape, cell: np.ndarray) -> np.ndarray:
+    """Spectrum of the free-space Green's function on the doubled grid."""
+    nx, ny, nz = shape
     gx = np.arange(2 * nx, dtype=np.float64)
     gy = np.arange(2 * ny, dtype=np.float64)
     gz = np.arange(2 * nz, dtype=np.float64)
@@ -128,16 +215,96 @@ def solve_poisson_open(rho: np.ndarray, cell) -> np.ndarray:
     # self-cell: average of 1/(4 pi r) over one cell ~ 1/(4 pi r_eff)
     r_eff = 0.5 * float(np.mean(cell))
     green[0, 0, 0] = 1.0 / (4.0 * np.pi * r_eff)
+    return _rfftn(green)
 
-    rho_pad = np.zeros((2 * nx, 2 * ny, 2 * nz))
-    rho_pad[:nx, :ny, :nz] = rho
-    phi_pad = np.fft.irfftn(
-        np.fft.rfftn(rho_pad) * np.fft.rfftn(green),
-        s=rho_pad.shape,
-        axes=(0, 1, 2),
-    )
+
+class _GreenCache:
+    """LRU of padded Green's-function spectra keyed on (shape, cell)."""
+
+    def __init__(self, max_entries: int = 8):
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, shape, cell: np.ndarray) -> np.ndarray:
+        key = (tuple(int(s) for s in shape), tuple(float(c) for c in cell))
+        spec = self._entries.get(key)
+        if spec is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            count("green_cache_hit")
+            return spec
+        self.misses += 1
+        count("green_cache_miss")
+        with span("green_function_build", shape=tuple(int(s) for s in shape)):
+            spec = _green_rfft_fresh(shape, cell)
+        self._entries[key] = spec
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return spec
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "bytes": sum(s.nbytes for s in self._entries.values()),
+        }
+
+
+_green_cache = _GreenCache()
+
+
+def green_function_rfft(shape, cell) -> np.ndarray:
+    """Cached rFFT of the doubled-grid Green's function.
+
+    Keyed on (grid shape, cell size); repeated Poisson solves on the
+    same grid skip both the real-space sampling and its forward FFT.
+    """
+    cell = np.asarray(cell, dtype=np.float64)
+    return _green_cache.get(shape, cell)
+
+
+def clear_green_cache() -> None:
+    """Drop every cached Green's-function spectrum."""
+    _green_cache.clear()
+
+
+def green_cache_stats() -> dict:
+    """Hit/miss/size statistics of the Green's-function cache."""
+    return _green_cache.stats()
+
+
+def solve_poisson_open(rho: np.ndarray, cell, cached: bool = True) -> np.ndarray:
+    """Open-boundary Poisson solve (Hockney's doubled-grid method).
+
+    Solves  lap(phi) = -rho  for an isolated charge distribution.
+    The free-space Green's function 1/(4 pi r) is sampled on a grid of
+    twice the size, the density is zero-padded, and the convolution is
+    done with FFTs.  Returns phi on the original grid.
+
+    ``cached=True`` (default) reuses the Green's-function spectrum for
+    repeated solves on the same (shape, cell); ``cached=False``
+    recomputes it, bit-identically, for benchmarking the cold path.
+    """
+    rho = np.asarray(rho, dtype=np.float64)
+    nx, ny, nz = rho.shape
+    cell = np.asarray(cell, dtype=np.float64)
+    if cached:
+        green_spec = green_function_rfft(rho.shape, cell)
+    else:
+        green_spec = _green_rfft_fresh(rho.shape, cell)
+
+    padded = (2 * nx, 2 * ny, 2 * nz)
+    spec = _rfftn_padded(rho, padded)
+    spec *= green_spec
+    phi = _irfftn_truncated(spec, padded, rho.shape)
     cell_volume = float(np.prod(cell))
-    return phi_pad[:nx, :ny, :nz] * cell_volume
+    return phi * cell_volume
 
 
 def electric_field(phi: np.ndarray, cell) -> np.ndarray:
@@ -158,19 +325,52 @@ class SpaceChargeSolver:
     strength : dimensionless perveance-like coupling; the momentum kick
         is ``dp = strength * E * dl`` per unit path length.
     padding : the grid bounds hug the beam's instantaneous extent times
-        this factor, re-fit every solve.
+        this factor when (re-)fit.
+    bounds_tolerance : grid-bounds hysteresis.  The fitted bounds are
+        kept across solves while the beam still fits inside them and
+        they are no more than ``(1 + bounds_tolerance)`` times the
+        fresh fit -- so consecutive steps of a quiet beam share one
+        cell size and keep hitting the Green's-function cache.  Set to
+        0 to re-fit every solve (the pre-cache behaviour).
     """
 
-    def __init__(self, grid_shape=(32, 32, 32), strength: float = 1e-2, padding: float = 1.3):
+    def __init__(
+        self,
+        grid_shape=(32, 32, 32),
+        strength: float = 1e-2,
+        padding: float = 1.3,
+        bounds_tolerance: float = 0.05,
+    ):
         self.grid_shape = tuple(int(s) for s in grid_shape)
         self.strength = float(strength)
         self.padding = float(padding)
+        self.bounds_tolerance = float(bounds_tolerance)
+        self._center: np.ndarray | None = None
+        self._half: np.ndarray | None = None
+
+    def _fit_bounds(self, pos: np.ndarray):
+        """Grid bounds for this solve, with hysteresis (see class doc)."""
+        tol = self.bounds_tolerance
+        if tol > 0.0 and self._center is not None:
+            ext = np.maximum(np.abs(pos - self._center).max(axis=0), 1e-9)
+            want = ext * self.padding
+            contained = np.all(want <= self._half)
+            oversized = np.any(self._half > (1.0 + tol) * want)
+            if contained and not oversized:
+                count("sc_bounds_reuse")
+                return self._center, self._half
+        center = pos.mean(axis=0)
+        ext = np.maximum(np.abs(pos - center).max(axis=0), 1e-9)
+        # sit mid-band so small breathing oscillations stay inside
+        self._center = center
+        self._half = ext * self.padding * (1.0 + 0.5 * tol)
+        count("sc_bounds_refit")
+        return self._center, self._half
 
     def field_at(self, particles: np.ndarray):
         """Return (E(3, N), lo, hi) for the particle set's own field."""
         pos = particles[:, :3]
-        center = pos.mean(axis=0)
-        half = np.maximum(np.abs(pos - center).max(axis=0), 1e-9) * self.padding
+        center, half = self._fit_bounds(pos)
         lo = center - half
         hi = center + half
         cell = (hi - lo) / (np.array(self.grid_shape) - 1)

@@ -160,24 +160,63 @@ def _finalize(field_fn, points: np.ndarray, term: str, floor: float) -> FieldLin
     return FieldLine(points=points, tangents=tangents, magnitudes=mags, termination=term)
 
 
+def _finalize_batch(field_fn, trails, terms) -> list[FieldLine]:
+    """Finalize many trails with a single field evaluation.
+
+    Per-line arithmetic is identical to :func:`_finalize`; only the
+    magnitude sampling is fused into one call over the concatenated
+    vertices.
+    """
+    if not trails:
+        return []
+    all_pts = np.concatenate(trails)
+    mags = np.linalg.norm(field_fn(all_pts), axis=1)
+    out = []
+    offset = 0
+    for pts, term in zip(trails, terms):
+        k = len(pts)
+        tangents = np.gradient(pts, axis=0)
+        norms = np.linalg.norm(tangents, axis=1, keepdims=True)
+        tangents = tangents / np.where(norms < 1e-12, 1.0, norms)
+        out.append(
+            FieldLine(
+                points=pts,
+                tangents=tangents,
+                magnitudes=mags[offset : offset + k],
+                termination=term,
+            )
+        )
+        offset += k
+    return out
+
+
 def integrate_batch(
     field_fn,
     seeds: np.ndarray,
     step: float = 0.02,
     max_steps: int = 400,
     min_magnitude: float = 1e-6,
-    direction: float = +1.0,
+    direction=+1.0,
 ) -> list[FieldLine]:
-    """Trace many seeds at once (single direction), vectorized.
+    """Trace many seeds at once, vectorized and allocation-free per step.
 
-    All active lines advance together; finished lines drop out of the
-    field evaluations.  Used by the non-greedy baselines and tests;
-    the density-proportional seeder traces greedily one line at a time
-    (it must update element needs between lines).
+    All active lines advance together in lockstep through shared RK4
+    field evaluations; finished lines drop out.  ``direction`` may be a
+    scalar sign or a per-seed (N,) array of signs, so a forward and a
+    backward half-trace fleet can share one lockstep loop.  This is the
+    kernel under the density-proportional seeder's batched mode
+    (:mod:`repro.fieldlines.parallel_seeding`) as well as the non-greedy
+    baselines and tests.
     """
     seeds = np.atleast_2d(np.asarray(seeds, dtype=np.float64))
     n = len(seeds)
-    trails = [[s.copy()] for s in seeds]
+    signs = np.broadcast_to(
+        np.asarray(direction, dtype=np.float64), (n,)
+    ).reshape(n, 1)
+    # preallocated trail buffer: vertex v of line i lives at buf[v, i]
+    buf = np.empty((max_steps + 1, n, 3))
+    buf[0] = seeds
+    n_pts = np.ones(n, dtype=np.int64)
     active = field_fn.inside(seeds).copy()
     terms = np.array(["cap"] * n, dtype=object)
     p = seeds.copy()
@@ -186,20 +225,24 @@ def integrate_batch(
             if not active.any():
                 break
             idx = np.flatnonzero(active)
-            d = _rk4_direction(field_fn, p[idx], direction * step, min_magnitude)
-            p_new = p[idx] + direction * step * d
+            h = signs[idx] * step
+            d = _rk4_direction(field_fn, p[idx], h, min_magnitude)
+            p_new = p[idx] + h * d
             ins = field_fn.inside(p_new)
             _, mag = _unit_direction(field_fn, p_new, min_magnitude)
-            weak = mag < min_magnitude
-            keep = ins & ~weak
-            for row, j in enumerate(idx):
-                if keep[row]:
-                    trails[j].append(p_new[row].copy())
-                else:
-                    terms[j] = "domain" if not ins[row] else "weak"
-                    active[j] = False
-            p[idx[keep]] = p_new[keep]
-    return [
-        _finalize(field_fn, np.array(t) if len(t) > 1 else np.array([t[0], t[0]]), terms[i], min_magnitude)
-        for i, t in enumerate(trails)
-    ]
+            keep = ins & (mag >= min_magnitude)
+            kept = idx[keep]
+            buf[n_pts[kept], kept] = p_new[keep]
+            n_pts[kept] += 1
+            died = idx[~keep]
+            if died.size:
+                terms[died] = np.where(ins[~keep], "weak", "domain")
+                active[died] = False
+            p[kept] = p_new[keep]
+        trails = [
+            np.ascontiguousarray(buf[: n_pts[i], i])
+            if n_pts[i] > 1
+            else np.repeat(buf[:1, i], 2, axis=0)
+            for i in range(n)
+        ]
+        return _finalize_batch(field_fn, trails, terms)

@@ -96,18 +96,38 @@ class _ElementVisitCounter:
         _, idx = self.tree.query(points)
         return np.unique(idx)
 
+    def visits_batch(self, polylines) -> list:
+        """Per-polyline unique element ids, via one fused tree query."""
+        if not polylines:
+            return []
+        _, idx = self.tree.query(np.concatenate(polylines))
+        splits = np.cumsum([len(p) for p in polylines])[:-1]
+        return [np.unique(part) for part in np.split(idx, splits)]
+
 
 def _random_point_in_element(mesh: HexMesh, element: int, rng) -> np.ndarray:
     """Uniform-in-reference-cube sample mapped through the trilinear
     element map (not exactly uniform in space for distorted elements,
     which matches 'picking a random seed point within that element')."""
-    corners = mesh.vertices[mesh.hexes[element]]
-    r = rng.random(3)
+    return _random_points_in_elements(mesh, np.array([element]), rng)[0]
+
+
+def _random_points_in_elements(mesh: HexMesh, elements: np.ndarray, rng) -> np.ndarray:
+    """One random interior point per element, vectorized.
+
+    Draws ``rng.random((K, 3))``, which consumes the generator stream
+    exactly as K successive ``rng.random(3)`` calls would -- so batched
+    and one-at-a-time seeding produce identical seed points for the
+    same element sequence.
+    """
+    elements = np.asarray(elements, dtype=np.int64)
+    corners = mesh.vertices[mesh.hexes[elements]]        # (K, 8, 3)
+    r = rng.random((len(elements), 3))
     # trilinear blend of the 8 corners
     from repro.fields.mesh import _shape_functions_batch
 
-    w = _shape_functions_batch(r[None])[0]
-    return w @ corners
+    w = _shape_functions_batch(r)                        # (K, 8)
+    return np.matmul(w[:, None, :], corners)[:, 0, :]
 
 
 def seed_density_proportional(

@@ -42,6 +42,12 @@ class HybridRenderer:
     point_size : sprite edge length in pixels
     n_slices : view-aligned slab count for the volume pass
     normalizer_mode : 'log' (default) or 'linear' density normalization
+    cache : frame-geometry cache policy forwarded to
+        :func:`repro.render.volume.render_mixed` -- ``None`` (default)
+        shares the process-global cache so animation orbits and
+        transfer-function edits reuse slice geometry across frames,
+        ``False`` disables caching, or pass a dedicated
+        :class:`repro.render.frame_cache.FrameGeometryCache`
     """
 
     def __init__(
@@ -53,6 +59,7 @@ class HybridRenderer:
         n_slices: int = 64,
         normalizer_mode: str = "log",
         point_color_by: str | None = None,
+        cache=None,
     ):
         self.transfer = transfer or LinkedTransferFunctions()
         self.point_colormap = (
@@ -67,6 +74,7 @@ class HybridRenderer:
         # color points by a carried per-point attribute instead of
         # density -- the dynamic property coloring of paper section 2.5
         self.point_color_by = point_color_by
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def _normalizer(self, frame: HybridFrame) -> DensityNormalizer:
@@ -135,6 +143,7 @@ class HybridRenderer:
             frame.hi,
             point_fragments=frags,
             n_slices=self.n_slices,
+            cache=self.cache,
         )
 
     def render_volume_part(
@@ -144,7 +153,8 @@ class HybridRenderer:
         camera = camera or Camera.fit_bounds(frame.lo, frame.hi, width=256, height=256)
         rgba_volume = self.classify_volume(frame)
         return render_mixed(
-            camera, rgba_volume, frame.lo, frame.hi, n_slices=self.n_slices
+            camera, rgba_volume, frame.lo, frame.hi, n_slices=self.n_slices,
+            cache=self.cache,
         )
 
     def render_point_part(

@@ -191,12 +191,10 @@ class Octree:
     def leaf_of_particles(self) -> np.ndarray:
         """Leaf index of each particle, in the *ordered* particle
         numbering (i.e. entry j refers to coords[order][j])."""
-        out = np.empty(self.n_particles, dtype=np.int64)
-        for i in range(self.n_nodes):
-            s = int(self.nodes["start"][i])
-            c = int(self.nodes["count"][i])
-            out[s : s + c] = i
-        return out
+        return np.repeat(
+            np.arange(self.n_nodes, dtype=np.int64),
+            self.nodes["count"].astype(np.int64),
+        )
 
     def particle_densities(self) -> np.ndarray:
         """Per-particle density of the containing leaf (ordered

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Framebuffer", "composite_over", "composite_fragments"]
+__all__ = [
+    "Framebuffer",
+    "composite_over",
+    "composite_fragments",
+    "accumulate_fragments",
+]
 
 _ALPHA_MAX = 0.99999
 
@@ -68,13 +73,48 @@ def composite_fragments(
     trick so the whole operation stays vectorized regardless of how
     many fragments pile up in one pixel.
     """
+    out_rgba = np.zeros((n_pixels, 4))
+    out_depth = np.full(n_pixels, np.inf)
+    upix, pm, near = accumulate_fragments(pixels, depths, rgba)
+    if upix.size == 0:
+        return out_rgba, out_depth
+    out_rgba[upix] = pm
+    out_depth[upix] = near
+
+    # un-premultiply
+    a = out_rgba[:, 3:4]
+    safe = np.where(a <= 0.0, 1.0, a)
+    out_rgba[:, :3] /= safe
+    return out_rgba, out_depth
+
+
+def accumulate_fragments(
+    pixels: np.ndarray,
+    depths: np.ndarray,
+    rgba: np.ndarray,
+):
+    """Sparse core of :func:`composite_fragments`.
+
+    Folds an unordered fragment stream per pixel (front-to-back
+    *under*) but returns only the touched pixels, premultiplied -- the
+    form the interleaved volume compositor consumes directly without
+    allocating full-frame layers per slab.
+
+    Returns
+    -------
+    upix : (U,) int64 unique flat pixel indices (ascending)
+    pm_rgba : (U, 4) premultiplied composited color per touched pixel
+    near_depth : (U,) depth of the nearest contributing fragment
+    """
     pixels = np.asarray(pixels)
     depths = np.asarray(depths, dtype=np.float64)
     rgba = np.asarray(rgba, dtype=np.float64)
-    out_rgba = np.zeros((n_pixels, 4))
-    out_depth = np.full(n_pixels, np.inf)
     if pixels.size == 0:
-        return out_rgba, out_depth
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty((0, 4)),
+            np.empty(0),
+        )
 
     order = np.lexsort((depths, pixels))
     pix = pixels[order]
@@ -100,19 +140,12 @@ def composite_fragments(
 
     weight = alpha * prefix
     contrib = col[:, :3] * weight[:, None]
-    np.add.at(out_rgba[:, 0], pix, contrib[:, 0])
-    np.add.at(out_rgba[:, 1], pix, contrib[:, 1])
-    np.add.at(out_rgba[:, 2], pix, contrib[:, 2])
-    np.add.at(out_rgba[:, 3], pix, weight)
-
-    # nearest fragment depth per pixel: first in each segment
-    out_depth[pix[start_idx]] = dep[start_idx]
-
-    # un-premultiply
-    a = out_rgba[:, 3:4]
-    safe = np.where(a <= 0.0, 1.0, a)
-    out_rgba[:, :3] /= safe
-    return out_rgba, out_depth
+    pm_rgba = np.empty((start_idx.size, 4))
+    pm_rgba[:, 0] = np.add.reduceat(contrib[:, 0], start_idx)
+    pm_rgba[:, 1] = np.add.reduceat(contrib[:, 1], start_idx)
+    pm_rgba[:, 2] = np.add.reduceat(contrib[:, 2], start_idx)
+    pm_rgba[:, 3] = np.add.reduceat(weight, start_idx)
+    return pix[start_idx].astype(np.int64), pm_rgba, dep[start_idx]
 
 
 class Framebuffer:

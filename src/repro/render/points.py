@@ -68,36 +68,25 @@ def point_fragments(
 
     w, h = camera.width, camera.height
     if point_size <= 1:
-        offsets = [(0, 0)]
+        dx = dy = np.zeros(1, dtype=np.int64)
     else:
         r = point_size // 2
-        offsets = [
-            (dx, dy)
-            for dx in range(-r, point_size - r)
-            for dy in range(-r, point_size - r)
-        ]
-    pix_all = []
-    dep_all = []
-    col_all = []
+        span = np.arange(-r, point_size - r, dtype=np.int64)
+        # all point_size^2 sprite offsets in one broadcast, x-major to
+        # match the historical (dx, dy) nesting order
+        dx = np.repeat(span, point_size)
+        dy = np.tile(span, point_size)
     ix0 = np.floor(xy[:, 0]).astype(np.int64)
     iy0 = np.floor(xy[:, 1]).astype(np.int64)
-    for dx, dy in offsets:
-        ix = ix0 + dx
-        iy = iy0 + dy
-        ok = (ix >= 0) & (ix < w) & (iy >= 0) & (iy < h)
-        pix_all.append((iy[ok] * w + ix[ok]))
-        dep_all.append(depth[ok])
-        col_all.append(rgba[ok])
-    if not pix_all:
-        return (
-            np.empty(0, dtype=np.int64),
-            np.empty(0),
-            np.empty((0, 4)),
-        )
+    # (n_offsets, n_points) grids: every sprite texel of every point
+    ix = dx[:, None] + ix0[None, :]
+    iy = dy[:, None] + iy0[None, :]
+    ok = (ix >= 0) & (ix < w) & (iy >= 0) & (iy < h)
+    off_idx, pt_idx = np.nonzero(ok)
     return (
-        np.concatenate(pix_all),
-        np.concatenate(dep_all),
-        np.concatenate(col_all),
+        iy[off_idx, pt_idx] * w + ix[off_idx, pt_idx],
+        depth[pt_idx],
+        rgba[pt_idx],
     )
 
 

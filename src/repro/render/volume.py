@@ -10,6 +10,15 @@ composited *over* the framebuffer.
 ``render_mixed`` implements the hybrid rendering of paper section 2:
 explicit halo points are depth-interleaved with the volume slabs so
 points inside, behind, and in front of the volume composite correctly.
+
+The slice geometry (which pixels each slice covers and the eight
+trilinear gather indices + weights per covered pixel) is independent
+of the volume contents, so ``render_mixed`` resolves it through
+:mod:`repro.render.frame_cache`: repeated renders from the same camera
+reuse the precomputed geometry and reduce the volume pass to one
+sparse matrix product plus sparse compositing.  Cached and uncached
+renders share every line of arithmetic, so their images are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ import numpy as np
 
 from repro.core.trace import span
 from repro.render.camera import Camera
-from repro.render.framebuffer import Framebuffer, composite_fragments, composite_over
+from repro.render.frame_cache import FrameGeometry, frame_geometry_cache
+from repro.render.framebuffer import Framebuffer, accumulate_fragments
 
 __all__ = [
     "trilinear_sample",
@@ -102,37 +112,6 @@ def volume_depth_range(camera: Camera, lo: np.ndarray, hi: np.ndarray):
     return d0, d1
 
 
-def _slice_layer(
-    camera: Camera,
-    rgba_volume: np.ndarray,
-    lo: np.ndarray,
-    hi: np.ndarray,
-    depth: float,
-    alpha_scale_exponent: float,
-    rays=None,
-) -> np.ndarray:
-    """Sample one view-aligned slice of the volume into an (H, W, 4) layer.
-
-    ``rays`` is an optional precomputed (origins, dirs, cos) triple so
-    callers marching many slices generate rays once.
-    """
-    if rays is None:
-        origins, dirs = camera.pixel_rays()
-        cos = dirs @ camera.forward
-    else:
-        origins, dirs, cos = rays
-    # distance along ray so the point sits at view depth `depth`
-    t = depth / np.maximum(cos, 1e-9)
-    pts = origins + dirs * t[:, None]
-    span = np.maximum(hi - lo, 1e-300)
-    coords = (pts - lo) / span
-    rgba = trilinear_sample(rgba_volume, coords)
-    # opacity correction for slice spacing
-    rgba = rgba.copy()
-    rgba[:, 3] = 1.0 - (1.0 - np.clip(rgba[:, 3], 0.0, 0.9999)) ** alpha_scale_exponent
-    return rgba.reshape(camera.height, camera.width, 4)
-
-
 def render_volume(
     camera: Camera,
     rgba_volume: np.ndarray,
@@ -141,6 +120,8 @@ def render_volume(
     fb: Framebuffer | None = None,
     n_slices: int = 96,
     reference_slices: int = 96,
+    cache=None,
+    geometry: FrameGeometry | None = None,
 ) -> Framebuffer:
     """Render an RGBA volume with back-to-front view-aligned slices."""
     return render_mixed(
@@ -152,6 +133,8 @@ def render_volume(
         fb=fb,
         n_slices=n_slices,
         reference_slices=reference_slices,
+        cache=cache,
+        geometry=geometry,
     )
 
 
@@ -208,6 +191,8 @@ def render_mixed(
     fb: Framebuffer | None = None,
     n_slices: int = 96,
     reference_slices: int = 96,
+    cache=None,
+    geometry: FrameGeometry | None = None,
 ) -> Framebuffer:
     """Hybrid volume + point rendering with depth-correct interleaving.
 
@@ -219,12 +204,20 @@ def render_mixed(
         :func:`repro.render.points.point_fragments`
     n_slices : number of view-aligned slabs
     reference_slices : slice count at which volume alpha is calibrated
+    cache : slice-geometry cache policy -- ``None`` uses the
+        process-global :func:`repro.render.frame_cache.frame_geometry_cache`,
+        ``False`` rebuilds the geometry for this call only (the
+        uncached path), any :class:`FrameGeometryCache` uses that cache
+    geometry : an explicit prebuilt :class:`FrameGeometry`, overriding
+        ``cache``
 
     Back-to-front over-compositing: for each slab (far to near), the
     point fragments whose depth falls behind the slab's slice plane are
     composited first, then the slice itself, then the slab's nearer
     fragments.  Fragments outside the volume's depth range composite
-    before the farthest slab / after the nearest one.
+    before the farthest slab / after the nearest one.  The loop runs
+    premultiplied and touches only covered pixels; untouched pixels
+    keep their exact prior framebuffer contents.
     """
     lo = np.asarray(lo, dtype=np.float64)
     hi = np.asarray(hi, dtype=np.float64)
@@ -239,55 +232,98 @@ def render_mixed(
         prgba = np.asarray(prgba)[order]
     else:
         pix = pdep = prgba = None
+    n_frag = 0 if pix is None else len(pix)
+
+    # premultiplied working copy; only touched pixels are written back
+    work = fb.rgba.reshape(-1, 4).copy()
+    work[:, :3] *= work[:, 3:4]
+    touched = np.zeros(fb.n_pixels, dtype=bool)
+    depth_flat = fb.depth.reshape(-1)
 
     def composite_point_range(a: int, b: int) -> None:
         if pix is None or a >= b:
             return
-        layer, ldepth = composite_fragments(pix[a:b], pdep[a:b], prgba[a:b], fb.n_pixels)
-        fb.layer_over(
-            layer.reshape(fb.height, fb.width, 4),
-            ldepth.reshape(fb.height, fb.width),
-        )
+        upix, frag_pm, near = accumulate_fragments(pix[a:b], pdep[a:b], prgba[a:b])
+        work[upix] = frag_pm + work[upix] * (1.0 - frag_pm[:, 3:4])
+        touched[upix] = True
+        present = frag_pm[:, 3] > 1e-4
+        up = upix[present]
+        depth_flat[up] = np.minimum(depth_flat[up], near[present])
 
-    if rgba_volume is None:
-        composite_point_range(0, 0 if pix is None else len(pix))
+    def write_back() -> None:
+        t_idx = np.flatnonzero(touched)
+        if t_idx.size == 0:
+            return
+        out = work[t_idx]
+        a = out[:, 3:4]
+        safe = np.where(a <= 0.0, 1.0, a)
+        rgba_flat = fb.rgba.reshape(-1, 4)
+        rgba_flat[t_idx, :3] = out[:, :3] / safe
+        rgba_flat[t_idx, 3:] = a
+
+    if rgba_volume is not None:
+        rgba_volume = np.ascontiguousarray(rgba_volume, dtype=np.float64)
+        if rgba_volume.ndim != 4 or rgba_volume.shape[3] != 4:
+            raise ValueError("rgba_volume must be (X, Y, Z, 4)")
+        if geometry is None:
+            if cache is None:
+                cache = frame_geometry_cache()
+            if cache is False:
+                with span("frame_geometry_build", n_slices=int(n_slices)):
+                    geometry = FrameGeometry.build(
+                        camera, rgba_volume.shape[:3], lo, hi, n_slices
+                    )
+            else:
+                geometry = cache.get(
+                    camera, rgba_volume.shape[:3], lo, hi, n_slices
+                )
+
+    if rgba_volume is None or geometry.empty:
+        composite_point_range(0, n_frag)
+        write_back()
         return fb
 
-    d0, d1 = volume_depth_range(camera, lo, hi)
-    if d1 <= d0:
-        composite_point_range(0, 0 if pix is None else len(pix))
-        return fb
-    slab = (d1 - d0) / n_slices
     exponent = reference_slices / n_slices
-    origins, dirs = camera.pixel_rays()
-    rays = (origins, dirs, dirs @ camera.forward)
-    rgba_volume = np.ascontiguousarray(rgba_volume, dtype=np.float64)
+    d1 = geometry.d1
+    slab = geometry.slab
+    flat = rgba_volume.reshape(-1, 4)
 
-    # fragment index boundaries per slab (pdep sorted descending)
-    cursor = 0
-    n_frag = 0 if pix is None else len(pix)
     with span("slice_composite", n_slices=n_slices, n_fragments=n_frag):
+        with span("slice_sample"):
+            samples = geometry.sample(flat)
+            # opacity correction for slice spacing, then premultiply
+            a = np.clip(samples[:, 3], 0.0, 0.9999)
+            if exponent != 1.0:
+                a = 1.0 - (1.0 - a) ** exponent
+            samples[:, :3] *= a[:, None]
+            samples[:, 3] = a
+
+        # fragment index boundaries per slab (pdep sorted descending)
+        cursor = 0
         if pix is not None:
             # fragments farther than the volume: composite them first
             behind = int(np.searchsorted(-pdep, -d1))
             composite_point_range(0, behind)
             cursor = behind
 
-        for s in range(n_slices):
+        for s in range(geometry.n_slices):
             # slab s covers depth (d1 - (s+1)*slab, d1 - s*slab]; slice at center
-            slab_far = d1 - s * slab
-            slab_near = slab_far - slab
-            depth_slice = 0.5 * (slab_far + slab_near)
+            depth_slice = geometry.depths[s]
+            slab_near = d1 - (s + 1) * slab
             if pix is not None:
                 # points behind the slice plane within this slab
                 upto = int(np.searchsorted(-pdep, -depth_slice))
                 composite_point_range(cursor, upto)
                 cursor = upto
-            layer = _slice_layer(
-                camera, rgba_volume, lo, hi, depth_slice, exponent, rays=rays
-            )
-            depth_img = np.full((fb.height, fb.width), depth_slice)
-            fb.layer_over(layer, depth_img)
+            rows = geometry.slice_rows(s)
+            spix = geometry.pix[rows]
+            if len(spix):
+                layer = samples[rows]
+                work[spix] = layer + work[spix] * (1.0 - layer[:, 3:4])
+                touched[spix] = True
+                present = layer[:, 3] > 1e-4
+                sp_ = spix[present]
+                depth_flat[sp_] = np.minimum(depth_flat[sp_], depth_slice)
             if pix is not None:
                 upto = int(np.searchsorted(-pdep, -slab_near))
                 composite_point_range(cursor, upto)
@@ -295,4 +331,5 @@ def render_mixed(
 
         # fragments nearer than the volume
         composite_point_range(cursor, n_frag)
+    write_back()
     return fb

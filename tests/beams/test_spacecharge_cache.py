@@ -1,0 +1,119 @@
+"""Green's-function cache and grid-bounds hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.beams.spacecharge import (
+    SpaceChargeSolver,
+    clear_green_cache,
+    green_cache_stats,
+    green_function_rfft,
+    solve_poisson_open,
+)
+from repro.core.trace import capture
+
+CELL = np.array([0.1, 0.1, 0.1])
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_green_cache()
+    yield
+    clear_green_cache()
+
+
+class TestGreenCache:
+    def test_hit_and_miss_counters(self, rng):
+        rho = rng.random((8, 8, 8))
+        with capture(enabled=True) as t:
+            solve_poisson_open(rho, CELL)
+            solve_poisson_open(rho, CELL)
+        assert t.counters["green_cache_miss"] == 1
+        assert t.counters["green_cache_hit"] == 1
+
+    def test_cached_bit_identical_to_uncached(self, rng):
+        rho = rng.random((8, 10, 6))
+        warm1 = solve_poisson_open(rho, CELL, cached=True)
+        warm2 = solve_poisson_open(rho, CELL, cached=True)
+        cold = solve_poisson_open(rho, CELL, cached=False)
+        assert np.array_equal(warm1, warm2)
+        assert np.array_equal(warm1, cold)
+
+    def test_distinct_cell_is_distinct_entry(self, rng):
+        rho = rng.random((8, 8, 8))
+        with capture(enabled=True) as t:
+            solve_poisson_open(rho, CELL)
+            solve_poisson_open(rho, 2.0 * CELL)
+        assert t.counters["green_cache_miss"] == 2
+        assert green_cache_stats()["entries"] == 2
+
+    def test_spectrum_reused_by_identity(self):
+        a = green_function_rfft((6, 6, 6), CELL)
+        b = green_function_rfft((6, 6, 6), CELL)
+        assert a is b
+
+    def test_clear(self):
+        green_function_rfft((6, 6, 6), CELL)
+        assert green_cache_stats()["entries"] == 1
+        clear_green_cache()
+        assert green_cache_stats()["entries"] == 0
+
+
+class TestBoundsHysteresis:
+    def _particles(self, rng, n=400):
+        particles = np.zeros((n, 6))
+        particles[:, :3] = rng.standard_normal((n, 3))
+        return particles
+
+    def test_quiet_beam_reuses_bounds(self, rng):
+        particles = self._particles(rng)
+        solver = SpaceChargeSolver(grid_shape=(8, 8, 8), bounds_tolerance=0.05)
+        with capture(enabled=True) as t:
+            solver.field_at(particles)
+            particles[:, :3] *= 1.001  # breathing well inside the band
+            solver.field_at(particles)
+        assert t.counters["sc_bounds_refit"] == 1
+        assert t.counters["sc_bounds_reuse"] == 1
+
+    def test_escaping_beam_refits(self, rng):
+        particles = self._particles(rng)
+        solver = SpaceChargeSolver(grid_shape=(8, 8, 8), bounds_tolerance=0.05)
+        with capture(enabled=True) as t:
+            solver.field_at(particles)
+            particles[:, :3] *= 2.0  # blows past the padded bounds
+            solver.field_at(particles)
+        assert t.counters["sc_bounds_refit"] == 2
+        assert t.counters.get("sc_bounds_reuse", 0) == 0
+
+    def test_shrunken_beam_refits(self, rng):
+        """A collapsing beam must not keep an oversized grid forever."""
+        particles = self._particles(rng)
+        solver = SpaceChargeSolver(grid_shape=(8, 8, 8), bounds_tolerance=0.05)
+        with capture(enabled=True) as t:
+            solver.field_at(particles)
+            particles[:, :3] *= 0.25
+            solver.field_at(particles)
+        assert t.counters["sc_bounds_refit"] == 2
+
+    def test_zero_tolerance_always_refits(self, rng):
+        particles = self._particles(rng)
+        solver = SpaceChargeSolver(grid_shape=(8, 8, 8), bounds_tolerance=0.0)
+        with capture(enabled=True) as t:
+            for _ in range(3):
+                solver.field_at(particles)
+        assert t.counters["sc_bounds_refit"] == 3
+        assert t.counters.get("sc_bounds_reuse", 0) == 0
+
+    def test_reused_bounds_keep_field_close(self, rng):
+        """The hysteresis band changes the grid by at most ~tol, so the
+        gathered field stays close to a fresh fit's."""
+        particles = self._particles(rng)
+        tol_solver = SpaceChargeSolver(grid_shape=(16, 16, 16), bounds_tolerance=0.05)
+        fresh = SpaceChargeSolver(grid_shape=(16, 16, 16), bounds_tolerance=0.0)
+        tol_solver.field_at(particles)
+        drifted = particles.copy()
+        drifted[:, :3] *= 0.999
+        e_tol, _, _ = tol_solver.field_at(drifted)
+        e_fresh, _, _ = fresh.field_at(drifted)
+        scale = np.abs(e_fresh).max()
+        assert np.abs(e_tol - e_fresh).max() < 0.05 * scale

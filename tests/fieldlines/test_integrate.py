@@ -167,3 +167,30 @@ class TestBatch:
         assert lines[1].termination == "domain"
         assert lines[1].n_points < lines[0].n_points
         assert lines[2].n_points == 2  # started outside
+
+    def test_per_seed_directions(self, rng):
+        """A mixed-direction fleet matches separate single-direction runs."""
+        field = _CircularField()
+        seeds = rng.uniform(-1, 1, (6, 3))
+        both = integrate_batch(
+            field,
+            np.vstack([seeds, seeds]),
+            step=0.05,
+            max_steps=40,
+            direction=np.concatenate([np.ones(6), -np.ones(6)]),
+        )
+        fwd = integrate_batch(field, seeds, step=0.05, max_steps=40, direction=+1.0)
+        bwd = integrate_batch(field, seeds, step=0.05, max_steps=40, direction=-1.0)
+        for mixed, ref in zip(both, fwd + bwd):
+            assert mixed.termination == ref.termination
+            assert np.allclose(mixed.points, ref.points, atol=1e-12)
+
+    def test_scalar_backward_direction(self, rng):
+        """direction=-1 retraces a forward line's path in reverse."""
+        field = _UniformField()
+        start = np.array([[0.0, 0.3, 0.0]])
+        fwd = integrate_batch(field, start, step=0.1, max_steps=10)[0]
+        back = integrate_batch(
+            field, fwd.points[-1:], step=0.1, max_steps=10, direction=-1.0
+        )[0]
+        assert np.allclose(back.points[: fwd.n_points], fwd.points[::-1], atol=1e-12)

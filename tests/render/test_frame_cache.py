@@ -1,0 +1,194 @@
+"""Frame-geometry cache correctness: bit-identity and invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.render.frame_cache import (
+    FrameGeometry,
+    FrameGeometryCache,
+    frame_geometry_cache,
+    geometry_key,
+)
+from repro.render.points import point_fragments
+from repro.render.volume import render_mixed, render_volume
+
+
+@pytest.fixture
+def scene(rng):
+    vol = rng.random((12, 14, 10, 4))
+    vol[..., 3] *= 0.3
+    lo = np.array([-1.0, -1.0, -1.0])
+    hi = np.array([1.0, 1.2, 0.8])
+    camera = Camera(eye=(2.5, 1.5, 3.0), target=(0, 0, 0), width=48, height=40)
+    pts = rng.normal(0, 0.5, (500, 3))
+    cols = rng.random((500, 4))
+    frags = point_fragments(camera, pts, cols, point_size=1)
+    return camera, vol, lo, hi, frags
+
+
+class TestBitIdentity:
+    def test_cached_equals_uncached(self, scene):
+        camera, vol, lo, hi, frags = scene
+        cache = FrameGeometryCache()
+        uncached = render_mixed(
+            camera, vol, lo, hi, point_fragments=frags, n_slices=24, cache=False
+        )
+        cold = render_mixed(
+            camera, vol, lo, hi, point_fragments=frags, n_slices=24, cache=cache
+        )
+        warm = render_mixed(
+            camera, vol, lo, hi, point_fragments=frags, n_slices=24, cache=cache
+        )
+        assert np.array_equal(uncached.rgba, cold.rgba)
+        assert np.array_equal(uncached.rgba, warm.rgba)
+        assert np.array_equal(uncached.depth, warm.depth)
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_volume_only_bit_identical(self, scene):
+        camera, vol, lo, hi, _ = scene
+        cache = FrameGeometryCache()
+        a = render_volume(camera, vol, lo, hi, n_slices=16, cache=False)
+        b = render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        c = render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        assert np.array_equal(a.rgba, b.rgba)
+        assert np.array_equal(a.rgba, c.rgba)
+
+    def test_contents_change_reuses_geometry(self, scene):
+        """New volume contents with the same grid reuse cached geometry
+        and still render exactly as the uncached path would."""
+        camera, vol, lo, hi, _ = scene
+        cache = FrameGeometryCache()
+        render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        vol2 = np.sqrt(vol)
+        warm = render_volume(camera, vol2, lo, hi, n_slices=16, cache=cache)
+        ref = render_volume(camera, vol2, lo, hi, n_slices=16, cache=False)
+        assert cache.stats()["hits"] == 1  # same geometry served both frames
+        assert np.array_equal(warm.rgba, ref.rgba)
+
+
+class TestInvalidation:
+    def test_camera_move_is_new_entry(self, scene):
+        camera, vol, lo, hi, _ = scene
+        cache = FrameGeometryCache()
+        render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        moved = Camera(
+            eye=(2.6, 1.5, 3.0), target=(0, 0, 0), width=48, height=40
+        )
+        render_volume(moved, vol, lo, hi, n_slices=16, cache=cache)
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 2
+
+    def test_resolution_change_is_new_entry(self, scene):
+        camera, vol, lo, hi, _ = scene
+        cache = FrameGeometryCache()
+        render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        vol_hi = np.repeat(vol, 2, axis=0)
+        render_volume(camera, vol_hi, lo, hi, n_slices=16, cache=cache)
+        assert cache.stats()["misses"] == 2
+
+    def test_slice_count_and_bounds_in_key(self, scene):
+        camera, vol, lo, hi, _ = scene
+        k0 = geometry_key(camera, vol.shape[:3], lo, hi, 16)
+        assert geometry_key(camera, vol.shape[:3], lo, hi, 32) != k0
+        assert geometry_key(camera, vol.shape[:3], lo, hi + 0.1, 16) != k0
+        assert geometry_key(camera, vol.shape[:3], lo, hi, 16) == k0
+
+    def test_transfer_function_mutation_renders_fresh(self, scene):
+        """The transfer function is applied per frame on top of cached
+        geometry: editing it changes the image without a rebuild."""
+        camera, vol, lo, hi, _ = scene
+        cache = FrameGeometryCache()
+        a = render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        edited = vol.copy()
+        edited[..., 3] = np.clip(edited[..., 3] * 2.0, 0.0, 1.0)
+        b = render_volume(camera, edited, lo, hi, n_slices=16, cache=cache)
+        assert cache.stats() == {
+            "hits": 1, "misses": 1,
+            "entries": 1, "bytes": cache.total_bytes,
+        }
+        assert not np.array_equal(a.rgba, b.rgba)
+
+
+class TestCachePolicy:
+    def test_lru_entry_bound(self, scene):
+        camera, vol, lo, hi, _ = scene
+        cache = FrameGeometryCache(max_entries=2)
+        for n in (8, 12, 16):
+            render_volume(camera, vol, lo, hi, n_slices=n, cache=cache)
+        assert len(cache) == 2
+        assert geometry_key(camera, vol.shape[:3], lo, hi, 8) not in cache
+        assert geometry_key(camera, vol.shape[:3], lo, hi, 16) in cache
+
+    def test_byte_budget_evicts(self, scene):
+        camera, vol, lo, hi, _ = scene
+        probe = FrameGeometry.build(camera, vol.shape[:3], lo, hi, 16)
+        cache = FrameGeometryCache(max_entries=8, max_bytes=probe.nbytes + 1)
+        render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        render_volume(camera, vol, lo, hi, n_slices=24, cache=cache)
+        assert len(cache) == 1  # first entry evicted to fit the budget
+
+    def test_empty_cache_is_truthy(self):
+        assert FrameGeometryCache()
+
+    def test_clear(self, scene):
+        camera, vol, lo, hi, _ = scene
+        cache = FrameGeometryCache()
+        render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        assert cache.stats()["misses"] == 2
+
+    def test_global_cache_is_default(self, scene):
+        camera, vol, lo, hi, _ = scene
+        global_cache = frame_geometry_cache()
+        global_cache.clear()
+        before = global_cache.stats()["misses"]
+        render_volume(camera, vol, lo, hi, n_slices=16)
+        render_volume(camera, vol, lo, hi, n_slices=16)
+        after = global_cache.stats()
+        assert after["misses"] == before + 1
+        assert after["hits"] >= 1
+        global_cache.clear()
+
+    def test_explicit_geometry_overrides(self, scene):
+        camera, vol, lo, hi, _ = scene
+        geo = FrameGeometry.build(camera, vol.shape[:3], lo, hi, 16)
+        cache = FrameGeometryCache()
+        fb = render_volume(
+            camera, vol, lo, hi, n_slices=16, cache=cache, geometry=geo
+        )
+        ref = render_volume(camera, vol, lo, hi, n_slices=16, cache=False)
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0, "bytes": 0}
+        assert np.array_equal(fb.rgba, ref.rgba)
+
+
+class TestGeometry:
+    def test_sample_matches_trilinear(self, scene, rng):
+        """The CSR resampling rows reproduce trilinear_sample exactly
+        where the slice is inside the volume."""
+        from repro.render.volume import trilinear_sample
+
+        camera, vol, lo, hi, _ = scene
+        geo = FrameGeometry.build(camera, vol.shape[:3], lo, hi, 8)
+        flat = vol.reshape(-1, 4)
+        samples = geo.sample(flat)
+        # rebuild slice-0 coordinates independently
+        origins, dirs = camera.pixel_rays()
+        cos = np.maximum(dirs @ camera.forward, 1e-9)
+        t = geo.depths[0] / cos
+        pts = origins + dirs * t[:, None]
+        coords = (pts - lo) / np.maximum(hi - lo, 1e-300)
+        ref = trilinear_sample(vol, coords)
+        rows = geo.slice_rows(0)
+        assert np.allclose(samples[rows], ref[geo.pix[rows]], atol=1e-12)
+
+    def test_empty_when_volume_behind_camera(self, scene):
+        _, vol, lo, hi, _ = scene
+        away = Camera(eye=(0, 0, 10.0), target=(0, 0, 20.0), width=16, height=16)
+        geo = FrameGeometry.build(away, vol.shape[:3], lo, hi, 8)
+        assert geo.empty
+        fb = render_volume(away, vol, lo, hi, n_slices=8, geometry=geo)
+        assert np.all(fb.rgba == 0.0)

@@ -50,6 +50,7 @@ MODULES = [
     "repro.hybrid.animation",
     "repro.render.camera",
     "repro.render.framebuffer",
+    "repro.render.frame_cache",
     "repro.render.volume",
     "repro.render.points",
     "repro.render.raster",
@@ -104,6 +105,10 @@ FACADE_REQUIRED = [
     "Tracer",
     "span",
     "capture",
+    # the hot-path caches (PR 4)
+    "FrameGeometry",
+    "FrameGeometryCache",
+    "frame_geometry_cache",
     # the fault-tolerance vocabulary (PR 2)
     "ReproError",
     "FormatError",

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.beams.diagnostics import halo_parameter, rms_size
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.transfer import LinkedTransferFunctions
 from repro.hybrid.viewer import FrameViewer
@@ -46,7 +47,7 @@ def main() -> None:
         r = rms_size(particles, 0)
         print(f"  step {step:3d}: rms_x={r:6.3f}  halo_param={h:+.3f}")
         partitioned.append(
-            partition(particles, "xyz", max_level=6, capacity=48, step=step)
+            partition(as_dataset(particles), "xyz", max_level=6, capacity=48, step=step)
         )
 
     print("simulating (halo parameter should climb)...")

@@ -12,6 +12,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.fieldlines.illuminated import render_lines
 from repro.fieldlines.incremental import IncrementalViewer
 from repro.fieldlines.seeding import seed_density_proportional
@@ -53,7 +54,7 @@ def beam_figures():
 
     # FIG 1: volume-only vs hybrid
     _, last = frames[-1]
-    pf = partition(last, "xpxy", max_level=6, capacity=48)
+    pf = partition(as_dataset(last), "xpxy", max_level=6, capacity=48)
     thr = float(np.percentile(pf.nodes["density"], 70))
     vol_only = extract(pf, 0.0, volume_resolution=64)
     hybrid = extract(pf, thr, volume_resolution=24)
@@ -64,14 +65,14 @@ def beam_figures():
 
     # FIG 2: four distributions
     for plot_type in ("xyz", "xpxy", "xpxz", "pxpypz"):
-        pf_t = partition(last, plot_type, max_level=6, capacity=48)
+        pf_t = partition(as_dataset(last), plot_type, max_level=6, capacity=48)
         thr_t = float(np.percentile(pf_t.nodes["density"], 70))
         h = extract(pf_t, thr_t, volume_resolution=24)
         c = Camera.fit_bounds(h.lo, h.hi, width=SIZE, height=SIZE)
         save(f"fig2_{plot_type}", renderer.render(h, c))
 
     # FIG 4: decomposition
-    pf_xyz = partition(last, "xyz", max_level=6, capacity=48)
+    pf_xyz = partition(as_dataset(last), "xyz", max_level=6, capacity=48)
     thr_xyz = float(np.percentile(pf_xyz.nodes["density"], 75))
     h = extract(pf_xyz, thr_xyz, volume_resolution=24)
     c = Camera.fit_bounds(h.lo, h.hi, width=SIZE, height=SIZE)
@@ -81,7 +82,7 @@ def beam_figures():
 
     # FIG 5: selected time steps
     for s, particles in frames[:: max(len(frames) // 4, 1)]:
-        pf_s = partition(particles, "xyz", max_level=6, capacity=48)
+        pf_s = partition(as_dataset(particles), "xyz", max_level=6, capacity=48)
         h = extract(pf_s, thr_xyz, volume_resolution=24)
         save(f"fig5_step{s:03d}", renderer.render(h, c))
 

@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.hybrid.renderer import HybridRenderer
 from repro.octree.partition import partition
 from repro.remote.client import VisualizationClient
@@ -34,7 +35,7 @@ def main() -> None:
     frames = []
     sim.run(
         on_frame=lambda s, p: frames.append(
-            partition(p, "xyz", max_level=6, capacity=48, step=s)
+            partition(as_dataset(p), "xyz", max_level=6, capacity=48, step=s)
         ),
         frame_every=15,
     )

@@ -5,6 +5,7 @@
 #   scripts/check.sh --no-lint  # tests only
 #   scripts/check.sh --faults   # the fault-injection pass only
 #   scripts/check.sh --perf     # the perf bench + regression gate only
+#   scripts/check.sh --store    # the out-of-core store suite + RAM-cap gate
 #
 # --faults runs the resilience suites (fault harness, crash-safe
 # executors, checkpoint/resume, remote link under injected damage)
@@ -14,6 +15,12 @@
 # seeding, space-charge kernels) and fails if any recorded speedup
 # ratio regressed more than 20% against the baseline committed at
 # HEAD (scripts/perf_gate.py).
+#
+# --store runs the sharded-store / streaming-pipeline suites, then the
+# RAM-capped bench (the full 10^7-particle pipeline in a measured
+# subprocess) that refreshes BENCH_sharded_store.json, and gates on
+# peak RSS < 0.5 of raw plus the streamed-vs-in-core equivalence
+# flags (scripts/perf_gate.py --store).
 #
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
@@ -25,6 +32,7 @@ cd "$(dirname "$0")/.."
 run_lint=1
 run_faults=0
 run_perf=0
+run_store=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
 elif [[ "${1:-}" == "--faults" ]]; then
@@ -33,6 +41,24 @@ elif [[ "${1:-}" == "--faults" ]]; then
 elif [[ "${1:-}" == "--perf" ]]; then
     run_lint=0
     run_perf=1
+elif [[ "${1:-}" == "--store" ]]; then
+    run_lint=0
+    run_store=1
+fi
+
+if [[ $run_store -eq 1 ]]; then
+    echo "== out-of-core store suite =="
+    PYTHONPATH=src python -m pytest -x -q \
+        tests/core/test_store.py \
+        tests/core/test_dataset.py \
+        tests/octree/test_stream_partition.py \
+        tests/render/test_fragment_batches.py \
+        tests/test_deprecations.py
+    echo "== RAM-capped store bench =="
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_sharded_store.py
+    echo "== store gate =="
+    python scripts/perf_gate.py --store
+    exit 0
 fi
 
 if [[ $run_perf -eq 1 ]]; then

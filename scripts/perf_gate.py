@@ -1,11 +1,18 @@
-"""Perf regression gate over BENCH_frame_cache.json.
+"""Perf regression gates over the committed BENCH_*.json baselines.
 
-Compares the freshly measured speedup ratios against the baseline
-committed at HEAD and fails when any gated ratio regressed by more
-than ``TOLERANCE`` (20 %).  Ratios, not absolute times, so the gate is
-stable across machines of different speed.
+Default mode compares the freshly measured speedup ratios in
+``BENCH_frame_cache.json`` against the baseline committed at HEAD and
+fails when any gated ratio regressed by more than ``TOLERANCE`` (20 %).
+Ratios, not absolute times, so the gate is stable across machines of
+different speed.
 
-Run via ``scripts/check.sh --perf`` (which refreshes the JSON first).
+``--store`` gates ``BENCH_sharded_store.json`` instead: hard floors on
+the out-of-core RAM cap (peak RSS < 0.5 of the raw dataset) and the
+streamed-vs-in-core equivalence flags, plus a drift check of the RSS
+fraction against the committed baseline.
+
+Run via ``scripts/check.sh --perf`` / ``--store`` (which refresh the
+JSON first).
 """
 
 from __future__ import annotations
@@ -16,7 +23,9 @@ import sys
 from pathlib import Path
 
 BENCH_FILE = "BENCH_frame_cache.json"
+STORE_BENCH_FILE = "BENCH_sharded_store.json"
 TOLERANCE = 0.20
+RSS_FRACTION_FLOOR = 0.5
 
 # (human label, path into extra{}) for every gated ratio
 GATES = [
@@ -40,22 +49,72 @@ def _seeding_speedup(extra: dict, batch_size: int = 8) -> float:
     raise KeyError(f"no batched seeding row for batch_size={batch_size}")
 
 
-def main() -> int:
-    root = Path(__file__).resolve().parent.parent
-    fresh_path = root / BENCH_FILE
+def _load(root: Path, bench_file: str):
+    """Return (fresh extra, baseline extra or None) for one bench file."""
+    fresh_path = root / bench_file
     if not fresh_path.exists():
-        print(f"perf gate: {BENCH_FILE} missing -- run the bench first", file=sys.stderr)
-        return 2
+        print(f"perf gate: {bench_file} missing -- run the bench first", file=sys.stderr)
+        raise SystemExit(2)
     fresh = json.loads(fresh_path.read_text())["extra"]
 
     proc = subprocess.run(
-        ["git", "show", f"HEAD:{BENCH_FILE}"],
+        ["git", "show", f"HEAD:{bench_file}"],
         cwd=root, capture_output=True, text=True,
     )
-    if proc.returncode != 0:
+    base = json.loads(proc.stdout)["extra"] if proc.returncode == 0 else None
+    return fresh, base
+
+
+def gate_store(root: Path) -> int:
+    """Hard floors + baseline drift for the out-of-core store bench."""
+    fresh, base = _load(root, STORE_BENCH_FILE)
+    store, eq = fresh["store"], fresh["equivalence"]
+
+    failed = False
+    flags = [
+        (
+            f"peak RSS fraction {store['rss_fraction']:.2f} of raw "
+            f"({store['raw_mb']:.0f} MB, floor < {RSS_FRACTION_FLOOR:.2f})",
+            store["rss_fraction"] < RSS_FRACTION_FLOOR,
+        ),
+        ("streamed nodes bitwise-identical to in-core", bool(eq["nodes_bitwise"])),
+        ("streamed particle order bitwise-identical", bool(eq["particles_bitwise"])),
+        ("streamed halo points bitwise-identical", bool(eq["points_bitwise"])),
+        (f"volume max ULP {eq['volume_max_ulp']} (<= 1)", eq["volume_max_ulp"] <= 1),
+        (f"image max ULP {eq['image_max_ulp']} (<= 1)", eq["image_max_ulp"] <= 1),
+    ]
+    for label, ok in flags:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failed |= not ok
+
+    if base is not None:
+        was, now = float(base["store"]["rss_fraction"]), float(store["rss_fraction"])
+        ceiling = (1.0 + TOLERANCE) * was
+        ok = now <= ceiling
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} RSS fraction vs baseline: "
+            f"{now:.3f} (baseline {was:.3f}, ceiling {ceiling:.3f})"
+        )
+        failed |= not ok
+    else:
+        print(f"  no committed {STORE_BENCH_FILE} baseline; drift check skipped")
+
+    if failed:
+        print("perf gate: out-of-core store gate failed", file=sys.stderr)
+        return 1
+    print("perf gate: store RAM cap and equivalence floors hold")
+    return 0
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    if "--store" in sys.argv[1:]:
+        return gate_store(root)
+
+    fresh, base = _load(root, BENCH_FILE)
+    if base is None:
         print(f"perf gate: no committed {BENCH_FILE} baseline; nothing to compare")
         return 0
-    base = json.loads(proc.stdout)["extra"]
 
     checks = [(label, _lookup(base, path), _lookup(fresh, path)) for label, path in GATES]
     checks.append(

@@ -16,6 +16,12 @@ from __future__ import annotations
 from repro.core.atomic import atomic_write_bytes
 from repro.core.checkpoint import Checkpoint
 from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.core.dataset import (
+    ArrayDataset,
+    ParticleDataset,
+    as_dataset,
+    open_dataset,
+)
 from repro.core.errors import (
     ChecksumError,
     FormatError,
@@ -27,6 +33,7 @@ from repro.core.errors import (
 )
 from repro.core.executor import run_shards
 from repro.core.faults import FaultPlan
+from repro.core.store import ShardedStore, StoreWriter, create_store
 from repro.core.pipeline import (
     BeamPipelineResult,
     FieldLinePipelineResult,
@@ -36,11 +43,10 @@ from repro.core.pipeline import (
 from repro.core.trace import (
     Tracer,
     capture,
-    count,
-    gauge,
     get_tracer,
     span,
 )
+from repro.beams.io import frame_to_store
 from repro.beams.simulation import BeamConfig, BeamSimulation
 from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportional
 from repro.fieldlines.sos import build_strips, render_strips
@@ -48,6 +54,7 @@ from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.representation import HybridFrame
 from repro.octree.extraction import extract
 from repro.octree.partition import PartitionedFrame, partition
+from repro.octree.stream_partition import PartitionedStore, partition_store
 from repro.remote.client import VisualizationClient
 from repro.remote.server import VisualizationServer
 from repro.render.camera import Camera
@@ -73,6 +80,17 @@ __all__ = [
     "extract",
     "HybridFrame",
     "HybridRenderer",
+    # out-of-core datasets + the sharded store (PR 5)
+    "open_dataset",
+    "as_dataset",
+    "ParticleDataset",
+    "ArrayDataset",
+    "ShardedStore",
+    "StoreWriter",
+    "create_store",
+    "frame_to_store",
+    "partition_store",
+    "PartitionedStore",
     # field-line workflow stages
     "seed_density_proportional",
     "OrderedFieldLines",
@@ -88,8 +106,6 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "span",
-    "count",
-    "gauge",
     "capture",
     # fault tolerance
     "ReproError",

@@ -25,6 +25,7 @@ __all__ = [
     "write_frame",
     "read_frame",
     "read_frame_mmap",
+    "frame_to_store",
     "frame_path",
     "frame_nbytes",
     "FrameWriter",
@@ -81,6 +82,25 @@ def read_frame_mmap(path):
         path, dtype="<f8", mode="r", offset=_HEADER.size, shape=(n, 6)
     )
     return particles, step
+
+
+def frame_to_store(path, out, shard_rows: int | None = None):
+    """Convert one ``.frame`` file into a sharded out-of-core store.
+
+    The frame payload is memory-mapped and re-chunked shard by shard
+    (:class:`repro.core.store.StoreWriter`), so peak RSS stays at one
+    shard regardless of the frame's size; the frame's step index is
+    carried into the store manifest.  Returns the opened
+    :class:`repro.core.store.ShardedStore`.
+    """
+    from repro.core.store import DEFAULT_SHARD_ROWS, create_store
+
+    particles, step = read_frame_mmap(path)
+    return create_store(
+        out, particles,
+        shard_rows=DEFAULT_SHARD_ROWS if shard_rows is None else int(shard_rows),
+        step=step,
+    )
 
 
 def frame_path(directory, step: int) -> Path:

@@ -122,11 +122,15 @@ def deposit_cic(
     lo,
     hi,
     weights: np.ndarray | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Cloud-in-cell deposition of particles onto a node-centered grid.
 
     Returns an array of the given shape whose sum equals the total
-    particle weight (charge conservation).
+    particle weight (charge conservation).  ``out`` accumulates *into*
+    an existing float64 grid instead of allocating a fresh one -- the
+    seam the out-of-core extraction uses to bin a density volume shard
+    by shard without holding the particle frame in RAM.
     """
     positions = np.asarray(positions, dtype=np.float64)
     lo = np.asarray(lo, dtype=np.float64)
@@ -135,7 +139,14 @@ def deposit_cic(
     if any(s < 2 for s in shape):
         raise ValueError("grid must be at least 2 nodes in each dimension")
     cell = (hi - lo) / (np.array(shape) - 1)
-    grid = np.zeros(shape)
+    if out is None:
+        grid = np.zeros(shape)
+    else:
+        if out.shape != shape:
+            raise ValueError(f"out has shape {out.shape}, expected {shape}")
+        if out.dtype != np.float64 or not out.flags.c_contiguous:
+            raise ValueError("out must be a C-contiguous float64 grid")
+        grid = out
     if len(positions) == 0:
         return grid
     # node-centered: rel = (p - lo)/cell, node i at coordinate i

@@ -90,19 +90,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("partition", parents=[common],
                        help="partition a particle frame")
-    p.add_argument("frame", help="a .frame file from `repro simulate`")
-    p.add_argument("--out", required=True, help="output stem (.nodes/.particles)")
+    p.add_argument("frame", help="a .frame file from `repro simulate`, or a "
+                                 "sharded store directory from `repro store "
+                                 "create` (partitioned out-of-core)")
+    p.add_argument("--out", required=True,
+                   help="output stem (.nodes/.particles), or the output "
+                        "directory when partitioning a sharded store")
     p.add_argument("--plot-type", default=bpipe_d["plot_type"],
                    choices=["xyz", "xpxy", "xpxz", "pxpypz"])
     p.add_argument("--max-level", type=int, default=bpipe_d["max_level"])
     p.add_argument("--capacity", type=int, default=bpipe_d["capacity"])
     p.add_argument("--workers", type=int, default=1,
                    help="multiprocess partitioning with this many workers")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="make the out-of-core partition resumable at "
+                        "per-shard granularity (store input only)")
     p.set_defaults(func=_cmd_partition)
+
+    p = sub.add_parser("store", parents=[common],
+                       help="manage sharded out-of-core particle stores")
+    p.add_argument("action", choices=["create", "info", "verify"],
+                   help="create: build a store from a .frame file; "
+                        "info: describe a store; verify: check every "
+                        "shard's CRC against the manifest")
+    p.add_argument("path", help="a .frame file (create) or a store directory")
+    p.add_argument("--out", default=None,
+                   help="output store directory (create)")
+    p.add_argument("--shard-rows", type=int, default=None,
+                   help="particles per shard (default 262144)")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("extract", parents=[common],
                        help="extract a hybrid representation")
-    p.add_argument("stem", help="partition stem from `repro partition`")
+    p.add_argument("stem", help="partition stem from `repro partition`, or a "
+                                "partitioned store directory (extracted "
+                                "shard-by-shard)")
     p.add_argument("--out", required=True, help="output .hybrid file")
     group = p.add_mutually_exclusive_group()
     group.add_argument("--threshold", type=float,
@@ -195,15 +217,31 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_partition(args) -> int:
-    from repro.beams.io import read_frame
+    from repro.core.dataset import open_dataset
+    from repro.core.store import is_store_dir
     from repro.octree.format import save_partitioned
     from repro.octree.partition import partition
 
-    particles, step = read_frame(args.frame)
+    if is_store_dir(args.frame):
+        from repro.octree.stream_partition import partition_store
+
+        with span("partition", workers=args.workers, streaming=True):
+            ps = partition_store(
+                open_dataset(args.frame), args.out, args.plot_type,
+                max_level=args.max_level, capacity=args.capacity,
+                workers=args.workers, checkpoint_dir=args.checkpoint,
+            )
+        print(
+            f"partitioned {ps.n_particles} particles into {ps.n_nodes} nodes "
+            f"out-of-core ({ps.nbytes() / 1e6:.1f} MB, "
+            f"{ps.store.n_shards} shards) at {args.out}"
+        )
+        return 0
+    dataset = open_dataset(args.frame)
     with span("partition", workers=args.workers):
         pf = partition(
-            particles, args.plot_type, max_level=args.max_level,
-            capacity=args.capacity, step=step, workers=args.workers,
+            dataset, args.plot_type, max_level=args.max_level,
+            capacity=args.capacity, workers=args.workers,
         )
     nbytes = save_partitioned(pf, args.out)
     print(
@@ -213,12 +251,64 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    from repro.core.store import ShardedStore
+
+    if args.action == "create":
+        from repro.beams.io import frame_to_store
+
+        if args.out is None:
+            raise SystemExit("store create needs --out DIR")
+        with span("store_create"):
+            store = frame_to_store(args.path, args.out, shard_rows=args.shard_rows)
+        print(
+            f"stored {store.n_particles} particles (step {store.step}) in "
+            f"{store.n_shards} shards ({store.nbytes() / 1e6:.1f} MB) "
+            f"at {args.out}"
+        )
+        return 0
+    store = ShardedStore.open(args.path)
+    if args.action == "verify":
+        with span("store_verify", n_shards=store.n_shards):
+            store.verify()
+        print(f"{args.path}: {store.n_shards} shards OK "
+              f"({store.n_particles} particles, CRC32 verified)")
+        return 0
+    print(
+        f"sharded store: step {store.step}, {store.n_particles} particles, "
+        f"{store.n_shards} shards of {store.shard_rows} rows "
+        f"({store.nbytes() / 1e6:.2f} MB payload)"
+    )
+    return 0
+
+
 def _cmd_extract(args) -> int:
+    from repro.core.store import is_store_dir
     from repro.octree.disk_extraction import extract_from_disk
     from repro.octree.extraction import extract
     from repro.octree.format import _read_nodes, load_partitioned, partition_paths
 
     attrs = tuple(a for a in args.attributes.split(",") if a)
+    if is_store_dir(args.stem):
+        from repro.octree.stream_partition import PartitionedStore
+
+        ps = PartitionedStore.open(args.stem)
+        if args.threshold is not None:
+            threshold = args.threshold
+        else:
+            threshold = float(np.percentile(ps.nodes["density"], args.percentile))
+        with span("extract", streaming=True):
+            hybrid = extract(
+                ps, threshold, volume_resolution=args.resolution,
+                point_attributes=attrs,
+            )
+        nbytes = hybrid.save(args.out)
+        print(
+            f"extracted (shard-streamed) {hybrid.n_points} points + "
+            f"{args.resolution}^3 volume at threshold {threshold:.4g} -> "
+            f"{args.out} ({nbytes / 1e6:.2f} MB)"
+        )
+        return 0
     if args.from_disk:
         if attrs:
             raise SystemExit("--attributes needs the full particle data; "
@@ -343,6 +433,30 @@ def _cmd_eigen(args) -> int:
 
 def _cmd_info(args) -> int:
     path = Path(args.path)
+    if path.is_dir():
+        from repro.core.store import ShardedStore, is_store_dir
+        from repro.octree.stream_partition import NODES_FILE, PartitionedStore
+
+        if not is_store_dir(path):
+            print(f"{path}: directory without a store manifest", file=sys.stderr)
+            return 1
+        if (path / NODES_FILE).is_file():
+            ps = PartitionedStore.open(path)
+            dens = ps.nodes["density"]
+            print(
+                f"partitioned store: step {ps.step}, plot type {ps.plot_type}, "
+                f"{ps.n_particles} particles, {ps.n_nodes} nodes, "
+                f"{ps.store.n_shards} shards, "
+                f"density {dens.min():.3g}..{dens.max():.3g}"
+            )
+        else:
+            store = ShardedStore.open(path)
+            print(
+                f"sharded store: step {store.step}, {store.n_particles} "
+                f"particles, {store.n_shards} shards of {store.shard_rows} "
+                f"rows ({store.nbytes() / 1e6:.2f} MB payload)"
+            )
+        return 0
     with open(path, "rb") as f:
         magic = f.read(8)
     if magic == b"RPRFRAME":

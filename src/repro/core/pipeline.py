@@ -18,6 +18,7 @@ import numpy as np
 from repro.beams.simulation import BeamSimulation
 from repro.core.checkpoint import Checkpoint
 from repro.core.config import BeamPipelineConfig, FieldLinePipelineConfig
+from repro.core.dataset import as_dataset
 from repro.core.trace import count, gauge, span
 from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportional
 from repro.fieldlines.sos import build_strips, render_strips
@@ -114,7 +115,7 @@ def beam_pipeline(
             else:
                 with span("partition", step=step):
                     pf = partition(
-                        particles,
+                        as_dataset(particles),
                         config.plot_type,
                         max_level=config.max_level,
                         capacity=config.capacity,

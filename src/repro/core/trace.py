@@ -38,6 +38,7 @@ __all__ = [
     "span",
     "count",
     "gauge",
+    "gauge_peak_rss",
     "capture",
     "enable",
     "disable",
@@ -297,6 +298,40 @@ def count(name: str, inc: float = 1) -> None:
 def gauge(name: str, value: float) -> None:
     """Set a gauge on the global tracer."""
     _tracer.gauge(name, value)
+
+
+def gauge_peak_rss(name: str = "peak_rss_bytes") -> float:
+    """Record the process's lifetime peak RSS (bytes) as a gauge.
+
+    On Linux reads ``VmHWM`` from ``/proc/self/status``, which is reset
+    at exec() -- unlike ``ru_maxrss``, whose high-water mark in a child
+    spawned from a large parent includes the parent's copy-on-write
+    pages resident between fork() and exec().  Falls back to
+    ``ru_maxrss`` (kibibytes on Linux, bytes on macOS) where /proc is
+    unavailable; returns the value so callers -- e.g. the out-of-core
+    RAM-cap gate -- can also assert on it.  Returns 0.0 on platforms
+    without :mod:`resource`.
+    """
+    rss = 0.0
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    rss = float(line.split()[1]) * 1024.0
+                    break
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    if rss == 0.0:  # pragma: no cover - non-Linux fallback
+        try:
+            import resource
+            import sys
+        except ImportError:
+            return 0.0
+        rss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        if sys.platform != "darwin":
+            rss *= 1024.0
+    _tracer.gauge(name, rss)
+    return rss
 
 
 def enable(memory: bool = False) -> Tracer:

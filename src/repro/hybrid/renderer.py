@@ -48,6 +48,13 @@ class HybridRenderer:
         transfer-function edits reuse slice geometry across frames,
         ``False`` disables caching, or pass a dedicated
         :class:`repro.render.frame_cache.FrameGeometryCache`
+    point_batch_size : project the classified points in slices of this
+        many points, handing :func:`render_mixed` a list of fragment
+        batches instead of one monolithic stream (the out-of-core
+        rendering path: peak memory scales with the batch, not the
+        halo).  Classification and subsampling stay global, so the
+        drawn subset and the composited image match the unbatched
+        renderer.  ``None`` (default) projects everything at once.
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class HybridRenderer:
         normalizer_mode: str = "log",
         point_color_by: str | None = None,
         cache=None,
+        point_batch_size: int | None = None,
     ):
         self.transfer = transfer or LinkedTransferFunctions()
         self.point_colormap = (
@@ -75,6 +83,9 @@ class HybridRenderer:
         # density -- the dynamic property coloring of paper section 2.5
         self.point_color_by = point_color_by
         self.cache = cache
+        if point_batch_size is not None and int(point_batch_size) < 1:
+            raise ValueError("point_batch_size must be >= 1")
+        self.point_batch_size = None if point_batch_size is None else int(point_batch_size)
 
     # ------------------------------------------------------------------
     def _normalizer(self, frame: HybridFrame) -> DensityNormalizer:
@@ -121,6 +132,23 @@ class HybridRenderer:
         rgba[:, 3] = self.point_alpha
         return pos, rgba
 
+    def _project_points(self, camera: Camera, pos: np.ndarray, rgba: np.ndarray):
+        """Project classified points to fragments, honoring
+        ``point_batch_size`` (a list of per-batch fragment streams in
+        point order, which ``render_mixed`` merges losslessly)."""
+        if len(pos) == 0:
+            return None
+        batch = self.point_batch_size
+        if batch is None or len(pos) <= batch:
+            return point_fragments(camera, pos, rgba, point_size=self.point_size)
+        return [
+            point_fragments(
+                camera, pos[a : a + batch], rgba[a : a + batch],
+                point_size=self.point_size,
+            )
+            for a in range(0, len(pos), batch)
+        ]
+
     # ------------------------------------------------------------------
     def render(self, frame: HybridFrame, camera: Camera | None = None) -> Framebuffer:
         """Full hybrid rendering (volume + interleaved points)."""
@@ -131,11 +159,7 @@ class HybridRenderer:
             rgba_volume = self.classify_volume(frame)
         with span("classify_points", n_points=frame.n_points):
             pos, rgba = self.classified_points(frame)
-            frags = (
-                point_fragments(camera, pos, rgba, point_size=self.point_size)
-                if len(pos)
-                else None
-            )
+            frags = self._project_points(camera, pos, rgba)
         return render_mixed(
             camera,
             rgba_volume,
@@ -169,11 +193,7 @@ class HybridRenderer:
         if opaque and len(rgba):
             rgba = rgba.copy()
             rgba[:, 3] = 1.0
-        frags = (
-            point_fragments(camera, pos, rgba, point_size=self.point_size)
-            if len(pos)
-            else None
-        )
+        frags = self._project_points(camera, pos, rgba)
         return render_mixed(
             camera, None, frame.lo, frame.hi, point_fragments=frags,
             n_slices=self.n_slices,

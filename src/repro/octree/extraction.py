@@ -19,6 +19,8 @@ boundary at view time).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.beams.spacecharge import deposit_cic
@@ -29,9 +31,36 @@ from repro.octree.partition import PartitionedFrame
 __all__ = ["extract", "extraction_sizes", "threshold_for_point_budget"]
 
 
+def _halo_densities(nodes: np.ndarray, cutoff: int) -> np.ndarray:
+    """Per-particle densities of the halo prefix, touching only the
+    nodes the prefix covers (O(cutoff) memory, not O(N))."""
+    counts = nodes["count"].astype(np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    take = np.minimum(counts, np.maximum(cutoff - starts, 0))
+    return np.repeat(nodes["density"], take)
+
+
+def _streamed_volume(frame, cutoff: int, res, volume_from: str) -> np.ndarray:
+    """Shard-by-shard CIC deposition over a partitioned store."""
+    grid = np.zeros(res)
+    cols = list(frame.columns)
+    offset = 0
+    for chunk in frame.chunks():
+        n_rows = len(chunk)
+        if volume_from == "rest" and offset + n_rows <= cutoff:
+            offset += n_rows
+            continue
+        rows = chunk if volume_from == "all" else chunk[max(cutoff - offset, 0):]
+        if len(rows):
+            deposit_cic(rows[:, cols], res, frame.lo, frame.hi, out=grid)
+        offset += n_rows
+    return grid
+
+
 def extract(
-    frame: PartitionedFrame,
+    frame,
     threshold_density: float,
+    *deprecated_positional,
     volume_resolution: int = 64,
     volume_from: str = "all",
     point_attributes=(),
@@ -40,7 +69,12 @@ def extract(
 
     Parameters
     ----------
-    frame : a partitioned frame (nodes and particles density-sorted)
+    frame : a partitioned frame (nodes and particles density-sorted) --
+        either an in-core :class:`PartitionedFrame` or an out-of-core
+        :class:`repro.octree.stream_partition.PartitionedStore`, whose
+        halo prefix is read shard-by-shard and whose density volume is
+        binned shard-by-shard (peak memory stays at one shard plus the
+        halo, never the full frame)
     threshold_density : nodes with density strictly below this store
         their particles explicitly
     volume_resolution : density volume grid size per axis (paper: 64^3
@@ -53,30 +87,58 @@ def extract(
         dynamically calculated property ... such as temperature or
         emittance".  Computed from the full 6-D data of the halo
         prefix only; the discarded dense region costs nothing.
+
+    Tuning arguments are keyword-only; positional use still works for
+    one release but emits a ``DeprecationWarning``.
     """
+    if deprecated_positional:
+        warnings.warn(
+            "passing extract tuning arguments positionally is deprecated; use "
+            "keyword arguments (volume_resolution=..., volume_from=..., "
+            "point_attributes=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = ("volume_resolution", "volume_from", "point_attributes")
+        if len(deprecated_positional) > len(names):
+            raise TypeError(
+                f"extract takes at most {2 + len(names)} positional arguments"
+            )
+        shim = dict(zip(names, deprecated_positional))
+        volume_resolution = shim.get("volume_resolution", volume_resolution)
+        volume_from = shim.get("volume_from", volume_from)
+        point_attributes = shim.get("point_attributes", point_attributes)
+
     if volume_from not in ("all", "rest"):
         raise ValueError("volume_from must be 'all' or 'rest'")
-    with span("point_prefix"):
+    streaming = not isinstance(frame, PartitionedFrame)
+
+    with span("point_prefix", streaming=streaming):
         cutoff = frame.density_cutoff_index(threshold_density)
-        coords = frame.coords
-        halo = coords[:cutoff]
-        halo_dens = np.repeat(
-            frame.nodes["density"], frame.nodes["count"].astype(np.int64)
-        )[:cutoff]
+        if streaming:
+            halo_particles = frame.read_prefix(cutoff)
+        else:
+            halo_particles = frame.particles[:cutoff]
+        halo = halo_particles[:, list(frame.columns)]
+        halo_dens = _halo_densities(frame.nodes, cutoff)
     attributes = {}
     if point_attributes:
         from repro.hybrid.attributes import compute_attributes
 
         with span("point_attributes"):
-            attributes = compute_attributes(frame.particles[:cutoff], point_attributes)
+            attributes = compute_attributes(halo_particles, point_attributes)
 
-    vol_src = coords if volume_from == "all" else coords[cutoff:]
     res = (int(volume_resolution),) * 3
-    with span("volume_deposit", resolution=int(volume_resolution)):
-        if len(vol_src):
-            counts = deposit_cic(vol_src, res, frame.lo, frame.hi)
+    with span("volume_deposit", resolution=int(volume_resolution), streaming=streaming):
+        if streaming:
+            counts = _streamed_volume(frame, cutoff, res, volume_from)
         else:
-            counts = np.zeros(res)
+            coords = frame.coords
+            vol_src = coords if volume_from == "all" else coords[cutoff:]
+            if len(vol_src):
+                counts = deposit_cic(vol_src, res, frame.lo, frame.hi)
+            else:
+                counts = np.zeros(res)
     count("points_extracted", cutoff)
     cell_volume = float(
         np.prod((frame.hi - frame.lo) / (np.array(res) - 1))

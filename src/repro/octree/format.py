@@ -44,7 +44,8 @@ from repro.octree.octree import NODE_DTYPE
 from repro.octree.partition import PartitionedFrame
 
 __all__ = ["save_partitioned", "load_partitioned", "load_particle_prefix",
-           "partition_paths", "FORMAT_VERSION"]
+           "partition_paths", "write_nodes_file", "read_nodes_file",
+           "FORMAT_VERSION"]
 
 NODES_MAGIC = b"RPRNODES"
 PARTS_MAGIC = b"RPRPARTS"
@@ -60,24 +61,64 @@ def partition_paths(stem) -> tuple[Path, Path]:
     return stem.with_suffix(".nodes"), stem.with_suffix(".particles")
 
 
-def save_partitioned(frame: PartitionedFrame, stem) -> int:
-    """Write both parts atomically; returns total bytes written."""
-    nodes_path, parts_path = partition_paths(stem)
-    name = frame.plot_type.encode("ascii")[:16].ljust(16, b"\0")
+def write_nodes_file(
+    path,
+    nodes: np.ndarray,
+    n_particles: int,
+    max_level: int,
+    capacity: int,
+    step: int,
+    lo,
+    hi,
+    plot_type: str,
+) -> int:
+    """Atomically write one RPRNODES file; returns bytes written.
+
+    The node-file half of :func:`save_partitioned`, factored out so the
+    out-of-core partition (:mod:`repro.octree.stream_partition`) can
+    commit its node table in the same format without materializing a
+    :class:`PartitionedFrame`.
+    """
+    name = plot_type.encode("ascii")[:16].ljust(16, b"\0")
     header = _NODES_HEADER.pack(
         NODES_MAGIC,
         FORMAT_VERSION,
-        frame.n_nodes,
-        frame.n_particles,
-        int(frame.max_level),
-        int(frame.capacity),
-        int(frame.step),
-        *(float(v) for v in frame.lo),
-        *(float(v) for v in frame.hi),
+        len(nodes),
+        int(n_particles),
+        int(max_level),
+        int(capacity),
+        int(step),
+        *(float(v) for v in lo),
+        *(float(v) for v in hi),
         name,
     )
-    nodes = np.ascontiguousarray(frame.nodes, dtype=NODE_DTYPE)
-    nodes_bytes = atomic_write_bytes(nodes_path, header + nodes.tobytes())
+    nodes = np.ascontiguousarray(nodes, dtype=NODE_DTYPE)
+    return atomic_write_bytes(path, header + nodes.tobytes())
+
+
+def read_nodes_file(path):
+    """Read one RPRNODES file back.
+
+    Returns ``(nodes, n_particles, max_level, capacity, step, lo, hi,
+    plot_type)``; raises :class:`FormatError` on damage.
+    """
+    return _read_nodes(path)
+
+
+def save_partitioned(frame: PartitionedFrame, stem) -> int:
+    """Write both parts atomically; returns total bytes written."""
+    nodes_path, parts_path = partition_paths(stem)
+    nodes_bytes = write_nodes_file(
+        nodes_path,
+        frame.nodes,
+        frame.n_particles,
+        frame.max_level,
+        frame.capacity,
+        frame.step,
+        frame.lo,
+        frame.hi,
+        frame.plot_type,
+    )
     particles = np.ascontiguousarray(frame.particles, dtype="<f8")
     parts_bytes = atomic_write_bytes(
         parts_path,

@@ -16,7 +16,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["PLOT_TYPES", "plot_columns", "morton_keys", "Octree", "NODE_DTYPE"]
+__all__ = [
+    "PLOT_TYPES",
+    "plot_columns",
+    "morton_keys",
+    "leaf_for_keys",
+    "Octree",
+    "NODE_DTYPE",
+]
 
 # the four distributions shown in the paper's Figure 2
 PLOT_TYPES = {
@@ -79,6 +86,24 @@ def morton_keys(coords: np.ndarray, lo: np.ndarray, hi: np.ndarray, max_level: i
         | (_spread_bits(idx[:, 2], max_level) << np.uint64(2))
     )
     return key
+
+
+def leaf_for_keys(nodes: np.ndarray, keys: np.ndarray, max_level: int) -> np.ndarray:
+    """Leaf index containing each Morton key, for a Morton-ordered
+    ``nodes`` table (NODE_DTYPE, as built by :class:`Octree`).
+
+    The leaves tile the key space contiguously, so the containing leaf
+    is the last one whose first covered max-level key is ``<= key``.
+    The result is clipped to the last node index: a key at the very
+    max corner of the box (coordinate exactly on the ``hi`` bound,
+    clamped by :func:`morton_keys` into the last cell) must land in
+    the last leaf, never one past the end.
+    """
+    nodes = np.asarray(nodes)
+    shift = (3 * (max_level - nodes["level"].astype(np.int64))).astype(np.uint64)
+    first_key = nodes["key"].astype(np.uint64) << shift
+    idx = np.searchsorted(first_key, np.asarray(keys, dtype=np.uint64), side="right") - 1
+    return np.clip(idx, 0, len(nodes) - 1).astype(np.int64)
 
 
 class Octree:
@@ -195,6 +220,17 @@ class Octree:
             np.arange(self.n_nodes, dtype=np.int64),
             self.nodes["count"].astype(np.int64),
         )
+
+    def leaf_of_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Leaf index containing each (N, 3) coordinate.
+
+        Coordinates are clamped into the box exactly as during the
+        build (including points sitting on the max-corner bound, which
+        belong to the last boundary cells), so every particle used to
+        build the tree resolves to the leaf that counts it.
+        """
+        keys = morton_keys(coords, self.lo, self.hi, self.max_level)
+        return leaf_for_keys(self.nodes, keys, self.max_level)
 
     def particle_densities(self) -> np.ndarray:
         """Per-particle density of the containing leaf (ordered

@@ -18,6 +18,7 @@ frame could be discarded and re-partitioned to a different plot type
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -93,13 +94,14 @@ class PartitionedFrame:
 
 
 def partition(
-    particles: np.ndarray,
+    particles,
     plot_type: str = "xyz",
+    *deprecated_positional,
     max_level: int = 6,
     capacity: int = 64,
     lo=None,
     hi=None,
-    step: int = 0,
+    step=None,
     workers: int = 1,
     top_level: int = 1,
 ) -> PartitionedFrame:
@@ -109,12 +111,59 @@ def partition(
     a maximal subdivision level.  ``capacity`` is the split threshold
     (particles per node) driving adaptivity.
 
+    ``particles`` is preferably a :class:`repro.core.dataset.ParticleDataset`
+    (from :func:`repro.api.open_dataset`); its ``step`` is inherited
+    unless overridden.  A raw ``(N, 6)`` array still works but emits a
+    ``DeprecationWarning`` -- as does passing any tuning argument
+    (``max_level`` onward) positionally; both shims produce results
+    identical to the new call shape.  For frames too large for RAM use
+    :func:`repro.octree.stream_partition.partition_store`, which
+    produces the same partitioning out-of-core.
+
     ``workers > 1`` selects the multiprocess path (the paper's
     multi-node mode): the box is decomposed into ``8**top_level``
     octants built by a pool of worker processes -- see
     :mod:`repro.octree.parallel` for the equivalence guarantee.
     ``lo``/``hi`` overrides apply to the serial path only.
     """
+    if deprecated_positional:
+        warnings.warn(
+            "passing partition tuning arguments positionally is deprecated; "
+            "use keyword arguments (max_level=..., capacity=..., lo=..., "
+            "hi=..., step=..., workers=..., top_level=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = ("max_level", "capacity", "lo", "hi", "step", "workers", "top_level")
+        if len(deprecated_positional) > len(names):
+            raise TypeError(
+                f"partition takes at most {2 + len(names)} positional arguments"
+            )
+        shim = dict(zip(names, deprecated_positional))
+        max_level = shim.get("max_level", max_level)
+        capacity = shim.get("capacity", capacity)
+        lo = shim.get("lo", lo)
+        hi = shim.get("hi", hi)
+        step = shim.get("step", step)
+        workers = shim.get("workers", workers)
+        top_level = shim.get("top_level", top_level)
+
+    from repro.core.dataset import ParticleDataset
+
+    if isinstance(particles, ParticleDataset):
+        if step is None:
+            step = particles.step
+        particles = particles.to_array()
+    else:
+        warnings.warn(
+            "passing a raw particle array to partition is deprecated; wrap it "
+            "with repro.api.open_dataset(...) (results are identical)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if step is None:
+        step = 0
+
     if workers > 1:
         from repro.octree.parallel import _partition_parallel
 

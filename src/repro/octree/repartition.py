@@ -14,6 +14,7 @@ groups) to partitioning the original data directly.
 
 from __future__ import annotations
 
+from repro.core.dataset import as_dataset
 from repro.octree.partition import PartitionedFrame, partition
 
 __all__ = ["repartition"]
@@ -41,7 +42,7 @@ def repartition(
     needed ("discard the original data").
     """
     return partition(
-        frame.particles,
+        as_dataset(frame.particles),
         plot_type,
         max_level=frame.max_level if max_level is None else max_level,
         capacity=frame.capacity if capacity is None else capacity,

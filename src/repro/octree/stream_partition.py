@@ -1,0 +1,638 @@
+"""Two-pass out-of-core octree partitioning over a sharded store.
+
+The in-core :func:`repro.octree.partition.partition` needs the whole
+frame (plus its sort permutations) in RAM -- a dead end at the paper's
+10^8-10^9 particle scale.  This module produces the *same* partitioned
+representation while touching only one shard of particles at a time:
+
+1. **Pass 1 (count).**  Each shard is read once, its particles' Morton
+   keys computed against the global bounds, and the per-cell
+   (max-level key) histogram written to a small per-shard artifact.
+2. **Plan.**  The per-shard histograms merge into the global cell
+   histogram; recursive *weighted* subdivision over it reproduces the
+   exact leaf set of the in-core octree (splitting depends only on
+   per-range counts, which are identical).  Density-sorting the leaves
+   yields the node table, and prefix sums assign every (cell, shard)
+   pair an absolute destination range in the final particle file.
+3. **Pass 2 (scatter).**  Each shard is read once more and its rows
+   written straight into the pre-allocated output shards at their
+   final positions, via ``numpy.memmap`` with the written pages
+   dropped back to the OS -- peak RSS stays at a few shards.
+
+**Equivalence guarantee** (tested bit-for-bit): the in-core path's
+final particle order is the stable sort by ``(leaf density rank,
+morton key, original index)``.  The scatter destinations reproduce
+exactly that: cells are laid out leaf-by-leaf in density-rank order
+and key order within a leaf (the plan's prefix sums), and within one
+cell particles land in (shard, within-shard) order -- which *is*
+original-index order, because shards partition the frame
+contiguously.  Bounds, keys, leaf splits, densities, and the stable
+density sort all compute on identical float64 inputs, so nodes and
+particles match the in-core result exactly.
+
+Shard iteration runs through :func:`repro.core.executor.run_shards`
+(crash-safe, ``workers=N``); every pass opens a
+``stream_partition_pass`` span and bumps the counter of the same
+name, and a :class:`repro.core.checkpoint.Checkpoint` (optional)
+records per-shard progress so a killed run resumes where it died.
+"""
+
+from __future__ import annotations
+
+import io
+import shutil
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.dataset import as_dataset
+from repro.core.errors import FormatError
+from repro.core.executor import run_shards
+from repro.core.store import (
+    DEFAULT_SHARD_ROWS,
+    ShardedStore,
+    _evict_pages,
+    shard_name,
+    write_manifest,
+)
+from repro.core.trace import count, gauge_peak_rss, span
+from repro.octree.octree import NODE_DTYPE, morton_keys, plot_columns
+from repro.octree.partition import PartitionedFrame
+
+__all__ = ["PartitionedStore", "partition_store"]
+
+NODES_FILE = "partition.nodes"
+_ROW_BYTES = 6 * 8
+
+
+# ----------------------------------------------------------------------
+# the partitioned result
+class PartitionedStore:
+    """An octree-partitioned frame living on disk as a sharded store.
+
+    The out-of-core sibling of
+    :class:`repro.octree.partition.PartitionedFrame`: the node table
+    (sorted by increasing density) is small and lives in RAM; the
+    density-sorted particle file is a :class:`ShardedStore` that
+    extraction and rendering stream shard by shard.
+    """
+
+    def __init__(
+        self,
+        directory,
+        store: ShardedStore,
+        nodes: np.ndarray,
+        plot_type: str,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        max_level: int,
+        capacity: int,
+        step: int = 0,
+    ):
+        self.directory = Path(directory)
+        self.store = store
+        self.nodes = nodes
+        self.plot_type = plot_type
+        self.columns = plot_columns(plot_type)
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+        self.max_level = int(max_level)
+        self.capacity = int(capacity)
+        self.step = int(step)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory) -> "PartitionedStore":
+        """Open a partitioned store directory (node table + shards)."""
+        from repro.octree.format import read_nodes_file
+
+        directory = Path(directory)
+        nodes_path = directory / NODES_FILE
+        if not nodes_path.is_file():
+            raise FormatError(f"{directory}: not a partitioned store (no {NODES_FILE})")
+        nodes, n_particles, max_level, capacity, step, lo, hi, plot_type = read_nodes_file(
+            nodes_path
+        )
+        store = ShardedStore.open(directory)
+        if store.n_particles != n_particles:
+            raise FormatError(
+                f"{directory}: node table covers {n_particles} particles, "
+                f"store holds {store.n_particles}"
+            )
+        return cls(
+            directory, store, nodes, plot_type, lo, hi, max_level, capacity, step
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_particles(self) -> int:
+        return self.store.n_particles
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def nbytes(self) -> int:
+        """On-disk footprint of the partitioned representation."""
+        return int(self.store.nbytes() + self.nodes.nbytes)
+
+    def density_cutoff_index(self, threshold_density: float) -> int:
+        """Number of leading particles in nodes below the threshold --
+        the same prefix property as the in-core frame."""
+        n_below = int(
+            np.searchsorted(self.nodes["density"], threshold_density, side="left")
+        )
+        return int(self.nodes["count"][:n_below].sum())
+
+    def read_prefix(self, n_particles: int) -> np.ndarray:
+        """Materialize the first ``n_particles`` rows of the particle
+        file (the halo-extraction access pattern); reads only the
+        shards the prefix touches."""
+        return self.store.read_rows(0, int(n_particles))
+
+    def chunks(self, columns=None):
+        """Stream the density-sorted particle file shard by shard."""
+        return self.store.chunks(columns)
+
+    def to_frame(self) -> PartitionedFrame:
+        """Materialize as an in-core :class:`PartitionedFrame` (defeats
+        the out-of-core design; for tests and small frames)."""
+        return PartitionedFrame(
+            plot_type=self.plot_type,
+            columns=self.columns,
+            particles=self.store.to_array(),
+            nodes=self.nodes.copy(),
+            lo=self.lo.copy(),
+            hi=self.hi.copy(),
+            max_level=self.max_level,
+            capacity=self.capacity,
+            step=self.step,
+        )
+
+    def validate(self) -> None:
+        """Structural invariants (node table tiling + density order)."""
+        counts = self.nodes["count"].astype(np.int64)
+        starts = self.nodes["start"].astype(np.int64)
+        assert counts.sum() == self.n_particles, "node counts must cover all particles"
+        assert np.all(starts == np.concatenate([[0], np.cumsum(counts)[:-1]])), (
+            "nodes must tile the particle file contiguously"
+        )
+        assert np.all(np.diff(self.nodes["density"]) >= 0), (
+            "nodes must be sorted by increasing density"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"PartitionedStore({str(self.directory)!r}, "
+            f"n_particles={self.n_particles}, n_nodes={self.n_nodes})"
+        )
+
+
+# ----------------------------------------------------------------------
+# per-shard kernels (module-level so the parallel path can pickle them)
+def _save_npz_atomic(path: Path, **arrays) -> None:
+    from repro.core.atomic import atomic_write_bytes
+
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    atomic_write_bytes(path, buf.getvalue())
+
+
+def _save_npy_atomic(path: Path, array: np.ndarray) -> None:
+    from repro.core.atomic import atomic_write_bytes
+
+    buf = io.BytesIO()
+    np.save(buf, array)
+    atomic_write_bytes(path, buf.getvalue())
+
+
+def _pass1_artifact(workdir, i: int) -> Path:
+    return Path(workdir) / f"pass1_{i:06d}.npz"
+
+
+def _base_artifact(workdir, i: int) -> Path:
+    return Path(workdir) / f"base_{i:06d}.npy"
+
+
+def _count_shard_cells(coords, i, lo, hi, max_level, workdir) -> None:
+    """Pass-1 kernel: per-cell key histogram of one shard, to disk."""
+    coords = np.asarray(coords, dtype=np.float64)
+    if len(coords):
+        keys = morton_keys(coords, np.asarray(lo), np.asarray(hi), max_level)
+        cells, counts = np.unique(keys, return_counts=True)
+    else:
+        cells = np.empty(0, dtype=np.uint64)
+        counts = np.empty(0, dtype=np.int64)
+    _save_npz_atomic(
+        _pass1_artifact(workdir, i),
+        cells=cells.astype(np.uint64),
+        counts=counts.astype(np.int64),
+    )
+
+
+def _scatter_shard_rows(rows, i, columns, lo, hi, max_level, workdir, out_dir) -> None:
+    """Pass-2 kernel: write one shard's rows to their final positions."""
+    rows = np.asarray(rows, dtype=np.float64)
+    if len(rows) == 0:
+        return
+    plan = np.load(Path(workdir) / "plan.npz")
+    cells = plan["cells"]
+    cell_dest = plan["cell_dest"]
+    out_rows = int(plan["out_shard_rows"])
+    n_total = int(plan["n_particles"])
+    base = np.load(_base_artifact(workdir, i))
+
+    keys = morton_keys(
+        rows[:, list(columns)], np.asarray(lo), np.asarray(hi), max_level
+    )
+    uq, inv, cnts = np.unique(keys, return_inverse=True, return_counts=True)
+    if len(uq) != len(base):
+        raise FormatError(
+            f"shard {i}: pass-1 artifact covers {len(base)} cells, "
+            f"pass 2 sees {len(uq)} -- stale checkpoint work directory?"
+        )
+    # within-shard arrival rank inside each cell (original-order stable)
+    order = np.argsort(inv, kind="stable")
+    run_starts = np.cumsum(cnts) - cnts
+    ranks = np.empty(len(keys), dtype=np.int64)
+    ranks[order] = np.arange(len(keys), dtype=np.int64) - np.repeat(run_starts, cnts)
+
+    gidx = np.searchsorted(cells, uq)
+    dest = cell_dest[gidx][inv] + base[inv] + ranks
+
+    w_order = np.argsort(dest, kind="stable")
+    sorted_dest = dest[w_order]
+    shard_ids = sorted_dest // out_rows
+    cut = np.flatnonzero(np.diff(shard_ids)) + 1
+    starts = np.concatenate([[0], cut])
+    ends = np.concatenate([cut, [len(sorted_dest)]])
+    src = rows[w_order]
+    for a, b in zip(starts, ends):
+        o = int(shard_ids[a])
+        o_rows = min(out_rows, n_total - o * out_rows)
+        mm = np.memmap(
+            Path(out_dir) / shard_name(o), dtype="<f8", mode="r+", shape=(o_rows, 6)
+        )
+        mm[sorted_dest[a:b] - o * out_rows] = src[a:b]
+        mm.flush()
+        _evict_pages(mm._mmap)
+        count("store_shard_write")
+
+
+def _pass1_store_task(task) -> int:
+    """Picklable pass-1 wrapper for sharded-store inputs."""
+    store_dir, i, columns, lo, hi, max_level, workdir = task
+    store = ShardedStore.open(store_dir)
+    mm = store.shard(i)
+    coords = np.array(mm[:, list(columns)], dtype=np.float64)
+    if isinstance(mm, np.memmap):
+        _evict_pages(mm._mmap)
+    _count_shard_cells(coords, i, lo, hi, max_level, workdir)
+    return i
+
+
+def _pass2_store_task(task) -> int:
+    """Picklable pass-2 wrapper for sharded-store inputs."""
+    store_dir, i, columns, lo, hi, max_level, workdir, out_dir = task
+    store = ShardedStore.open(store_dir)
+    mm = store.shard(i)
+    rows = np.array(mm, dtype=np.float64)
+    if isinstance(mm, np.memmap):
+        _evict_pages(mm._mmap)
+    _scatter_shard_rows(rows, i, columns, lo, hi, max_level, workdir, out_dir)
+    return i
+
+
+# ----------------------------------------------------------------------
+# the plan: merge histograms, rebuild the leaf set, assign destinations
+def _subdivide_cells(cells, cum, a, b, level, prefix, max_level, capacity, leaves):
+    """Weighted twin of ``Octree._subdivide``: recurse over the sorted
+    unique-cell array with per-range particle totals from prefix sums.
+    Splitting depends only on those totals, so the leaf set is the one
+    the in-core octree builds over the full key array."""
+    if a == b:
+        return
+    total = int(cum[b] - cum[a])
+    if total <= capacity or level >= max_level:
+        leaves.append((level, prefix, a, b))
+        return
+    shift = np.uint64(3 * (max_level - level - 1))
+    child = (cells[a:b] >> shift) & np.uint64(7)
+    bounds = a + np.searchsorted(child, np.arange(9))
+    for c in range(8):
+        _subdivide_cells(
+            cells,
+            cum,
+            int(bounds[c]),
+            int(bounds[c + 1]),
+            level + 1,
+            (prefix << 3) | c,
+            max_level,
+            capacity,
+            leaves,
+        )
+
+
+def _merge_histograms(workdir, n_shards):
+    """Stream the pass-1 artifacts into the global (cells, counts)."""
+    cells = np.empty(0, dtype=np.uint64)
+    counts = np.empty(0, dtype=np.int64)
+    for i in range(n_shards):
+        with np.load(_pass1_artifact(workdir, i)) as d:
+            u_s = d["cells"].astype(np.uint64)
+            c_s = d["counts"].astype(np.int64)
+        if len(u_s) == 0:
+            continue
+        if len(cells) == 0:
+            cells, counts = u_s, c_s
+            continue
+        merged, inv = np.unique(np.concatenate([cells, u_s]), return_inverse=True)
+        acc = np.zeros(len(merged), dtype=np.int64)
+        # both halves hold unique keys, so each fancy add hits distinct slots
+        acc[inv[: len(cells)]] += counts
+        acc[inv[len(cells) :]] += c_s
+        cells, counts = merged, acc
+    return cells, counts
+
+
+def _build_plan(
+    workdir, n_shards, lo, hi, max_level, capacity, n_particles, out_rows, plot_type, step
+):
+    """Merge pass-1 histograms into the node table + scatter plan."""
+    from repro.octree.format import write_nodes_file
+
+    cells, counts = _merge_histograms(workdir, n_shards)
+    if int(counts.sum()) != int(n_particles):
+        raise FormatError(
+            f"pass-1 histograms cover {int(counts.sum())} particles, "
+            f"dataset holds {n_particles} -- stale work directory?"
+        )
+    cum = np.concatenate([[0], np.cumsum(counts)])
+    leaves: list[tuple[int, int, int, int]] = []
+    _subdivide_cells(cells, cum, 0, len(cells), 0, 0, max_level, capacity, leaves)
+
+    nodes = np.empty(len(leaves), dtype=NODE_DTYPE)
+    spans = np.empty(len(leaves), dtype=np.int64)
+    offset = 0
+    for k, (level, prefix, a, b) in enumerate(leaves):
+        node_count = int(cum[b] - cum[a])
+        nodes[k] = (level, prefix, offset, node_count, 0.0)
+        spans[k] = b - a
+        offset += node_count
+    root_volume = float(np.prod(np.asarray(hi) - np.asarray(lo)))
+    vol = root_volume / (8.0 ** nodes["level"].astype(np.float64))
+    nodes["density"] = nodes["count"] / vol
+
+    # identical stable density sort as the in-core path
+    density_order = np.argsort(nodes["density"], kind="stable")
+    nodes_sorted = nodes[density_order].copy()
+    sorted_counts = nodes_sorted["count"].astype(np.int64)
+    nodes_sorted["start"] = np.concatenate(
+        [[0], np.cumsum(sorted_counts)[:-1]]
+    ).astype(np.uint64)
+
+    # absolute destination of each cell's first particle in the final
+    # file: leaves laid out in density-rank order, cells in key order
+    # within each leaf
+    rank_of_leaf = np.empty(len(leaves), dtype=np.int64)
+    rank_of_leaf[density_order] = np.arange(len(leaves))
+    cell_rank = rank_of_leaf[np.repeat(np.arange(len(leaves)), spans)]
+    perm = np.argsort(cell_rank, kind="stable")
+    offsets = np.concatenate([[0], np.cumsum(counts[perm])[:-1]])
+    cell_dest = np.empty(len(cells), dtype=np.int64)
+    cell_dest[perm] = offsets
+
+    _save_npz_atomic(
+        Path(workdir) / "plan.npz",
+        cells=cells,
+        cell_dest=cell_dest,
+        out_shard_rows=np.int64(out_rows),
+        n_particles=np.int64(n_particles),
+    )
+    write_nodes_file(
+        Path(workdir) / NODES_FILE,
+        nodes_sorted, n_particles, max_level, capacity, step, lo, hi, plot_type,
+    )
+
+    # per-(shard, cell) bases: how many particles of each cell arrived
+    # from earlier shards -- a single sequential sweep
+    running = np.zeros(len(cells), dtype=np.int64)
+    for i in range(n_shards):
+        with np.load(_pass1_artifact(workdir, i)) as d:
+            u_s = d["cells"].astype(np.uint64)
+            c_s = d["counts"].astype(np.int64)
+        gidx = np.searchsorted(cells, u_s)
+        _save_npy_atomic(_base_artifact(workdir, i), running[gidx].copy())
+        running[gidx] += c_s
+
+
+# ----------------------------------------------------------------------
+def _run_checkpointed(fn, pending, task_of, workers, ck, stage, label):
+    """Run per-shard tasks through :func:`run_shards`, recording each
+    finished shard in the checkpoint (batched so parallel runs are not
+    serialized on manifest writes)."""
+    batch = 1 if workers <= 1 else workers * 4
+    for a in range(0, len(pending), batch):
+        group = pending[a : a + batch]
+        run_shards(fn, [task_of(i) for i in group], workers=workers, label=label)
+        if ck is not None:
+            for i in group:
+                ck.record_step(stage, i)
+
+
+def _resolve_bounds(ds, columns, lo, hi, ck):
+    """Global octree bounds, exactly as the in-core ``Octree`` default:
+    chunk-wise min/max (bitwise equal to the global min/max) plus the
+    same padding formula."""
+    if lo is not None and hi is not None:
+        return np.asarray(lo, dtype=np.float64), np.asarray(hi, dtype=np.float64)
+    if ck is not None and ck.done("bounds"):
+        meta = ck.meta("bounds")
+        dlo = np.array(meta["dlo"], dtype=np.float64)
+        dhi = np.array(meta["dhi"], dtype=np.float64)
+    else:
+        dlo, dhi = ds.bounds(columns)
+        dlo = np.asarray(dlo, dtype=np.float64)
+        dhi = np.asarray(dhi, dtype=np.float64)
+        if ck is not None:
+            ck.mark_done(
+                "bounds", dlo=[float(v) for v in dlo], dhi=[float(v) for v in dhi]
+            )
+    pad = (dhi - dlo) * 1e-9 + (np.abs(dlo) + np.abs(dhi) + 1.0) * 1e-9
+    lo = dlo - pad if lo is None else np.asarray(lo, dtype=np.float64)
+    hi = dhi + pad if hi is None else np.asarray(hi, dtype=np.float64)
+    return lo, hi
+
+
+def _prepare_output(out_dir, n_particles, out_rows) -> int:
+    """Pre-size the output shard files (sparse); returns shard count."""
+    n_out = max(1, -(-n_particles // out_rows))
+    for o in range(n_out):
+        rows_o = min(out_rows, n_particles - o * out_rows)
+        path = Path(out_dir) / shard_name(o)
+        size = rows_o * _ROW_BYTES
+        if not path.exists() or path.stat().st_size != size:
+            with open(path, "wb") as f:
+                f.truncate(size)
+    return n_out
+
+
+def partition_store(
+    data,
+    out,
+    plot_type: str = "xyz",
+    *,
+    max_level: int = 6,
+    capacity: int = 64,
+    lo=None,
+    hi=None,
+    step=None,
+    workers: int = 1,
+    shard_rows: int = None,
+    checkpoint_dir=None,
+) -> PartitionedStore:
+    """Partition a dataset out-of-core into a :class:`PartitionedStore`.
+
+    ``data`` is anything :func:`repro.core.dataset.as_dataset` accepts
+    (an ``(N, 6)`` array, a :class:`ShardedStore`, any dataset); the
+    result lands in directory ``out`` as a sharded store of the
+    density-sorted particle file plus the node table, **bit-identical**
+    to what the in-core ``partition`` would produce for the same frame
+    (see the module docstring for why).
+
+    ``workers > 1`` fans the per-shard passes out through
+    :func:`repro.core.executor.run_shards` when ``data`` is itself a
+    sharded store (other backends run serially -- their bytes live in
+    this process anyway).  ``checkpoint_dir`` makes the whole two-pass
+    run resumable at per-shard granularity; a re-run after a crash
+    (including a torn shard-artifact write) redoes only unfinished
+    shards.  ``shard_rows`` sizes the output shards (default: the
+    input store's, else :data:`DEFAULT_SHARD_ROWS`).
+    """
+    ds = as_dataset(data)
+    out = Path(out)
+    out.mkdir(parents=True, exist_ok=True)
+    ck = Checkpoint(checkpoint_dir) if checkpoint_dir is not None else None
+    if ck is not None and ck.done("finalize"):
+        count("checkpoint_stages_resumed")
+        return PartitionedStore.open(out)
+
+    n = ds.n_particles
+    if n == 0:
+        raise ValueError("octree needs at least one particle")
+    columns = plot_columns(plot_type)
+    if step is None:
+        step = ds.step
+    is_store = isinstance(ds, ShardedStore)
+    if shard_rows is None:
+        shard_rows = ds.shard_rows if is_store else DEFAULT_SHARD_ROWS
+    out_rows = int(shard_rows)
+    par_workers = workers if is_store else 1
+    n_shards = ds.n_chunks
+    workdir = ck.path("stream_work") if ck is not None else out / "_work"
+    Path(workdir).mkdir(parents=True, exist_ok=True)
+
+    with span("stream_partition_pass", which="bounds"):
+        lo, hi = _resolve_bounds(ds, columns, lo, hi, ck)
+    lo_t = tuple(float(v) for v in lo)
+    hi_t = tuple(float(v) for v in hi)
+
+    # ---- pass 1: per-shard cell histograms -----------------------------
+    if ck is None or not ck.done("pass1"):
+        count("stream_partition_pass")
+        with span("stream_partition_pass", which="count", shards=n_shards):
+            pending = [
+                i
+                for i in range(n_shards)
+                if ck is None or not ck.has_step("pass1", i)
+            ]
+            if par_workers > 1:
+                def task_of(i):
+                    return (str(ds.directory), i, columns, lo_t, hi_t,
+                            int(max_level), str(workdir))
+
+                _run_checkpointed(
+                    _pass1_store_task, pending, task_of, par_workers, ck,
+                    "pass1", "stream_pass1",
+                )
+            else:
+                def count_one(i):
+                    _count_shard_cells(
+                        ds.chunk(i, columns), i, lo, hi, max_level, workdir
+                    )
+                    return i
+
+                _run_checkpointed(
+                    count_one, pending, lambda i: i, 1, ck, "pass1", "stream_pass1"
+                )
+        if ck is not None:
+            ck.mark_done("pass1", n_shards=n_shards)
+
+    # ---- plan: leaves, densities, destinations -------------------------
+    if ck is None or not ck.done("plan"):
+        with span("stream_partition_pass", which="plan"):
+            _build_plan(
+                workdir, n_shards, lo, hi, int(max_level), int(capacity),
+                n, out_rows, plot_type, int(step),
+            )
+        if ck is not None:
+            ck.mark_done("plan")
+
+    # ---- pass 2: scatter into the output shards ------------------------
+    if ck is None or not ck.done("pass2"):
+        count("stream_partition_pass")
+        with span("stream_partition_pass", which="scatter", shards=n_shards):
+            _prepare_output(out, n, out_rows)
+            pending = [
+                i
+                for i in range(n_shards)
+                if ck is None or not ck.has_step("pass2", i)
+            ]
+            if par_workers > 1:
+                def task2_of(i):
+                    return (str(ds.directory), i, columns, lo_t, hi_t,
+                            int(max_level), str(workdir), str(out))
+
+                _run_checkpointed(
+                    _pass2_store_task, pending, task2_of, par_workers, ck,
+                    "pass2", "stream_pass2",
+                )
+            else:
+                def scatter_one(i):
+                    _scatter_shard_rows(
+                        ds.chunk(i), i, columns, lo, hi, max_level, workdir, out
+                    )
+                    return i
+
+                _run_checkpointed(
+                    scatter_one, pending, lambda i: i, 1, ck, "pass2", "stream_pass2"
+                )
+        if ck is not None:
+            ck.mark_done("pass2")
+
+    # ---- finalize: CRCs + node table + manifest (the commit point) -----
+    from repro.octree.format import read_nodes_file, write_nodes_file
+
+    with span("stream_partition_pass", which="finalize"):
+        n_out = max(1, -(-n // out_rows))
+        entries = []
+        for o in range(n_out):
+            raw = (out / shard_name(o)).read_bytes()
+            entries.append({"rows": len(raw) // _ROW_BYTES, "crc32": zlib.crc32(raw)})
+        nodes_sorted = read_nodes_file(Path(workdir) / NODES_FILE)[0]
+        write_nodes_file(
+            out / NODES_FILE,
+            nodes_sorted, n, max_level, capacity, int(step), lo, hi, plot_type,
+        )
+        write_manifest(out, entries, out_rows, int(step))
+    if ck is not None:
+        ck.mark_done("finalize")
+    else:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    count("particles_routed", n)
+    count("octree_nodes", len(nodes_sorted))
+    gauge_peak_rss()
+    return PartitionedStore.open(out)

@@ -23,9 +23,11 @@ bit-identical.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.core.trace import span
+from repro.core.trace import count, span
 from repro.render.camera import Camera
 from repro.render.frame_cache import FrameGeometry, frame_geometry_cache
 from repro.render.framebuffer import Framebuffer, accumulate_fragments
@@ -182,11 +184,33 @@ def render_volume_mip(
     return fb
 
 
+def _merge_fragment_batches(batches):
+    """Concatenate per-shard fragment batches into one stream.
+
+    Batch order is preserved, so when the batches slice a point set in
+    order (the streaming renderer's per-shard projection), the merged
+    stream equals the single-call fragment stream and the composited
+    image is identical.
+    """
+    batches = [b for b in batches if b is not None and len(b[0])]
+    count("render_fragment_batches", len(batches))
+    if not batches:
+        return None
+    if len(batches) == 1:
+        return batches[0]
+    return (
+        np.concatenate([np.asarray(b[0]) for b in batches]),
+        np.concatenate([np.asarray(b[1]) for b in batches]),
+        np.concatenate([np.asarray(b[2]) for b in batches]),
+    )
+
+
 def render_mixed(
     camera: Camera,
     rgba_volume: np.ndarray | None,
     lo,
     hi,
+    *deprecated_positional,
     point_fragments=None,
     fb: Framebuffer | None = None,
     n_slices: int = 96,
@@ -201,7 +225,9 @@ def render_mixed(
     rgba_volume : (X, Y, Z, 4) volume texture, or None for points only
     lo, hi : world-space bounds of the volume
     point_fragments : optional (pix, depth, rgba) triple as produced by
-        :func:`repro.render.points.point_fragments`
+        :func:`repro.render.points.point_fragments`, or a *list* of
+        such triples (per-shard fragment batches from the streaming
+        pipeline) which are composited as one depth-sorted stream
     n_slices : number of view-aligned slabs
     reference_slices : slice count at which volume alpha is calibrated
     cache : slice-geometry cache policy -- ``None`` uses the
@@ -211,6 +237,9 @@ def render_mixed(
     geometry : an explicit prebuilt :class:`FrameGeometry`, overriding
         ``cache``
 
+    All tuning arguments are keyword-only; passing them positionally
+    still works for one release but emits a ``DeprecationWarning``.
+
     Back-to-front over-compositing: for each slab (far to near), the
     point fragments whose depth falls behind the slab's slice plane are
     composited first, then the slice itself, then the slab's nearer
@@ -219,10 +248,37 @@ def render_mixed(
     premultiplied and touches only covered pixels; untouched pixels
     keep their exact prior framebuffer contents.
     """
+    if deprecated_positional:
+        warnings.warn(
+            "passing render_mixed tuning arguments positionally is deprecated; "
+            "use keyword arguments (point_fragments=..., fb=..., n_slices=..., "
+            "reference_slices=..., cache=..., geometry=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        names = ("point_fragments", "fb", "n_slices", "reference_slices",
+                 "cache", "geometry")
+        if len(deprecated_positional) > len(names):
+            raise TypeError(
+                f"render_mixed takes at most {4 + len(names)} positional arguments"
+            )
+        shim = dict(zip(names, deprecated_positional))
+        point_fragments = shim.get("point_fragments", point_fragments)
+        fb = shim.get("fb", fb)
+        n_slices = shim.get("n_slices", n_slices)
+        reference_slices = shim.get("reference_slices", reference_slices)
+        cache = shim.get("cache", cache)
+        geometry = shim.get("geometry", geometry)
+
     lo = np.asarray(lo, dtype=np.float64)
     hi = np.asarray(hi, dtype=np.float64)
     if fb is None:
         fb = Framebuffer(camera.width, camera.height)
+
+    if isinstance(point_fragments, (list, tuple)) and (
+        len(point_fragments) == 0 or isinstance(point_fragments[0], (list, tuple))
+    ):
+        point_fragments = _merge_fragment_batches(point_fragments)
 
     if point_fragments is not None:
         pix, pdep, prgba = point_fragments

@@ -5,6 +5,7 @@ import pytest
 
 from repro.beams.diagnostics import halo_parameter, rms_size
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 
 
 def _cfg(**kw):
@@ -93,6 +94,6 @@ class TestPhysics:
 
         sim = BeamSimulation(_cfg(n_particles=20_000, n_cells=6))
         sim.run()
-        pf = partition(sim.particles, "xyz", max_level=6, capacity=32)
+        pf = partition(as_dataset(sim.particles), "xyz", max_level=6, capacity=32)
         dens = pf.nodes["density"]
         assert dens.max() / dens[dens > 0].min() > 100.0

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.fields.geometry import make_multicell_structure
 from repro.fields.modes import multicell_standing_wave
 from repro.fields.sampling import AnalyticSampler
@@ -36,7 +37,7 @@ def small_beam():
 
 @pytest.fixture(scope="session")
 def partitioned_frame(small_beam):
-    return partition(small_beam, "xyz", max_level=6, capacity=32, step=30)
+    return partition(as_dataset(small_beam), "xyz", max_level=6, capacity=32, step=30)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,183 @@
+"""The sharded, memory-mapped, chunk-addressable particle store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FormatError
+from repro.core.store import (
+    MANIFEST_NAME,
+    ShardedStore,
+    StoreWriter,
+    create_store,
+    is_store_dir,
+    shard_name,
+)
+from repro.core.trace import capture
+
+
+@pytest.fixture(scope="module")
+def particles():
+    rng = np.random.default_rng(11)
+    return rng.normal(0.0, 1.0, (10_000, 6))
+
+
+@pytest.fixture()
+def store(tmp_path, particles):
+    return create_store(tmp_path / "store", particles, shard_rows=1024)
+
+
+class TestRoundTrip:
+    def test_round_trip_exact(self, store, particles):
+        assert np.array_equal(store.to_array(), particles)
+
+    def test_shard_math(self, store, particles):
+        assert store.n_particles == len(particles)
+        assert store.n_shards == -(-len(particles) // 1024)
+        assert store.shard_rows == 1024
+        assert store.shard_rows_of(store.n_shards - 1) == len(particles) % 1024
+
+    def test_chunks_concatenate_to_frame(self, store, particles):
+        assert np.array_equal(np.concatenate(list(store.chunks())), particles)
+
+    def test_chunk_column_selection(self, store, particles):
+        assert np.array_equal(store.chunk(0, columns=(0, 2, 4)),
+                              particles[:1024, [0, 2, 4]])
+
+    def test_step_preserved(self, tmp_path, particles):
+        st = create_store(tmp_path / "s", particles, shard_rows=4096, step=17)
+        assert ShardedStore.open(tmp_path / "s").step == 17
+
+    def test_bounds_match_global_minmax(self, store, particles):
+        lo, hi = store.bounds()
+        assert np.array_equal(lo, particles.min(axis=0))
+        assert np.array_equal(hi, particles.max(axis=0))
+
+    def test_read_rows_spanning_shards(self, store, particles):
+        for a, b in [(0, 10), (1000, 3000), (9990, 10_000), (500, 500), (0, 10_000)]:
+            assert np.array_equal(store.read_rows(a, b), particles[a:b])
+
+    def test_read_rows_clamps_range(self, store, particles):
+        assert np.array_equal(store.read_rows(-5, 20_000), particles)
+
+    def test_is_store_dir(self, store, tmp_path):
+        assert is_store_dir(store.directory)
+        assert not is_store_dir(tmp_path)
+        assert not is_store_dir(store.directory / MANIFEST_NAME)
+
+    def test_reads_traced(self, store):
+        with capture(enabled=True) as tracer:
+            store.read_shard(0)
+        assert tracer.counters["store_shard_read"] == 1
+        assert tracer.counters["store_shard_read_bytes"] == 1024 * 48
+
+
+class TestWriterRechunking:
+    def test_odd_blocks_rechunk_to_fixed_shards(self, tmp_path, particles):
+        w = StoreWriter(tmp_path / "s", shard_rows=1024)
+        a = 0
+        for size in [1, 700, 3000, 1023, 1024, 5252]:  # = 11_000 rows... trimmed below
+            block = particles[a : a + size]
+            if len(block):
+                w.append(block)
+            a += size
+        st = w.finalize()
+        assert st.n_particles == min(a, len(particles))
+        assert np.array_equal(st.to_array(), particles[: st.n_particles])
+        assert all(st.shard_rows_of(i) == 1024 for i in range(st.n_shards - 1))
+
+    def test_generator_source(self, tmp_path, particles):
+        st = create_store(
+            tmp_path / "s",
+            (particles[a : a + 777] for a in range(0, len(particles), 777)),
+            shard_rows=2048,
+        )
+        assert np.array_equal(st.to_array(), particles)
+
+    def test_dataset_source(self, tmp_path, particles, store):
+        st = create_store(tmp_path / "s2", store, shard_rows=333)
+        assert np.array_equal(st.to_array(), particles)
+
+    def test_double_finalize_rejected(self, tmp_path, particles):
+        w = StoreWriter(tmp_path / "s", shard_rows=64)
+        w.append(particles[:100])
+        w.finalize()
+        with pytest.raises(RuntimeError):
+            w.finalize()
+
+    def test_bad_shapes_rejected(self, tmp_path):
+        w = StoreWriter(tmp_path / "s")
+        with pytest.raises(ValueError):
+            w.append(np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            StoreWriter(tmp_path / "s2", shard_rows=0)
+
+
+class TestIntegrity:
+    def test_crc_damage_detected(self, store):
+        path = store.shard_path(1)
+        raw = bytearray(path.read_bytes())
+        raw[100] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(FormatError, match="CRC"):
+            store.read_shard(1)
+        with pytest.raises(FormatError, match="CRC"):
+            store.verify()
+        # the unchecked memmap path still serves the (damaged) bytes
+        assert store.shard(1).shape == (1024, 6)
+
+    def test_truncated_shard_detected_at_open(self, store):
+        path = store.shard_path(0)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(FormatError, match="bytes"):
+            ShardedStore.open(store.directory)
+
+    def test_missing_shard_detected_at_open(self, store):
+        store.shard_path(2).unlink()
+        with pytest.raises(FormatError, match="missing shard"):
+            ShardedStore.open(store.directory)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FormatError, match="no store.json"):
+            ShardedStore.open(tmp_path)
+
+    def test_bad_magic(self, store):
+        mpath = store.directory / MANIFEST_NAME
+        manifest = json.loads(mpath.read_text())
+        manifest["magic"] = "NOTASTORE"
+        mpath.write_text(json.dumps(manifest))
+        with pytest.raises(FormatError, match="not a store manifest"):
+            ShardedStore.open(store.directory)
+
+    def test_unsupported_version(self, store):
+        mpath = store.directory / MANIFEST_NAME
+        manifest = json.loads(mpath.read_text())
+        manifest["version"] = 99
+        mpath.write_text(json.dumps(manifest))
+        with pytest.raises(FormatError, match="version"):
+            ShardedStore.open(store.directory)
+
+    def test_row_sum_mismatch(self, store):
+        mpath = store.directory / MANIFEST_NAME
+        manifest = json.loads(mpath.read_text())
+        manifest["n_particles"] += 1
+        mpath.write_text(json.dumps(manifest))
+        with pytest.raises(FormatError, match="sum"):
+            ShardedStore.open(store.directory)
+
+    def test_garbage_manifest(self, store):
+        (store.directory / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(FormatError, match="unreadable"):
+            ShardedStore.open(store.directory)
+
+
+def test_shard_name_is_stable():
+    assert shard_name(7) == "shard_000007.bin"
+
+
+def test_empty_store_round_trips(tmp_path):
+    st = StoreWriter(tmp_path / "s", shard_rows=8).finalize()
+    assert st.n_particles == 0 and st.n_shards == 0
+    with pytest.raises(ValueError):
+        st.bounds()

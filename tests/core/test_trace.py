@@ -7,6 +7,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.core.trace import (
     Tracer,
     capture,
@@ -193,7 +194,7 @@ class TestDeprecatedEntryPoints:
         with pytest.warns(DeprecationWarning):
             old = partition_parallel(particles, "xyz", max_level=4,
                                      capacity=32, n_workers=2)
-        new = partition(particles, "xyz", max_level=4, capacity=32, workers=2)
+        new = partition(as_dataset(particles), "xyz", max_level=4, capacity=32, workers=2)
         assert len(old.nodes) == len(new.nodes)
         np.testing.assert_array_equal(old.particles, new.particles)
 
@@ -215,8 +216,8 @@ class TestDeprecatedEntryPoints:
 
         rng = np.random.default_rng(1)
         particles = rng.normal(0.0, 0.4, (2000, 6))
-        serial = partition(particles, "xyz", max_level=4, capacity=32)
-        par = partition(particles, "xyz", max_level=4, capacity=32, workers=2)
+        serial = partition(as_dataset(particles), "xyz", max_level=4, capacity=32)
+        par = partition(as_dataset(particles), "xyz", max_level=4, capacity=32, workers=2)
         assert len(serial.nodes) == len(par.nodes)
         np.testing.assert_array_equal(serial.particles, par.particles)
 

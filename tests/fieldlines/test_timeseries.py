@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.fieldlines.integrate import FieldLine
 from repro.fieldlines.timeseries import LineSequence
 
@@ -123,6 +124,6 @@ class TestFrameMmap:
         path = tmp_path / "big.frame"
         write_frame(path, particles, step=1)
         mapped, step = read_frame_mmap(path)
-        pf = partition(np.asarray(mapped), "xyz", max_level=4, step=step)
+        pf = partition(as_dataset(np.asarray(mapped)), "xyz", max_level=4, step=step)
         pf.validate()
         assert pf.n_particles == 2000

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.hybrid.animation import render_animation, temporal_coherence
 from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.viewer import FrameViewer
@@ -23,7 +24,7 @@ def frame_dir(tmp_path_factory):
 
     def keep(step, particles):
         nonlocal i, threshold
-        pf = partition(particles, "xyz", max_level=5, capacity=48, step=step)
+        pf = partition(as_dataset(particles), "xyz", max_level=5, capacity=48, step=step)
         if threshold is None:
             threshold = float(np.percentile(pf.nodes["density"], 60))
         extract(pf, threshold, volume_resolution=12).save(

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.beams.distributions import gaussian_beam
+from repro.core.dataset import as_dataset
 from repro.hybrid.attributes import (
     DERIVED_QUANTITIES,
     compute_attributes,
@@ -74,7 +75,7 @@ class TestQuantities:
 class TestExtractionIntegration:
     @pytest.fixture(scope="class")
     def frame(self, beam):
-        pf = partition(beam, "xyz", max_level=5, capacity=32)
+        pf = partition(as_dataset(beam), "xyz", max_level=5, capacity=32)
         thr = float(np.percentile(pf.nodes["density"], 60))
         return pf, extract(
             pf, thr, volume_resolution=8, point_attributes=("pmag", "emittance")
@@ -103,7 +104,7 @@ class TestExtractionIntegration:
             assert np.array_equal(back.attributes[k], h.attributes[k])
 
     def test_no_attributes_requested(self, beam):
-        pf = partition(beam, "xyz", max_level=4, capacity=32)
+        pf = partition(as_dataset(beam), "xyz", max_level=4, capacity=32)
         h = extract(pf, np.inf, volume_resolution=4)
         assert h.attributes == {}
 
@@ -119,7 +120,7 @@ class TestExtractionIntegration:
 class TestRendererColorBy:
     @pytest.fixture(scope="class")
     def frame(self, beam):
-        pf = partition(beam, "xyz", max_level=5, capacity=32)
+        pf = partition(as_dataset(beam), "xyz", max_level=5, capacity=32)
         thr = float(np.percentile(pf.nodes["density"], 70))
         return extract(pf, thr, volume_resolution=8, point_attributes=("pmag",))
 

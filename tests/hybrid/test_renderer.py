@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.transfer import LinkedTransferFunctions
 from repro.render.camera import Camera
@@ -25,7 +26,7 @@ def hybrid_frame_module():
     rng = np.random.default_rng(17)
     core = rng.normal(0.0, 0.3, (8000, 6))
     halo = rng.normal(0.0, 2.0, (800, 6))
-    pf = partition(np.vstack([core, halo]), "xyz", max_level=5, capacity=32)
+    pf = partition(as_dataset(np.vstack([core, halo])), "xyz", max_level=5, capacity=32)
     thr = float(np.percentile(pf.nodes["density"], 65))
     return extract(pf, thr, volume_resolution=24)
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.disk_extraction import (
     extract_from_disk,
     node_bounds,
@@ -20,7 +21,7 @@ def saved(tmp_path_factory):
     particles = np.vstack(
         [rng.normal(0, 0.3, (8000, 6)), rng.normal(0, 1.5, (500, 6))]
     )
-    pf = partition(particles, "xyz", max_level=5, capacity=32, step=4)
+    pf = partition(as_dataset(particles), "xyz", max_level=5, capacity=32, step=4)
     stem = tmp_path_factory.mktemp("disk") / "frame"
     save_partitioned(pf, stem)
     return pf, stem

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.extraction import (
     extract,
     extraction_sizes,
@@ -16,7 +17,7 @@ def frame():
     rng = np.random.default_rng(21)
     core = rng.normal(0.0, 0.25, (10_000, 6))
     halo = rng.normal(0.0, 2.0, (500, 6))
-    return partition(np.vstack([core, halo]), "xyz", max_level=5, capacity=32)
+    return partition(as_dataset(np.vstack([core, halo])), "xyz", max_level=5, capacity=32)
 
 
 class TestExtract:

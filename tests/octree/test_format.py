@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.format import (
     load_particle_prefix,
     load_partitioned,
@@ -15,7 +16,7 @@ from repro.octree.partition import partition
 @pytest.fixture(scope="module")
 def frame():
     rng = np.random.default_rng(5)
-    return partition(rng.normal(0, 1, (3000, 6)), "xpxy", max_level=4, capacity=16, step=12)
+    return partition(as_dataset(rng.normal(0, 1, (3000, 6))), "xpxy", max_level=4, capacity=16, step=12)
 
 
 class TestRoundtrip:

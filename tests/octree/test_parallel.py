@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.extraction import extract
 from repro.octree.parallel import partition_parallel
 from repro.octree.partition import partition
@@ -33,7 +34,7 @@ class TestEquivalence:
         """The downstream contract: hybrid extraction must select the
         same point set regardless of which partitioner built the
         frame (where both refine past the top level)."""
-        serial = partition(particles, "xyz", max_level=5, capacity=32)
+        serial = partition(as_dataset(particles), "xyz", max_level=5, capacity=32)
         par = partition_parallel(
             particles, "xyz", max_level=5, capacity=32, n_workers=2
         )

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.partition import partition
 
 
@@ -11,7 +12,7 @@ def frame(rng_module):
     # dense core + sparse halo, the shape the paper partitions
     core = rng_module.normal(0.0, 0.3, (8000, 6))
     halo = rng_module.normal(0.0, 2.0, (400, 6))
-    return partition(np.vstack([core, halo]), "xyz", max_level=5, capacity=32)
+    return partition(as_dataset(np.vstack([core, halo])), "xyz", max_level=5, capacity=32)
 
 
 @pytest.fixture(scope="module")
@@ -83,25 +84,25 @@ class TestCutoffIndex:
 class TestPlotTypes:
     def test_momentum_plot_partitions_momentum_space(self, rng_module):
         p = rng_module.normal(0.0, 1.0, (2000, 6))
-        f = partition(p, "pxpypz", max_level=4, capacity=32)
+        f = partition(as_dataset(p), "pxpypz", max_level=4, capacity=32)
         assert f.columns == (3, 4, 5)
         assert np.array_equal(f.coords, f.particles[:, [3, 4, 5]])
 
     def test_different_plot_types_differ(self, rng_module):
         p = rng_module.normal(0.0, 1.0, (2000, 6))
         p[:, 0] *= 10.0  # make x-space structure distinct
-        a = partition(p, "xyz", max_level=4)
-        b = partition(p, "pxpypz", max_level=4)
+        a = partition(as_dataset(p), "xyz", max_level=4)
+        b = partition(as_dataset(p), "pxpypz", max_level=4)
         assert not np.array_equal(a.nodes["density"], b.nodes["density"])
 
     def test_bad_input_shapes(self, rng_module):
         with pytest.raises(ValueError):
-            partition(rng_module.normal(0, 1, (10, 3)), "xyz")
+            partition(as_dataset(rng_module.normal(0, 1, (10, 3))), "xyz")
 
 
 class TestMetadata:
     def test_step_recorded(self, rng_module):
-        f = partition(rng_module.normal(0, 1, (100, 6)), "xyz", step=17)
+        f = partition(as_dataset(rng_module.normal(0, 1, (100, 6))), "xyz", step=17)
         assert f.step == 17
 
     def test_nbytes_positive_and_dominated_by_particles(self, frame):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.partition import partition
 from repro.octree.repartition import repartition
 
@@ -13,7 +14,7 @@ def source():
     particles = np.vstack(
         [rng.normal(0, 0.3, (5000, 6)), rng.normal(0, 1.5, (300, 6))]
     )
-    return particles, partition(particles, "xyz", max_level=5, capacity=32, step=7)
+    return particles, partition(as_dataset(particles), "xyz", max_level=5, capacity=32, step=7)
 
 
 class TestRepartition:
@@ -22,7 +23,7 @@ class TestRepartition:
         the partitioned frame loses nothing."""
         particles, pf = source
         converted = repartition(pf, "pxpypz")
-        direct = partition(particles, "pxpypz", max_level=5, capacity=32)
+        direct = partition(as_dataset(particles), "pxpypz", max_level=5, capacity=32)
         converted.validate()
         assert np.array_equal(
             np.sort(converted.nodes["density"]), np.sort(direct.nodes["density"])

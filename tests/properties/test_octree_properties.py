@@ -10,6 +10,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.core.dataset import as_dataset
 from repro.octree.extraction import extract
 from repro.octree.octree import Octree, morton_keys
 from repro.octree.partition import partition
@@ -66,13 +67,13 @@ class TestPartitionProperties:
     @given(particles=particles_strategy())
     @settings(max_examples=30, deadline=None)
     def test_density_sorted_and_valid(self, particles):
-        pf = partition(particles, "xyz", max_level=4, capacity=16)
+        pf = partition(as_dataset(particles), "xyz", max_level=4, capacity=16)
         pf.validate()
 
     @given(particles=particles_strategy(min_n=4))
     @settings(max_examples=30, deadline=None)
     def test_particle_multiset_preserved(self, particles):
-        pf = partition(particles, "xyz", max_level=4, capacity=16)
+        pf = partition(as_dataset(particles), "xyz", max_level=4, capacity=16)
         a = np.sort(particles.view([("", float)] * 6), axis=0)
         b = np.sort(pf.particles.view([("", float)] * 6), axis=0)
         assert np.array_equal(a, b)
@@ -86,7 +87,7 @@ class TestPartitionProperties:
     def test_extraction_prefix_nesting(self, particles, q1, q2):
         """For any thresholds t1 <= t2: points(t1) is a prefix of
         points(t2)."""
-        pf = partition(particles, "xyz", max_level=4, capacity=16)
+        pf = partition(as_dataset(particles), "xyz", max_level=4, capacity=16)
         lo_q, hi_q = sorted((q1, q2))
         t1 = float(np.quantile(pf.nodes["density"], lo_q))
         t2 = float(np.quantile(pf.nodes["density"], hi_q))
@@ -98,7 +99,7 @@ class TestPartitionProperties:
     @given(particles=particles_strategy(min_n=4), q=st.floats(0.0, 1.0))
     @settings(max_examples=30, deadline=None)
     def test_extraction_conserves_mass(self, particles, q):
-        pf = partition(particles, "xyz", max_level=4, capacity=16)
+        pf = partition(as_dataset(particles), "xyz", max_level=4, capacity=16)
         t = float(np.quantile(pf.nodes["density"], q))
         h = extract(pf, t, volume_resolution=8, volume_from="all")
         res = np.array(h.volume.shape)

@@ -11,6 +11,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.core.faults import CrashOnce, FaultPlan
 from repro.core.trace import capture, load_trace
 from repro.octree.partition import partition
@@ -30,7 +31,7 @@ def frames():
         p = np.vstack(
             [rng.normal(0, 0.3, (3000, 6)), rng.normal(0, 1.5, (300, 6))]
         )
-        out.append(partition(p, "xyz", max_level=5, capacity=32, step=step))
+        out.append(partition(as_dataset(p), "xyz", max_level=5, capacity=32, step=step))
     return out
 
 

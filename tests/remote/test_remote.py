@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.extraction import extract
 from repro.octree.partition import partition
 from repro.remote.client import VisualizationClient
@@ -17,7 +18,7 @@ def frames():
         p = np.vstack(
             [rng.normal(0, 0.3, (4000, 6)), rng.normal(0, 1.5, (400, 6))]
         )
-        out.append(partition(p, "xyz", max_level=5, capacity=32, step=step))
+        out.append(partition(as_dataset(p), "xyz", max_level=5, capacity=32, step=step))
     return out
 
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.dataset import as_dataset
 from repro.octree.partition import partition
 from repro.remote.client import VisualizationClient
 from repro.remote.server import VisualizationServer
@@ -11,7 +12,7 @@ from repro.remote.server import VisualizationServer
 @pytest.fixture(scope="module")
 def one_frame():
     rng = np.random.default_rng(2)
-    return [partition(rng.normal(0, 1, (2000, 6)), "xyz", max_level=4, step=0)]
+    return [partition(as_dataset(rng.normal(0, 1, (2000, 6))), "xyz", max_level=4, step=0)]
 
 
 class TestLifecycle:

@@ -1,0 +1,83 @@
+"""Per-shard fragment batches composite identically to one stream."""
+
+import numpy as np
+import pytest
+
+from repro.hybrid.renderer import HybridRenderer
+from repro.render.camera import Camera
+from repro.render.points import point_fragments
+from repro.render.volume import _merge_fragment_batches, render_mixed
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return Camera.fit_bounds([-1, -1, -1], [1, 1, 1], width=96, height=96)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(5)
+    pos = rng.uniform(-0.9, 0.9, (4_000, 3))
+    rgba = np.concatenate(
+        [rng.uniform(0.1, 1.0, (4_000, 3)), np.full((4_000, 1), 0.4)], axis=1
+    )
+    return pos, rgba
+
+
+class TestMergeFragmentBatches:
+    def test_merge_preserves_stream_order(self, camera, cloud):
+        pos, rgba = cloud
+        whole = point_fragments(camera, pos, rgba)
+        parts = [
+            point_fragments(camera, pos[a : a + 1000], rgba[a : a + 1000])
+            for a in range(0, len(pos), 1000)
+        ]
+        merged = _merge_fragment_batches(parts)
+        for got, want in zip(merged, whole):
+            assert np.array_equal(got, want)
+
+    def test_empty_and_none_batches_dropped(self, camera, cloud):
+        pos, rgba = cloud
+        whole = point_fragments(camera, pos, rgba)
+        merged = _merge_fragment_batches([None, whole, (np.empty(0, int),) * 3])
+        for got, want in zip(merged, whole):
+            assert np.array_equal(got, want)
+
+    def test_all_empty_is_none(self):
+        assert _merge_fragment_batches([]) is None
+        assert _merge_fragment_batches([None, None]) is None
+
+
+class TestBatchedRendering:
+    def test_points_only_image_identical(self, camera, cloud):
+        pos, rgba = cloud
+        whole = point_fragments(camera, pos, rgba)
+        parts = [
+            point_fragments(camera, pos[a : a + 700], rgba[a : a + 700])
+            for a in range(0, len(pos), 700)
+        ]
+        a = render_mixed(camera, None, [-1] * 3, [1] * 3, point_fragments=whole)
+        b = render_mixed(camera, None, [-1] * 3, [1] * 3, point_fragments=parts)
+        assert np.array_equal(a.rgba, b.rgba)
+
+    def test_mixed_image_identical(self, camera, cloud, hybrid_frame):
+        renderer = HybridRenderer(n_slices=32)
+        batched = HybridRenderer(n_slices=32, point_batch_size=500)
+        cam = Camera.fit_bounds(
+            hybrid_frame.lo, hybrid_frame.hi, width=96, height=96
+        )
+        a = renderer.render(hybrid_frame, camera=cam)
+        b = batched.render(hybrid_frame, camera=cam)
+        assert np.array_equal(a.rgba, b.rgba)
+
+    def test_point_part_identical(self, hybrid_frame):
+        cam = Camera.fit_bounds(hybrid_frame.lo, hybrid_frame.hi, width=80, height=80)
+        a = HybridRenderer().render_point_part(hybrid_frame, camera=cam)
+        b = HybridRenderer(point_batch_size=333).render_point_part(
+            hybrid_frame, camera=cam
+        )
+        assert np.array_equal(a.rgba, b.rgba)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            HybridRenderer(point_batch_size=0)

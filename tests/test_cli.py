@@ -236,3 +236,66 @@ class TestExitCodes:
                  EXIT_REMOTE_ERROR]
         assert len(set(codes)) == len(codes)
         assert all(c != 0 for c in codes)
+
+
+class TestStoreWorkflow:
+    """The out-of-core chain: store create -> partition -> extract."""
+
+    @pytest.fixture(scope="class")
+    def store_dir(self, run_dir, tmp_path_factory):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        d = tmp_path_factory.mktemp("store") / "st"
+        assert main(["store", "create", str(frame), "--out", str(d),
+                     "--shard-rows", "1024"]) == 0
+        return d
+
+    def test_store_info_and_verify(self, store_dir, capsys):
+        assert main(["store", "info", str(store_dir)]) == 0
+        assert "sharded store" in capsys.readouterr().out
+        assert main(["store", "verify", str(store_dir)]) == 0
+        assert "CRC32 verified" in capsys.readouterr().out
+
+    def test_store_verify_detects_damage(self, run_dir, tmp_path, capsys):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        d = tmp_path / "st"
+        assert main(["store", "create", str(frame), "--out", str(d)]) == 0
+        shard = sorted(d.glob("shard_*.bin"))[0]
+        raw = bytearray(shard.read_bytes())
+        raw[7] ^= 0xFF
+        shard.write_bytes(bytes(raw))
+        assert main(["store", "verify", str(d)]) == 3
+        assert "damaged" in capsys.readouterr().err
+
+    def test_streaming_chain_matches_incore(self, run_dir, store_dir,
+                                            tmp_path, capsys):
+        frame = sorted(run_dir.glob("*.frame"))[-1]
+        stem = tmp_path / "p"
+        assert main(["partition", str(frame), "--out", str(stem),
+                     "--max-level", "4"]) == 0
+
+        out = tmp_path / "pstore"
+        assert main(["partition", str(store_dir), "--out", str(out),
+                     "--max-level", "4",
+                     "--checkpoint", str(tmp_path / "ck")]) == 0
+        assert "out-of-core" in capsys.readouterr().out
+        assert main(["info", str(out)]) == 0
+        assert "partitioned store" in capsys.readouterr().out
+
+        ha = tmp_path / "a.hybrid"
+        hb = tmp_path / "b.hybrid"
+        assert main(["extract", str(stem), "--out", str(ha),
+                     "--percentile", "60", "--resolution", "12"]) == 0
+        assert main(["extract", str(out), "--out", str(hb),
+                     "--percentile", "60", "--resolution", "12"]) == 0
+        assert "shard-streamed" in capsys.readouterr().out
+
+        from repro.hybrid.representation import HybridFrame
+
+        a = HybridFrame.load(ha)
+        b = HybridFrame.load(hb)
+        assert np.array_equal(a.points, b.points)
+        np.testing.assert_array_max_ulp(a.volume, b.volume, maxulp=1)
+
+    def test_info_on_plain_dir(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path)]) == 1
+        assert "without a store manifest" in capsys.readouterr().err

@@ -5,6 +5,7 @@ import pytest
 
 from repro.beams.io import FrameWriter
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.viewer import FrameViewer
 from repro.octree.extraction import extract, threshold_for_point_budget
@@ -30,7 +31,7 @@ class TestBeamWorkflow:
         threshold = None
         for step in writer.steps_written:
             particles = writer.read(step)
-            pf = partition(particles, "xyz", max_level=5, capacity=32, step=step)
+            pf = partition(as_dataset(particles), "xyz", max_level=5, capacity=32, step=step)
             stem = tmp_path / f"part_{step:04d}"
             save_partitioned(pf, stem)
             pf2 = load_partitioned(stem)
@@ -60,7 +61,7 @@ class TestBeamWorkflow:
                 BeamConfig(n_particles=n, n_cells=2, seed=4, sc_grid=(16, 16, 16))
             )
             sim.run()
-            pf = partition(sim.particles, "xyz", max_level=5, capacity=32)
+            pf = partition(as_dataset(sim.particles), "xyz", max_level=5, capacity=32)
             thr = threshold_for_point_budget(pf, 2_000)
             h = extract(pf, thr, volume_resolution=16)
             assert h.n_points <= 2_000
@@ -79,7 +80,7 @@ class TestBeamWorkflow:
             )
         )
         sim.run()
-        pf = partition(sim.particles, "xyz", max_level=6, capacity=32)
+        pf = partition(as_dataset(sim.particles), "xyz", max_level=6, capacity=32)
         thr = float(np.percentile(pf.nodes["density"], 70))
         h = extract(pf, thr, volume_resolution=24)
         cam = Camera.fit_bounds(h.lo, h.hi, width=96, height=96)

@@ -37,6 +37,7 @@ MODULES = [
     "repro.fields.ports",
     "repro.octree.octree",
     "repro.octree.partition",
+    "repro.octree.stream_partition",
     "repro.octree.format",
     "repro.octree.extraction",
     "repro.octree.disk_extraction",
@@ -84,6 +85,8 @@ MODULES = [
     "repro.core.faults",
     "repro.core.executor",
     "repro.core.checkpoint",
+    "repro.core.store",
+    "repro.core.dataset",
     "repro.api",
     "repro.cli",
 ]
@@ -118,7 +121,18 @@ FACADE_REQUIRED = [
     "run_shards",
     "Checkpoint",
     "FaultPlan",
+    # the dataset-first entry point + sharded store (PR 5)
+    "open_dataset",
+    "ParticleDataset",
+    "ShardedStore",
+    "create_store",
+    "partition_store",
+    "PartitionedStore",
 ]
+
+# Deliberately dropped from the facade: these were never part of the
+# supported vocabulary (stale private re-exports removed in PR 5).
+FACADE_FORBIDDEN = ["count", "gauge"]
 
 
 @pytest.mark.parametrize("name", PACKAGES + MODULES)
@@ -167,6 +181,21 @@ class TestFacade:
 
         assert symbol in repro.api.__all__
         assert getattr(repro.api, symbol) is not None
+
+    @pytest.mark.parametrize("symbol", FACADE_FORBIDDEN)
+    def test_stale_reexports_removed(self, symbol):
+        import repro.api
+
+        assert symbol not in repro.api.__all__
+
+    def test_every_facade_symbol_documented(self):
+        """Every name the facade exports carries a docstring."""
+        import repro.api
+
+        for symbol in repro.api.__all__:
+            obj = getattr(repro.api, symbol)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"repro.api.{symbol} lacks a docstring"
 
     def test_facade_matches_source_modules(self):
         """Facade re-exports are the same objects as the originals."""

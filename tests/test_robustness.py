@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.beams.io import read_frame, write_frame
+from repro.core.dataset import as_dataset
 from repro.core.errors import FormatError, SimulatedCrash
 from repro.core.faults import FaultPlan
 from repro.hybrid.representation import HybridFrame
@@ -35,7 +36,7 @@ class TestNonFiniteInputs:
         particles = rng.standard_normal((100, 6))
         particles[10, 3] = np.nan
         with pytest.raises(ValueError, match="NaN/Inf"):
-            partition(particles, "pxpypz")
+            partition(as_dataset(particles), "pxpypz")
 
     def test_partition_clean_momenta_nan_elsewhere(self, rng):
         """Only the plot-type columns must be finite: partitioning
@@ -45,7 +46,7 @@ class TestNonFiniteInputs:
         particles[10, 3] = np.nan
         # xyz partitioning only inspects columns 0..2; the NaN rides
         # along in the payload, which round-trips bit-exact
-        pf = partition(particles, "xyz", max_level=4)
+        pf = partition(as_dataset(particles), "xyz", max_level=4)
         assert np.isnan(pf.particles).sum() == 1
 
 
@@ -66,7 +67,7 @@ class TestTruncatedFiles:
             HybridFrame.load(path)
 
     def test_truncated_partition_particles(self, tmp_path, rng):
-        pf = partition(rng.standard_normal((500, 6)), "xyz", max_level=4)
+        pf = partition(as_dataset(rng.standard_normal((500, 6))), "xyz", max_level=4)
         stem = tmp_path / "p"
         save_partitioned(pf, stem)
         _, parts = partition_paths(stem)
@@ -128,7 +129,7 @@ class TestAtomicSaves:
         assert np.array_equal(back.volume, old.volume)
 
     def test_killed_partition_save_leaves_old_files(self, tmp_path, rng):
-        pf = partition(rng.standard_normal((300, 6)), "xyz", max_level=4, step=3)
+        pf = partition(as_dataset(rng.standard_normal((300, 6))), "xyz", max_level=4, step=3)
         stem = tmp_path / "p"
         save_partitioned(pf, stem)
         plan = FaultPlan(seed=0, torn_write=1.0)
@@ -161,14 +162,14 @@ class TestAtomicSaves:
 class TestDegenerateGeometry:
     def test_all_identical_particles(self):
         particles = np.ones((200, 6))
-        pf = partition(particles, "xyz", max_level=5, capacity=16)
+        pf = partition(as_dataset(particles), "xyz", max_level=5, capacity=16)
         pf.validate()
         assert pf.n_nodes >= 1
 
     def test_collinear_particles(self, rng):
         particles = np.zeros((300, 6))
         particles[:, 0] = rng.random(300)  # all on the x axis
-        pf = partition(particles, "xyz", max_level=5, capacity=16)
+        pf = partition(as_dataset(particles), "xyz", max_level=5, capacity=16)
         pf.validate()
 
     def test_two_point_line_strip(self):

@@ -20,6 +20,7 @@ import pytest
 
 from common import record
 
+from repro.core.dataset import as_dataset
 from repro.octree.extraction import extract, extraction_sizes
 from repro.octree.partition import partition
 
@@ -37,7 +38,7 @@ def test_extract_vs_partition_cost(benchmark, beam_partitioned, beam_particles):
 
     def measure():
         t0 = time.perf_counter()
-        partition(beam_particles, "xyz", max_level=6, capacity=48)
+        partition(as_dataset(beam_particles), "xyz", max_level=6, capacity=48)
         t_part = time.perf_counter() - t0
         thr = float(np.percentile(beam_partitioned.nodes["density"], 60))
         t0 = time.perf_counter()

@@ -11,6 +11,7 @@ import pytest
 
 from common import record
 
+from repro.core.dataset import as_dataset
 from repro.hybrid.renderer import HybridRenderer
 from repro.octree.extraction import extract
 from repro.octree.partition import partition
@@ -22,7 +23,7 @@ IMAGE = 128
 
 
 def _make_image(particles, plot_type):
-    pf = partition(particles, plot_type, max_level=6, capacity=48)
+    pf = partition(as_dataset(particles), plot_type, max_level=6, capacity=48)
     thr = float(np.percentile(pf.nodes["density"], 70))
     h = extract(pf, thr, volume_resolution=24)
     cam = Camera.fit_bounds(h.lo, h.hi, width=IMAGE, height=IMAGE)

@@ -17,6 +17,7 @@ import pytest
 from common import record, scaled
 
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.viewer import FrameViewer
 from repro.octree.extraction import extract, threshold_for_point_budget
@@ -36,7 +37,9 @@ def frame_dir(tmp_path_factory):
 
     def keep(step, particles):
         nonlocal threshold, index
-        pf = partition(particles, "xyz", max_level=5, capacity=48, step=step)
+        pf = partition(
+            as_dataset(particles), "xyz", max_level=5, capacity=48, step=step
+        )
         if threshold is None:
             threshold = threshold_for_point_budget(pf, scaled(6_000))
         h = extract(pf, threshold, volume_resolution=24)

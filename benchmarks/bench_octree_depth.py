@@ -18,6 +18,7 @@ import pytest
 
 from common import record
 
+from repro.core.dataset import as_dataset
 from repro.octree.extraction import extract
 from repro.octree.partition import partition
 
@@ -36,7 +37,9 @@ def _boundary_cell_size(pf, percentile=70.0):
 @pytest.mark.parametrize("max_level", LEVELS)
 def test_partition_at_depth(benchmark, beam_particles, max_level):
     pf = benchmark.pedantic(
-        lambda: partition(beam_particles, "xyz", max_level=max_level, capacity=48),
+        lambda: partition(
+            as_dataset(beam_particles), "xyz", max_level=max_level, capacity=48
+        ),
         rounds=1,
         iterations=1,
     )
@@ -48,7 +51,9 @@ def test_depth_report(benchmark, beam_particles):
     def measure():
         rows = []
         for level in LEVELS:
-            pf = partition(beam_particles, "xyz", max_level=level, capacity=48)
+            pf = partition(
+                as_dataset(beam_particles), "xyz", max_level=level, capacity=48
+            )
             thr = float(np.percentile(pf.nodes["density"], 70))
             h = extract(pf, thr, volume_resolution=16)
             rows.append(

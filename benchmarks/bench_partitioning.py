@@ -18,6 +18,7 @@ import pytest
 
 from common import record, record_bench, scaled, traced_run
 
+from repro.core.dataset import as_dataset
 from repro.octree.partition import partition
 
 
@@ -25,7 +26,7 @@ def _bunch(n, seed=0):
     rng = np.random.default_rng(seed)
     core = rng.normal(0.0, 0.3, (int(n * 0.95), 6))
     halo = rng.normal(0.0, 2.0, (n - len(core), 6))
-    return np.vstack([core, halo])
+    return as_dataset(np.vstack([core, halo]))
 
 
 @pytest.mark.parametrize("n", [scaled(20_000), scaled(40_000), scaled(80_000)])

@@ -18,6 +18,7 @@ import pytest
 from common import record, scaled
 
 from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.dataset import as_dataset
 from repro.octree.extraction import extract, threshold_for_point_budget
 from repro.octree.partition import partition
 
@@ -30,7 +31,7 @@ def _hybrid_for(n):
         BeamConfig(n_particles=n, n_cells=4, seed=13, mismatch=1.5)
     )
     sim.run()
-    pf = partition(sim.particles, "xyz", max_level=6, capacity=48)
+    pf = partition(as_dataset(sim.particles), "xyz", max_level=6, capacity=48)
     thr = threshold_for_point_budget(pf, POINT_BUDGET)
     return extract(pf, thr, volume_resolution=24), pf
 

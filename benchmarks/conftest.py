@@ -17,6 +17,7 @@ from repro.fields.geometry import make_multicell_structure
 from repro.fields.modes import multicell_standing_wave
 from repro.fields.sampling import AnalyticSampler
 from repro.fieldlines.seeding import seed_density_proportional
+from repro.core.dataset import as_dataset
 from repro.octree.partition import partition
 
 
@@ -33,7 +34,7 @@ def beam_particles():
 
 @pytest.fixture(scope="session")
 def beam_partitioned(beam_particles):
-    return partition(beam_particles, "xyz", max_level=6, capacity=48)
+    return partition(as_dataset(beam_particles), "xyz", max_level=6, capacity=48)
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,7 @@
 #   scripts/check.sh --faults   # the fault-injection pass only
 #   scripts/check.sh --perf     # the perf bench + regression gate only
 #   scripts/check.sh --store    # the out-of-core store suite + RAM-cap gate
+#   scripts/check.sh --forest   # the forest/compositor suite + forest gate
 #
 # --faults runs the resilience suites (fault harness, crash-safe
 # executors, checkpoint/resume, remote link under injected damage)
@@ -22,6 +23,12 @@
 # peak RSS < 0.5 of raw plus the streamed-vs-in-core equivalence
 # flags (scripts/perf_gate.py --store).
 #
+# --forest runs the forest-of-octrees + sort-last compositor suites,
+# then the 10^8-particle forest bench that refreshes BENCH_forest.json,
+# and gates on the gather-bitwise / sort-last tolerance flags plus the
+# 4-worker speedup floor on machines with >= 4 CPUs
+# (scripts/perf_gate.py --forest).
+#
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
 # failing.
@@ -33,6 +40,7 @@ run_lint=1
 run_faults=0
 run_perf=0
 run_store=0
+run_forest=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
 elif [[ "${1:-}" == "--faults" ]]; then
@@ -44,6 +52,22 @@ elif [[ "${1:-}" == "--perf" ]]; then
 elif [[ "${1:-}" == "--store" ]]; then
     run_lint=0
     run_store=1
+elif [[ "${1:-}" == "--forest" ]]; then
+    run_lint=0
+    run_forest=1
+fi
+
+if [[ $run_forest -eq 1 ]]; then
+    echo "== forest / compositor suite =="
+    PYTHONPATH=src python -m pytest -x -q \
+        tests/octree/test_forest.py \
+        tests/render/test_compositor.py \
+        tests/test_public_api.py
+    echo "== forest bench =="
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_forest.py
+    echo "== forest gate =="
+    python scripts/perf_gate.py --forest
+    exit 0
 fi
 
 if [[ $run_store -eq 1 ]]; then

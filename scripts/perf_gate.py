@@ -11,8 +11,16 @@ the out-of-core RAM cap (peak RSS < 0.5 of the raw dataset) and the
 streamed-vs-in-core equivalence flags, plus a drift check of the RSS
 fraction against the committed baseline.
 
-Run via ``scripts/check.sh --perf`` / ``--store`` (which refresh the
-JSON first).
+``--forest`` gates ``BENCH_forest.json``: the forest gather image must
+be bitwise-identical to the single-octree render, the sort-last
+composite must stay within the pinned brick-boundary tolerance, and --
+on machines with at least 4 CPUs, recorded in the bench -- the
+4-worker partition speedup must reach the 2.5x floor (the floor is
+physically unreachable on fewer cores, so it is skipped with a notice
+there).
+
+Run via ``scripts/check.sh --perf`` / ``--store`` / ``--forest``
+(which refresh the JSON first).
 """
 
 from __future__ import annotations
@@ -24,8 +32,11 @@ from pathlib import Path
 
 BENCH_FILE = "BENCH_frame_cache.json"
 STORE_BENCH_FILE = "BENCH_sharded_store.json"
+FOREST_BENCH_FILE = "BENCH_forest.json"
 TOLERANCE = 0.20
 RSS_FRACTION_FLOOR = 0.5
+FOREST_SPEEDUP_FLOOR = 2.5
+FOREST_SORTLAST_ABS_TOL = 0.1
 
 # (human label, path into extra{}) for every gated ratio
 GATES = [
@@ -106,10 +117,73 @@ def gate_store(root: Path) -> int:
     return 0
 
 
+def gate_forest(root: Path) -> int:
+    """Hard floors for the forest partition + sort-last composite bench."""
+    fresh, base = _load(root, FOREST_BENCH_FILE)
+    part, eq = fresh["partition"], fresh["equivalence"]
+    cpus = int(fresh.get("cpu_count", 1))
+
+    failed = False
+    flags = [
+        ("forest nodes bitwise-identical to single octree", bool(eq["nodes_bitwise"])),
+        ("forest particle order bitwise-identical", bool(eq["particles_bitwise"])),
+        (
+            "gather-mode image bitwise-identical to single-octree render",
+            bool(eq["gather_image_bitwise"]),
+        ),
+        (
+            f"sort-last max |diff| {eq['sortlast_max_abs_diff']:.3g} "
+            f"(<= {FOREST_SORTLAST_ABS_TOL})",
+            eq["sortlast_max_abs_diff"] <= FOREST_SORTLAST_ABS_TOL,
+        ),
+        (
+            f"composite time recorded "
+            f"({fresh['render']['t_composite_s'] * 1e3:.0f} ms)",
+            fresh["render"]["t_composite_s"] > 0.0,
+        ),
+    ]
+    for label, ok in flags:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failed |= not ok
+
+    speedup = float(part["speedup_4"])
+    if cpus >= 4:
+        ok = speedup >= FOREST_SPEEDUP_FLOOR
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} 4-worker partition speedup "
+            f"x{speedup:.2f} (floor x{FOREST_SPEEDUP_FLOOR})"
+        )
+        failed |= not ok
+    else:
+        print(
+            f"  skip 4-worker speedup floor: bench ran on {cpus} cpu(s) "
+            f"(measured x{speedup:.2f}; floor x{FOREST_SPEEDUP_FLOOR} "
+            "needs >= 4)"
+        )
+
+    if base is not None and int(base.get("cpu_count", 1)) == cpus and cpus >= 4:
+        was = float(base["partition"]["speedup_4"])
+        floor = (1.0 - TOLERANCE) * was
+        ok = speedup >= floor
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} speedup vs baseline: x{speedup:.2f} "
+            f"(baseline x{was:.2f}, floor x{floor:.2f})"
+        )
+        failed |= not ok
+
+    if failed:
+        print("perf gate: forest gate failed", file=sys.stderr)
+        return 1
+    print("perf gate: forest equivalence and speedup floors hold")
+    return 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     if "--store" in sys.argv[1:]:
         return gate_store(root)
+    if "--forest" in sys.argv[1:]:
+        return gate_forest(root)
 
     fresh, base = _load(root, BENCH_FILE)
     if base is None:

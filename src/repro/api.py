@@ -53,11 +53,13 @@ from repro.fieldlines.sos import build_strips, render_strips
 from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.representation import HybridFrame
 from repro.octree.extraction import extract
+from repro.octree.forest import ForestStore, partition_forest, render_forest
 from repro.octree.partition import PartitionedFrame, partition
 from repro.octree.stream_partition import PartitionedStore, partition_store
 from repro.remote.client import VisualizationClient
 from repro.remote.server import VisualizationServer
 from repro.render.camera import Camera
+from repro.render.compositor import SortLastCompositor
 from repro.render.frame_cache import (
     FrameGeometry,
     FrameGeometryCache,
@@ -91,6 +93,11 @@ __all__ = [
     "frame_to_store",
     "partition_store",
     "PartitionedStore",
+    # forest-of-octrees partition + sort-last compositing (PR 6)
+    "partition_forest",
+    "render_forest",
+    "ForestStore",
+    "SortLastCompositor",
     # field-line workflow stages
     "seed_density_proportional",
     "OrderedFieldLines",

@@ -11,6 +11,8 @@ the same program boundaries over the library:
     repro partition run/step_000050.frame --plot-type xyz --out run/p50
     repro extract   run/p50 --percentile 60 --out run/p50.hybrid
     repro render    run/p50.hybrid --out p50.ppm --size 512
+    repro forest    partition run/store --bricks 2 --out run/forest
+    repro forest    render run/forest --out forest.ppm --workers 4
     repro fieldlines --cells 3 --lines 150 --out lines.bin --image lines.ppm
     repro info      run/p50.hybrid
 
@@ -119,6 +121,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-rows", type=int, default=None,
                    help="particles per shard (default 262144)")
     p.set_defaults(func=_cmd_store)
+
+    p = sub.add_parser("forest", parents=[common],
+                       help="forest-of-octrees partition + sort-last render")
+    p.add_argument("action", choices=["partition", "render", "info"],
+                   help="partition: build a forest of per-brick octrees "
+                        "from a .frame file or sharded store; render: "
+                        "composite a forest to a PPM image; info: "
+                        "describe a forest store")
+    p.add_argument("path", help="input .frame / store directory "
+                                "(partition) or a forest directory")
+    p.add_argument("--out", default=None,
+                   help="forest output directory (partition) or .ppm "
+                        "image (render)")
+    p.add_argument("--bricks", type=int, default=2,
+                   help="bricks per axis (power of two; the forest has "
+                        "bricks^3 cells)")
+    p.add_argument("--plot-type", default=bpipe_d["plot_type"],
+                   choices=["xyz", "xpxy", "xpxz", "pxpypz"])
+    p.add_argument("--max-level", type=int, default=bpipe_d["max_level"])
+    p.add_argument("--capacity", type=int, default=bpipe_d["capacity"])
+    p.add_argument("--workers", type=int, default=1,
+                   help="fan routing, per-brick partitioning, and "
+                        "per-brick rendering across processes")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="make the forest partition resumable at "
+                        "per-shard / per-brick granularity")
+    p.add_argument("--percentile", type=float,
+                   default=bpipe_d["threshold_percentile"],
+                   help="extraction threshold percentile (render)")
+    p.add_argument("--resolution", type=int,
+                   default=bpipe_d["volume_resolution"],
+                   help="density volume resolution (render)")
+    p.add_argument("--size", type=int, default=512,
+                   help="output image size (render)")
+    p.add_argument("--slices", type=int, default=bpipe_d["n_slices"],
+                   help="volume slices (render)")
+    p.add_argument("--mode", default="sortlast",
+                   choices=["sortlast", "gather"],
+                   help="sortlast: per-brick renders merged by the "
+                        "deterministic compositor; gather: reconstruct "
+                        "the single octree (bit-identical reference)")
+    p.add_argument("--part", default="hybrid",
+                   choices=["hybrid", "volume", "points"])
+    p.set_defaults(func=_cmd_forest)
 
     p = sub.add_parser("extract", parents=[common],
                        help="extract a hybrid representation")
@@ -279,6 +325,68 @@ def _cmd_store(args) -> int:
         f"{store.n_shards} shards of {store.shard_rows} rows "
         f"({store.nbytes() / 1e6:.2f} MB payload)"
     )
+    return 0
+
+
+def _cmd_forest(args) -> int:
+    from repro.octree.forest import ForestStore, partition_forest, render_forest
+
+    if args.action == "partition":
+        from repro.core.dataset import open_dataset
+
+        if args.out is None:
+            raise SystemExit("forest partition needs --out DIR")
+        with span("forest_partition_cli", bricks=args.bricks,
+                  workers=args.workers):
+            forest = partition_forest(
+                open_dataset(args.path), args.out, args.plot_type,
+                bricks=args.bricks, max_level=args.max_level,
+                capacity=args.capacity, workers=args.workers,
+                checkpoint_dir=args.checkpoint,
+            )
+        print(
+            f"partitioned {forest.n_particles} particles into "
+            f"{len(forest.brick_ids)}/{forest.n_bricks} non-empty bricks "
+            f"({forest.nbytes() / 1e6:.1f} MB) at {args.out}"
+        )
+        return 0
+    forest = ForestStore.open(args.path)
+    if args.action == "render":
+        from repro.hybrid.renderer import HybridRenderer
+        from repro.render.camera import Camera
+        from repro.render.image import write_ppm
+
+        if args.out is None:
+            raise SystemExit("forest render needs --out IMAGE.ppm")
+        camera = Camera.fit_bounds(
+            forest.lo, forest.hi, width=args.size, height=args.size
+        )
+        with span("forest_render_cli", mode=args.mode, workers=args.workers):
+            fb = render_forest(
+                forest, camera=camera,
+                renderer=HybridRenderer(n_slices=args.slices),
+                threshold_percentile=args.percentile,
+                volume_resolution=args.resolution, part=args.part,
+                mode=args.mode, workers=args.workers,
+            )
+        write_ppm(args.out, fb.to_rgb8())
+        print(
+            f"composited {len(forest.brick_ids)} bricks ({args.mode}, "
+            f"{args.part}) -> {args.out}"
+        )
+        return 0
+    counts = [forest.brick_count(b) for b in forest.brick_ids]
+    print(
+        f"forest store: step {forest.step}, plot type {forest.plot_type}, "
+        f"{forest.n_particles} particles, {forest.bricks}^3 bricks "
+        f"({len(forest.brick_ids)} non-empty), max_level {forest.max_level}, "
+        f"capacity {forest.capacity}"
+    )
+    if counts:
+        print(
+            f"  particles per brick: min {min(counts)}, max {max(counts)}, "
+            f"mean {sum(counts) / len(counts):.0f}"
+        )
     return 0
 
 

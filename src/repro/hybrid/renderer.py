@@ -55,6 +55,10 @@ class HybridRenderer:
         halo).  Classification and subsampling stay global, so the
         drawn subset and the composited image match the unbatched
         renderer.  ``None`` (default) projects everything at once.
+    max_density : pin the density normalizer's scale instead of taking
+        it from each frame.  Bricked (forest) and animated renders pass
+        the global maximum here so every partial image is classified on
+        the same scale.  ``None`` (default) normalizes per frame.
     """
 
     def __init__(
@@ -68,6 +72,7 @@ class HybridRenderer:
         point_color_by: str | None = None,
         cache=None,
         point_batch_size: int | None = None,
+        max_density: float | None = None,
     ):
         self.transfer = transfer or LinkedTransferFunctions()
         self.point_colormap = (
@@ -86,12 +91,16 @@ class HybridRenderer:
         if point_batch_size is not None and int(point_batch_size) < 1:
             raise ValueError("point_batch_size must be >= 1")
         self.point_batch_size = None if point_batch_size is None else int(point_batch_size)
+        if max_density is not None and float(max_density) <= 0.0:
+            raise ValueError("max_density must be > 0")
+        self.max_density = None if max_density is None else float(max_density)
 
     # ------------------------------------------------------------------
     def _normalizer(self, frame: HybridFrame) -> DensityNormalizer:
-        return DensityNormalizer(
-            max(frame.max_density(), 1e-300), mode=self.normalizer_mode
-        )
+        dmax = self.max_density
+        if dmax is None:
+            dmax = frame.max_density()
+        return DensityNormalizer(max(dmax, 1e-300), mode=self.normalizer_mode)
 
     def classify_volume(self, frame: HybridFrame) -> np.ndarray:
         """Apply the volume transfer function; returns an RGBA volume."""

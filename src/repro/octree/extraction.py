@@ -19,8 +19,6 @@ boundary at view time).
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.beams.spacecharge import deposit_cic
@@ -60,7 +58,7 @@ def _streamed_volume(frame, cutoff: int, res, volume_from: str) -> np.ndarray:
 def extract(
     frame,
     threshold_density: float,
-    *deprecated_positional,
+    *,
     volume_resolution: int = 64,
     volume_from: str = "all",
     point_attributes=(),
@@ -88,27 +86,10 @@ def extract(
         emittance".  Computed from the full 6-D data of the halo
         prefix only; the discarded dense region costs nothing.
 
-    Tuning arguments are keyword-only; positional use still works for
-    one release but emits a ``DeprecationWarning``.
+    Tuning arguments are keyword-only; passing them positionally
+    raises ``TypeError`` (the one-release ``DeprecationWarning`` shim
+    was removed).
     """
-    if deprecated_positional:
-        warnings.warn(
-            "passing extract tuning arguments positionally is deprecated; use "
-            "keyword arguments (volume_resolution=..., volume_from=..., "
-            "point_attributes=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        names = ("volume_resolution", "volume_from", "point_attributes")
-        if len(deprecated_positional) > len(names):
-            raise TypeError(
-                f"extract takes at most {2 + len(names)} positional arguments"
-            )
-        shim = dict(zip(names, deprecated_positional))
-        volume_resolution = shim.get("volume_resolution", volume_resolution)
-        volume_from = shim.get("volume_from", volume_from)
-        point_attributes = shim.get("point_attributes", point_attributes)
-
     if volume_from not in ("all", "rest"):
         raise ValueError("volume_from must be 'all' or 'rest'")
     streaming = not isinstance(frame, PartitionedFrame)

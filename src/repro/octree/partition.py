@@ -18,7 +18,6 @@ frame could be discarded and re-partitioned to a different plot type
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -96,7 +95,7 @@ class PartitionedFrame:
 def partition(
     particles,
     plot_type: str = "xyz",
-    *deprecated_positional,
+    *,
     max_level: int = 6,
     capacity: int = 64,
     lo=None,
@@ -111,12 +110,12 @@ def partition(
     a maximal subdivision level.  ``capacity`` is the split threshold
     (particles per node) driving adaptivity.
 
-    ``particles`` is preferably a :class:`repro.core.dataset.ParticleDataset`
-    (from :func:`repro.api.open_dataset`); its ``step`` is inherited
-    unless overridden.  A raw ``(N, 6)`` array still works but emits a
-    ``DeprecationWarning`` -- as does passing any tuning argument
-    (``max_level`` onward) positionally; both shims produce results
-    identical to the new call shape.  For frames too large for RAM use
+    ``particles`` must be a :class:`repro.core.dataset.ParticleDataset`
+    (from :func:`repro.api.open_dataset` /
+    :func:`repro.core.dataset.as_dataset`); its ``step`` is inherited
+    unless overridden.  Raw arrays and positional tuning arguments --
+    deprecated for one release -- now raise ``TypeError``.  For frames
+    too large for RAM use
     :func:`repro.octree.stream_partition.partition_store`, which
     produces the same partitioning out-of-core.
 
@@ -126,43 +125,17 @@ def partition(
     :mod:`repro.octree.parallel` for the equivalence guarantee.
     ``lo``/``hi`` overrides apply to the serial path only.
     """
-    if deprecated_positional:
-        warnings.warn(
-            "passing partition tuning arguments positionally is deprecated; "
-            "use keyword arguments (max_level=..., capacity=..., lo=..., "
-            "hi=..., step=..., workers=..., top_level=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        names = ("max_level", "capacity", "lo", "hi", "step", "workers", "top_level")
-        if len(deprecated_positional) > len(names):
-            raise TypeError(
-                f"partition takes at most {2 + len(names)} positional arguments"
-            )
-        shim = dict(zip(names, deprecated_positional))
-        max_level = shim.get("max_level", max_level)
-        capacity = shim.get("capacity", capacity)
-        lo = shim.get("lo", lo)
-        hi = shim.get("hi", hi)
-        step = shim.get("step", step)
-        workers = shim.get("workers", workers)
-        top_level = shim.get("top_level", top_level)
-
     from repro.core.dataset import ParticleDataset
 
-    if isinstance(particles, ParticleDataset):
-        if step is None:
-            step = particles.step
-        particles = particles.to_array()
-    else:
-        warnings.warn(
-            "passing a raw particle array to partition is deprecated; wrap it "
-            "with repro.api.open_dataset(...) (results are identical)",
-            DeprecationWarning,
-            stacklevel=2,
+    if not isinstance(particles, ParticleDataset):
+        raise TypeError(
+            "partition requires a ParticleDataset; wrap raw arrays with "
+            "repro.api.open_dataset(...) (the one-release DeprecationWarning "
+            "shim for raw arrays was removed)"
         )
     if step is None:
-        step = 0
+        step = particles.step
+    particles = particles.to_array()
 
     if workers > 1:
         from repro.octree.parallel import _partition_parallel

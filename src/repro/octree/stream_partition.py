@@ -307,15 +307,25 @@ def _pass2_store_task(task) -> int:
 
 # ----------------------------------------------------------------------
 # the plan: merge histograms, rebuild the leaf set, assign destinations
-def _subdivide_cells(cells, cum, a, b, level, prefix, max_level, capacity, leaves):
+def _subdivide_cells(
+    cells, cum, a, b, level, prefix, max_level, capacity, leaves, min_level=0
+):
     """Weighted twin of ``Octree._subdivide``: recurse over the sorted
     unique-cell array with per-range particle totals from prefix sums.
     Splitting depends only on those totals, so the leaf set is the one
-    the in-core octree builds over the full key array."""
+    the in-core octree builds over the full key array.
+
+    ``min_level`` forces subdivision of non-empty ranges down to that
+    level even when a range already fits ``capacity``.  The forest
+    partition uses it so a sparsely populated brick still refines to
+    its own octant: the brick tree's leaves then coincide with the
+    global tree's leaves inside that octant instead of spilling a
+    coarse node across brick boundaries.
+    """
     if a == b:
         return
     total = int(cum[b] - cum[a])
-    if total <= capacity or level >= max_level:
+    if (total <= capacity and level >= min_level) or level >= max_level:
         leaves.append((level, prefix, a, b))
         return
     shift = np.uint64(3 * (max_level - level - 1))
@@ -332,6 +342,7 @@ def _subdivide_cells(cells, cum, a, b, level, prefix, max_level, capacity, leave
             max_level,
             capacity,
             leaves,
+            min_level,
         )
 
 
@@ -358,7 +369,8 @@ def _merge_histograms(workdir, n_shards):
 
 
 def _build_plan(
-    workdir, n_shards, lo, hi, max_level, capacity, n_particles, out_rows, plot_type, step
+    workdir, n_shards, lo, hi, max_level, capacity, n_particles, out_rows,
+    plot_type, step, min_level=0,
 ):
     """Merge pass-1 histograms into the node table + scatter plan."""
     from repro.octree.format import write_nodes_file
@@ -371,7 +383,9 @@ def _build_plan(
         )
     cum = np.concatenate([[0], np.cumsum(counts)])
     leaves: list[tuple[int, int, int, int]] = []
-    _subdivide_cells(cells, cum, 0, len(cells), 0, 0, max_level, capacity, leaves)
+    _subdivide_cells(
+        cells, cum, 0, len(cells), 0, 0, max_level, capacity, leaves, min_level
+    )
 
     nodes = np.empty(len(leaves), dtype=NODE_DTYPE)
     spans = np.empty(len(leaves), dtype=np.int64)
@@ -492,6 +506,7 @@ def partition_store(
     workers: int = 1,
     shard_rows: int = None,
     checkpoint_dir=None,
+    min_level: int = 0,
 ) -> PartitionedStore:
     """Partition a dataset out-of-core into a :class:`PartitionedStore`.
 
@@ -509,7 +524,10 @@ def partition_store(
     run resumable at per-shard granularity; a re-run after a crash
     (including a torn shard-artifact write) redoes only unfinished
     shards.  ``shard_rows`` sizes the output shards (default: the
-    input store's, else :data:`DEFAULT_SHARD_ROWS`).
+    input store's, else :data:`DEFAULT_SHARD_ROWS`).  ``min_level``
+    forces subdivision of non-empty regions down to that level even
+    below ``capacity`` -- the forest partition's octant-alignment
+    guarantee (see :mod:`repro.octree.forest`).
     """
     ds = as_dataset(data)
     out = Path(out)
@@ -575,7 +593,7 @@ def partition_store(
         with span("stream_partition_pass", which="plan"):
             _build_plan(
                 workdir, n_shards, lo, hi, int(max_level), int(capacity),
-                n, out_rows, plot_type, int(step),
+                n, out_rows, plot_type, int(step), int(min_level),
             )
         if ck is not None:
             ck.mark_done("plan")

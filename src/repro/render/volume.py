@@ -23,8 +23,6 @@ bit-identical.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from repro.core.trace import count, span
@@ -210,7 +208,7 @@ def render_mixed(
     rgba_volume: np.ndarray | None,
     lo,
     hi,
-    *deprecated_positional,
+    *,
     point_fragments=None,
     fb: Framebuffer | None = None,
     n_slices: int = 96,
@@ -238,7 +236,8 @@ def render_mixed(
         ``cache``
 
     All tuning arguments are keyword-only; passing them positionally
-    still works for one release but emits a ``DeprecationWarning``.
+    raises ``TypeError`` (the one-release ``DeprecationWarning`` shim
+    was removed).
 
     Back-to-front over-compositing: for each slab (far to near), the
     point fragments whose depth falls behind the slab's slice plane are
@@ -248,28 +247,6 @@ def render_mixed(
     premultiplied and touches only covered pixels; untouched pixels
     keep their exact prior framebuffer contents.
     """
-    if deprecated_positional:
-        warnings.warn(
-            "passing render_mixed tuning arguments positionally is deprecated; "
-            "use keyword arguments (point_fragments=..., fb=..., n_slices=..., "
-            "reference_slices=..., cache=..., geometry=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        names = ("point_fragments", "fb", "n_slices", "reference_slices",
-                 "cache", "geometry")
-        if len(deprecated_positional) > len(names):
-            raise TypeError(
-                f"render_mixed takes at most {4 + len(names)} positional arguments"
-            )
-        shim = dict(zip(names, deprecated_positional))
-        point_fragments = shim.get("point_fragments", point_fragments)
-        fb = shim.get("fb", fb)
-        n_slices = shim.get("n_slices", n_slices)
-        reference_slices = shim.get("reference_slices", reference_slices)
-        cache = shim.get("cache", cache)
-        geometry = shim.get("geometry", geometry)
-
     lo = np.asarray(lo, dtype=np.float64)
     hi = np.asarray(hi, dtype=np.float64)
     if fb is None:

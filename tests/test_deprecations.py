@@ -1,4 +1,11 @@
-"""The one-release compatibility shims: old call shapes warn, results match."""
+"""The one-release compatibility shims are gone: old call shapes raise.
+
+PR 5 shipped ``DeprecationWarning`` shims for raw ndarrays and
+positional tuning arguments in ``partition`` / ``extract`` /
+``render_mixed``.  This release removes them; these tests pin that the
+old shapes now raise ``TypeError`` and the supported keyword shapes
+stay warning-free.
+"""
 
 import warnings
 
@@ -20,60 +27,52 @@ def particles():
     return rng.normal(0.0, 0.5, (6_000, 6))
 
 
-class TestPartitionShims:
-    def test_raw_array_warns_and_matches(self, particles):
-        with pytest.warns(DeprecationWarning, match="open_dataset"):
-            old = partition(particles, "xyz", max_level=4, capacity=32)
-        new = partition(as_dataset(particles), "xyz", max_level=4, capacity=32)
-        assert np.array_equal(old.nodes, new.nodes)
-        assert np.array_equal(old.particles, new.particles)
+class TestPartitionContract:
+    def test_raw_array_raises(self, particles):
+        with pytest.raises(TypeError, match="open_dataset"):
+            partition(particles, "xyz", max_level=4, capacity=32)
 
-    def test_positional_tuning_warns_and_matches(self, particles):
-        ds = as_dataset(particles)
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            old = partition(ds, "xyz", 4, 32)
-        new = partition(ds, "xyz", max_level=4, capacity=32)
-        assert np.array_equal(old.nodes, new.nodes)
-        assert np.array_equal(old.particles, new.particles)
-        assert old.max_level == 4 and old.capacity == 32
+    def test_raw_list_raises(self):
+        with pytest.raises(TypeError, match="ParticleDataset"):
+            partition([[0.0] * 6], "xyz")
 
-    def test_too_many_positionals_rejected(self, particles):
-        with pytest.raises(TypeError), warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            partition(as_dataset(particles), "xyz", 4, 32, None, None, 0, 1, 1, 99)
+    def test_positional_tuning_raises(self, particles):
+        with pytest.raises(TypeError):
+            partition(as_dataset(particles), "xyz", 4, 32)
 
     def test_keyword_shape_is_silent(self, particles):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             partition(as_dataset(particles), "xyz", max_level=4, capacity=32)
 
     def test_dataset_step_inherited(self, particles):
         pf = partition(as_dataset(particles, step=13), "xyz", max_level=3)
         assert pf.step == 13
 
+    def test_step_override_wins(self, particles):
+        pf = partition(as_dataset(particles, step=13), "xyz", max_level=3, step=7)
+        assert pf.step == 7
 
-class TestExtractShims:
+
+class TestExtractContract:
     @pytest.fixture(scope="class")
     def frame(self, particles):
         return partition(as_dataset(particles), "xyz", max_level=4, capacity=32)
 
-    def test_positional_tuning_warns_and_matches(self, frame):
+    def test_positional_tuning_raises(self, frame):
         t = float(np.percentile(frame.nodes["density"], 50))
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            old = extract(frame, t, 16, "rest")
-        new = extract(frame, t, volume_resolution=16, volume_from="rest")
-        assert np.array_equal(old.volume, new.volume)
-        assert np.array_equal(old.points, new.points)
+        with pytest.raises(TypeError):
+            extract(frame, t, 16, "rest")
 
     def test_keyword_shape_is_silent(self, frame):
         t = float(np.percentile(frame.nodes["density"], 50))
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            extract(frame, t, volume_resolution=16)
+            warnings.simplefilter("error")
+            extract(frame, t, volume_resolution=16, volume_from="rest")
 
 
-class TestRenderMixedShims:
-    def test_positional_fragments_warn_and_match(self):
+class TestRenderMixedContract:
+    def test_positional_fragments_raise(self):
         rng = np.random.default_rng(6)
         camera = Camera.fit_bounds([-1, -1, -1], [1, 1, 1], width=64, height=64)
         pos = rng.uniform(-0.8, 0.8, (500, 3))
@@ -81,10 +80,20 @@ class TestRenderMixedShims:
             [rng.uniform(0.2, 1.0, (500, 3)), np.full((500, 1), 0.6)], axis=1
         )
         frags = point_fragments(camera, pos, rgba)
-        with pytest.warns(DeprecationWarning, match="keyword"):
-            old = render_mixed(camera, None, [-1] * 3, [1] * 3, frags)
-        new = render_mixed(camera, None, [-1] * 3, [1] * 3, point_fragments=frags)
-        assert np.array_equal(old.rgba, new.rgba)
+        with pytest.raises(TypeError):
+            render_mixed(camera, None, [-1] * 3, [1] * 3, frags)
+
+    def test_keyword_shape_is_silent(self):
+        rng = np.random.default_rng(6)
+        camera = Camera.fit_bounds([-1, -1, -1], [1, 1, 1], width=64, height=64)
+        pos = rng.uniform(-0.8, 0.8, (500, 3))
+        rgba = np.concatenate(
+            [rng.uniform(0.2, 1.0, (500, 3)), np.full((500, 1), 0.6)], axis=1
+        )
+        frags = point_fragments(camera, pos, rgba)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            render_mixed(camera, None, [-1] * 3, [1] * 3, point_fragments=frags)
 
     def test_renderer_paths_are_silent(self, hybrid_frame):
         with warnings.catch_warnings():

@@ -41,6 +41,7 @@ MODULES = [
     "repro.octree.format",
     "repro.octree.extraction",
     "repro.octree.disk_extraction",
+    "repro.octree.forest",
     "repro.octree.parallel",
     "repro.octree.repartition",
     "repro.hybrid.representation",
@@ -50,6 +51,7 @@ MODULES = [
     "repro.hybrid.viewer",
     "repro.hybrid.animation",
     "repro.render.camera",
+    "repro.render.compositor",
     "repro.render.framebuffer",
     "repro.render.frame_cache",
     "repro.render.volume",
@@ -128,6 +130,11 @@ FACADE_REQUIRED = [
     "create_store",
     "partition_store",
     "PartitionedStore",
+    # the forest-of-octrees partition + sort-last compositor (PR 6)
+    "partition_forest",
+    "render_forest",
+    "ForestStore",
+    "SortLastCompositor",
 ]
 
 # Deliberately dropped from the facade: these were never part of the

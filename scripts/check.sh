@@ -7,6 +7,7 @@
 #   scripts/check.sh --perf     # the perf bench + regression gate only
 #   scripts/check.sh --store    # the out-of-core store suite + RAM-cap gate
 #   scripts/check.sh --forest   # the forest/compositor suite + forest gate
+#   scripts/check.sh --service  # the multi-tenant service suite + chaos gate
 #
 # --faults runs the resilience suites (fault harness, crash-safe
 # executors, checkpoint/resume, remote link under injected damage)
@@ -29,6 +30,14 @@
 # 4-worker speedup floor on machines with >= 4 CPUs
 # (scripts/perf_gate.py --forest).
 #
+# --service runs the multi-tenant asyncio service suites (parity with
+# the classic server, coalescing cache, shedding, circuit breaker,
+# authenticated shutdown, seeded chaos fleet), then the chaos load
+# bench in a reduced smoke configuration (REPRO_SERVICE_CLIENTS=150;
+# the committed BENCH_service.json baseline is the full 1000-client
+# run) and gates on survival / shedding / cache-hit-rate floors
+# (scripts/perf_gate.py --service).
+#
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
 # failing.
@@ -41,6 +50,7 @@ run_faults=0
 run_perf=0
 run_store=0
 run_forest=0
+run_service=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
 elif [[ "${1:-}" == "--faults" ]]; then
@@ -55,6 +65,25 @@ elif [[ "${1:-}" == "--store" ]]; then
 elif [[ "${1:-}" == "--forest" ]]; then
     run_lint=0
     run_forest=1
+elif [[ "${1:-}" == "--service" ]]; then
+    run_lint=0
+    run_service=1
+fi
+
+if [[ $run_service -eq 1 ]]; then
+    echo "== multi-tenant service suite =="
+    PYTHONPATH=src python -m pytest -x -q \
+        tests/remote/test_protocol.py \
+        tests/remote/test_service.py \
+        tests/remote/test_service_load.py \
+        tests/remote/test_server_edges.py \
+        tests/test_public_api.py
+    echo "== chaos load bench (smoke scale) =="
+    REPRO_SERVICE_CLIENTS="${REPRO_SERVICE_CLIENTS:-150}" \
+        PYTHONPATH=src python -m pytest -q benchmarks/bench_service.py
+    echo "== service gate =="
+    python scripts/perf_gate.py --service
+    exit 0
 fi
 
 if [[ $run_forest -eq 1 ]]; then

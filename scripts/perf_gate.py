@@ -19,8 +19,16 @@ on machines with at least 4 CPUs, recorded in the bench -- the
 physically unreachable on fewer cores, so it is skipped with a notice
 there).
 
-Run via ``scripts/check.sh --perf`` / ``--store`` / ``--forest``
-(which refresh the JSON first).
+``--service`` gates ``BENCH_service.json``: the multi-tenant chaos
+acceptance run must leave the service alive, with zero silently-failed
+well-behaved clients (every one served or explicitly shed with BUSY),
+bounded queues fully drained, a coalescing cache hit rate above the
+0.5 floor on the hot set, and a p99 served-request latency under an
+absolute ceiling; the hit rate is also drift-checked against the
+committed baseline.
+
+Run via ``scripts/check.sh --perf`` / ``--store`` / ``--forest`` /
+``--service`` (which refresh the JSON first).
 """
 
 from __future__ import annotations
@@ -33,10 +41,13 @@ from pathlib import Path
 BENCH_FILE = "BENCH_frame_cache.json"
 STORE_BENCH_FILE = "BENCH_sharded_store.json"
 FOREST_BENCH_FILE = "BENCH_forest.json"
+SERVICE_BENCH_FILE = "BENCH_service.json"
 TOLERANCE = 0.20
 RSS_FRACTION_FLOOR = 0.5
 FOREST_SPEEDUP_FLOOR = 2.5
 FOREST_SORTLAST_ABS_TOL = 0.1
+SERVICE_HIT_RATE_FLOOR = 0.5
+SERVICE_P99_CEILING_S = 10.0  # absolute; generous for slow CI machines
 
 # (human label, path into extra{}) for every gated ratio
 GATES = [
@@ -178,12 +189,75 @@ def gate_forest(root: Path) -> int:
     return 0
 
 
+def gate_service(root: Path) -> int:
+    """Hard floors for the multi-tenant service chaos acceptance run."""
+    fresh, base = _load(root, SERVICE_BENCH_FILE)
+    fleet, svc = fresh["fleet"], fresh["service"]
+
+    failed = False
+    flags = [
+        ("service alive after the fleet", bool(fresh["alive"])),
+        (
+            f"no silent failures ({fleet['failed']} failed of "
+            f"{fleet['well_behaved']} well-behaved)",
+            fleet["failed"] == 0,
+        ),
+        (
+            f"every well-behaved client served or shed "
+            f"({fleet['served']} + {fleet['shed']} == {fleet['well_behaved']})",
+            fleet["served"] + fleet["shed"] == fleet["well_behaved"],
+        ),
+        (
+            f"cache hit rate {svc['cache_hit_rate']:.3f} "
+            f"(floor > {SERVICE_HIT_RATE_FLOOR})",
+            svc["cache_hit_rate"] > SERVICE_HIT_RATE_FLOOR,
+        ),
+        (
+            f"queues drained (depth {svc['queue_depth']} after the run)",
+            svc["queue_depth"] == 0,
+        ),
+        (
+            f"no extraction errors ({svc['extraction_errors']})",
+            svc["extraction_errors"] == 0,
+        ),
+        (
+            f"served-request p99 {fleet['p99_s']:.3f} s "
+            f"(ceiling {SERVICE_P99_CEILING_S:.0f} s)",
+            fleet["p99_s"] <= SERVICE_P99_CEILING_S,
+        ),
+    ]
+    for label, ok in flags:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failed |= not ok
+
+    if base is not None:
+        was = float(base["service"]["cache_hit_rate"])
+        now = float(svc["cache_hit_rate"])
+        floor = (1.0 - TOLERANCE) * was
+        ok = now >= floor
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} hit rate vs baseline: "
+            f"{now:.3f} (baseline {was:.3f}, floor {floor:.3f})"
+        )
+        failed |= not ok
+    else:
+        print(f"  no committed {SERVICE_BENCH_FILE} baseline; drift check skipped")
+
+    if failed:
+        print("perf gate: multi-tenant service gate failed", file=sys.stderr)
+        return 1
+    print("perf gate: service survival, shedding, and cache floors hold")
+    return 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     if "--store" in sys.argv[1:]:
         return gate_store(root)
     if "--forest" in sys.argv[1:]:
         return gate_forest(root)
+    if "--service" in sys.argv[1:]:
+        return gate_service(root)
 
     fresh, base = _load(root, BENCH_FILE)
     if base is None:

@@ -29,6 +29,7 @@ from repro.core.errors import (
     RemoteError,
     ReproError,
     RetryExhaustedError,
+    ServiceBusyError,
     TruncatedMessageError,
 )
 from repro.core.executor import run_shards
@@ -57,7 +58,9 @@ from repro.octree.forest import ForestStore, partition_forest, render_forest
 from repro.octree.partition import PartitionedFrame, partition
 from repro.octree.stream_partition import PartitionedStore, partition_store
 from repro.remote.client import VisualizationClient
+from repro.remote.loadgen import ChaosSchedule, FleetReport, run_fleet
 from repro.remote.server import VisualizationServer
+from repro.remote.service import VisualizationService
 from repro.render.camera import Camera
 from repro.render.compositor import SortLastCompositor
 from repro.render.frame_cache import (
@@ -110,6 +113,11 @@ __all__ = [
     "frame_geometry_cache",
     "VisualizationServer",
     "VisualizationClient",
+    # the multi-tenant asyncio service + chaos fleet (PR 7)
+    "VisualizationService",
+    "ChaosSchedule",
+    "FleetReport",
+    "run_fleet",
     "Tracer",
     "get_tracer",
     "span",
@@ -121,6 +129,7 @@ __all__ = [
     "ChecksumError",
     "TruncatedMessageError",
     "RemoteError",
+    "ServiceBusyError",
     "RetryExhaustedError",
     "atomic_write_bytes",
     "run_shards",

@@ -15,6 +15,8 @@ the same program boundaries over the library:
     repro forest    render run/forest --out forest.ppm --workers 4
     repro fieldlines --cells 3 --lines 150 --out lines.bin --image lines.ppm
     repro info      run/p50.hybrid
+    repro service   serve run/p50 --port 9000 --duration 60
+    repro service   stats 127.0.0.1:9000
 
 Every subcommand accepts ``--trace out.json`` to record a structured
 trace of the run (see :mod:`repro.core.trace`); ``repro trace-report
@@ -165,6 +167,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--part", default="hybrid",
                    choices=["hybrid", "volume", "points"])
     p.set_defaults(func=_cmd_forest)
+
+    p = sub.add_parser("service", parents=[common],
+                       help="multi-tenant visualization service")
+    p.add_argument("action", choices=["serve", "stats"],
+                   help="serve: run the asyncio service over partition "
+                        "stems until interrupted (or --duration); "
+                        "stats: query a running server's live counters")
+    p.add_argument("target", nargs="*",
+                   help="partition stems / store dirs (serve) or a "
+                        "single HOST:PORT (stats)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (serve); 0 picks a free port")
+    p.add_argument("--max-sessions", type=int, default=1024,
+                   help="admission-control session ceiling")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="bounded per-session request queue")
+    p.add_argument("--extract-workers", type=int, default=2,
+                   help="global concurrent-extraction limit")
+    p.add_argument("--cache-mb", type=float, default=64.0,
+                   help="shared result-cache byte bound")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for this many seconds then drain and "
+                        "exit (default: until interrupted)")
+    p.set_defaults(func=_cmd_service)
 
     p = sub.add_parser("extract", parents=[common],
                        help="extract a hybrid representation")
@@ -387,6 +414,69 @@ def _cmd_forest(args) -> int:
             f"  particles per brick: min {min(counts)}, max {max(counts)}, "
             f"mean {sum(counts) / len(counts):.0f}"
         )
+    return 0
+
+
+def _cmd_service(args) -> int:
+    if args.action == "stats":
+        from repro.remote.client import VisualizationClient
+
+        if len(args.target) != 1 or ":" not in args.target[0]:
+            raise SystemExit("service stats needs a single HOST:PORT target")
+        host, _, port = args.target[0].rpartition(":")
+        with VisualizationClient((host, int(port))) as client:
+            stats = client.get_stats()
+        for key in sorted(stats):
+            value = stats[key]
+            if isinstance(value, float):
+                print(f"{key}: {value:.4g}")
+            else:
+                print(f"{key}: {value}")
+        return 0
+
+    import time
+
+    from repro.core.store import is_store_dir
+    from repro.octree.format import load_partitioned
+    from repro.remote.service import VisualizationService
+
+    if not args.target:
+        raise SystemExit("service serve needs at least one partition stem")
+    frames = []
+    for target in args.target:
+        if is_store_dir(target):
+            from repro.octree.stream_partition import PartitionedStore
+
+            frames.append(PartitionedStore.open(target))
+        else:
+            frames.append(load_partitioned(target))
+    service = VisualizationService(
+        frames,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        queue_depth=args.queue_depth,
+        max_concurrent_extractions=args.extract_workers,
+        cache_bytes=int(args.cache_mb * (1 << 20)),
+    )
+    with service:
+        host, port = service.address
+        print(f"serving {len(frames)} frame(s) on {host}:{port} "
+              f"(max {args.max_sessions} sessions, "
+              f"{args.extract_workers} extraction workers, "
+              f"{args.cache_mb:g} MB cache)")
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600.0)
+        except KeyboardInterrupt:
+            print("interrupted, draining...", file=sys.stderr)
+    stats = service.stats_snapshot()
+    print(f"served {stats['served']} request(s) over "
+          f"{stats['sessions_total']} session(s), "
+          f"cache hit rate {stats['cache_hit_rate']:.2f}")
     return 0
 
 

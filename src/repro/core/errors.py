@@ -16,6 +16,10 @@ thing went wrong:
   mid-message *is* a connection failure.
 - :class:`RemoteError` -- the server answered with an application
   ERROR message (request was delivered intact; retrying is pointless).
+- :class:`ServiceBusyError` -- the multi-tenant service shed the
+  request or session under load (a typed BUSY reply); carries the
+  server-suggested ``retry_after`` delay, which the client's backoff
+  honors.  Retrying *is* the right response, after waiting.
 - :class:`RetryExhaustedError` -- the client's bounded retry loop gave
   up; carries the last underlying error as ``__cause__``.
 - :class:`SimulatedCrash` -- raised only by the fault-injection layer
@@ -38,6 +42,7 @@ __all__ = [
     "MessageTooLargeError",
     "TruncatedMessageError",
     "RemoteError",
+    "ServiceBusyError",
     "RetryExhaustedError",
     "SimulatedCrash",
 ]
@@ -77,6 +82,18 @@ class TruncatedMessageError(ProtocolError, ConnectionError):
 
 class RemoteError(ReproError, RuntimeError):
     """The server replied with an application-level ERROR message."""
+
+
+class ServiceBusyError(ReproError, RuntimeError):
+    """The service shed this request or session under load.
+
+    ``retry_after`` is the server's suggested wait (seconds) before
+    trying again; the client's retry loop sleeps at least that long.
+    """
+
+    def __init__(self, message: str = "service busy", retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class RetryExhaustedError(ReproError, RuntimeError):

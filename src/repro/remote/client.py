@@ -6,11 +6,19 @@ the paper's claim that compact hybrid frames make remote exploration
 practical ("quickly transferring over a network", section 2.3).
 
 The link is treated as unreliable: every request runs under a socket
-timeout inside a bounded retry loop with exponential backoff, and any
-transport or protocol failure (dropped connection, corrupted frame,
-timeout) transparently reconnects before the next attempt.  Only an
-application-level server ERROR aborts immediately -- the request
-arrived intact, so retrying cannot help.  When every attempt fails a
+timeout inside a bounded retry loop with *decorrelated-jitter*
+backoff, and any transport or protocol failure (dropped connection,
+corrupted frame, timeout) transparently reconnects before the next
+attempt.  The jitter draws each delay from a per-client seeded RNG
+stream, ``uniform(base, 3 * previous)`` capped at ``backoff_max`` --
+so a fleet of clients knocked back by the same incident retries
+spread out in time instead of stampeding in lockstep, while a fixed
+``jitter_seed`` keeps every delay sequence reproducible for the
+seeded fault tests.  A typed BUSY reply (the multi-tenant service
+shedding load) is also retried, sleeping at least the server's
+retry-after hint.  Only an application-level server ERROR aborts
+immediately -- the request arrived intact, so retrying cannot help.
+When every attempt fails a
 :class:`~repro.core.errors.RetryExhaustedError` carries the last
 underlying error.
 
@@ -23,16 +31,35 @@ coarser ones -- instead of stalling.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 
-from repro.core.errors import ProtocolError, RemoteError, RetryExhaustedError
+from repro.core.errors import (
+    ProtocolError,
+    RemoteError,
+    RetryExhaustedError,
+    ServiceBusyError,
+)
 from repro.core.trace import count, span
 from repro.hybrid.representation import HybridFrame
 from repro.remote import protocol
 from repro.remote.protocol import Message, MessageType
 
-__all__ = ["VisualizationClient"]
+__all__ = ["VisualizationClient", "decorrelated_jitter"]
+
+
+def decorrelated_jitter(
+    rng: random.Random, base: float, cap: float, previous: float
+) -> float:
+    """One step of decorrelated-jitter backoff.
+
+    ``uniform(base, 3 * previous)`` capped at ``cap`` -- each client's
+    delays random-walk away from the base instead of doubling in
+    lockstep, so synchronized fleets spread their retries out.  Fully
+    deterministic for a seeded ``rng``.
+    """
+    return min(cap, rng.uniform(base, max(previous * 3.0, base)))
 
 
 class VisualizationClient:
@@ -43,7 +70,11 @@ class VisualizationClient:
     address : (host, port) of a :class:`VisualizationServer`
     timeout : per-socket-operation timeout in seconds
     retries : extra attempts per request after the first
-    backoff, backoff_max : exponential backoff delays between attempts
+    backoff, backoff_max : base and cap of the decorrelated-jitter
+        backoff delays between attempts
+    jitter_seed : seed of the per-client jitter stream; the default 0
+        is deterministic -- give fleet members distinct seeds so their
+        retries decorrelate
     degrade_below_bps : measured-throughput floor that triggers a
         resolution downshift (``None`` disables degradation)
     min_resolution : downshift floor for the volume resolution
@@ -58,6 +89,7 @@ class VisualizationClient:
         retries: int = 3,
         backoff: float = 0.05,
         backoff_max: float = 2.0,
+        jitter_seed: int = 0,
         degrade_below_bps: float | None = None,
         min_resolution: int = 8,
         fault_plan=None,
@@ -70,6 +102,7 @@ class VisualizationClient:
         self.degrade_below_bps = degrade_below_bps
         self.min_resolution = int(min_resolution)
         self._fault_plan = fault_plan
+        self._rng = random.Random(jitter_seed)
         self._degrade_factor = 1
         self.stats = {
             "bytes_received": 0,
@@ -79,6 +112,7 @@ class VisualizationClient:
             "retries": 0,
             "reconnects": 0,
             "degradations": 0,
+            "busy": 0,
         }
         self.sock = None
         self._connect()
@@ -117,22 +151,31 @@ class VisualizationClient:
         Bytes and seconds are accounted as soon as a full reply frame
         arrives -- *before* any payload decode -- so a decode failure
         cannot silently skew :meth:`throughput_bps`.
+
+        Transport/protocol failures reconnect before the next attempt;
+        a BUSY reply (load shedding) retries on the live connection
+        after sleeping at least the server's retry-after hint.
         """
         delay = self.backoff
         last: Exception | None = None
+        reconnect = False
         for attempt in range(self.retries + 1):
             if attempt:
                 self.stats["retries"] += 1
                 count("remote_retries")
                 time.sleep(delay)
-                delay = min(delay * 2.0, self.backoff_max)
-                try:
-                    self._reconnect()
-                except OSError as exc:
-                    self.stats["errors"] += 1
-                    count("remote_errors")
-                    last = exc
-                    continue
+                delay = decorrelated_jitter(
+                    self._rng, self.backoff, self.backoff_max, delay
+                )
+                if reconnect:
+                    try:
+                        self._reconnect()
+                    except OSError as exc:
+                        self.stats["errors"] += 1
+                        count("remote_errors")
+                        last = exc
+                        continue
+                    reconnect = False
             try:
                 t0 = time.perf_counter()
                 protocol.send_message(self.sock, message)
@@ -141,11 +184,21 @@ class VisualizationClient:
                 self.stats["errors"] += 1
                 count("remote_errors")
                 last = exc
+                reconnect = True
                 continue
             elapsed = time.perf_counter() - t0
             self.stats["bytes_received"] += len(reply.payload)
             self.stats["seconds"] += elapsed
             count("remote_bytes_received", len(reply.payload))
+            if reply.type == MessageType.BUSY:
+                retry_after, reason = protocol.decode_busy(reply.payload)
+                self.stats["busy"] += 1
+                count("remote_busy")
+                last = ServiceBusyError(
+                    reason or "service busy", retry_after=retry_after
+                )
+                delay = max(delay, retry_after)
+                continue
             if reply.type == MessageType.ERROR:
                 self.stats["errors"] += 1
                 count("remote_errors")
@@ -165,6 +218,12 @@ class VisualizationClient:
         """Step indices of the frames the server holds."""
         reply = self._request(Message(MessageType.LIST_FRAMES), MessageType.FRAME_LIST)
         return protocol.decode_frame_list(reply.payload)
+
+    def get_stats(self) -> dict:
+        """The server's live stats document (counters, cache hit rate,
+        p50/p99 service times on the multi-tenant service)."""
+        reply = self._request(Message(MessageType.GET_STATS), MessageType.STATS)
+        return protocol.decode_stats(reply.payload)
 
     def effective_resolution(self, resolution: int) -> int:
         """The resolution a request would use after degradation."""

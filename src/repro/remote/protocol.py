@@ -17,10 +17,20 @@ never garbage decodes -- so both ends can distinguish a damaged stream
 
 Payloads reuse the package's on-disk codecs (hybrid frames serialize
 with :meth:`HybridFrame.save`'s layout); requests are small structs.
+
+Both transports speak the same framing: the blocking socket functions
+(:func:`send_message` / :func:`recv_message`) serve the classic
+thread-per-connection :class:`~repro.remote.server.VisualizationServer`
+and the synchronous client, while the asyncio stream functions
+(:func:`send_message_async` / :func:`recv_message_async`) serve the
+multi-tenant :class:`~repro.remote.service.VisualizationService`.
+Header validation is shared, so the two paths cannot drift.
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
 import struct
 import zlib
 from dataclasses import dataclass
@@ -39,7 +49,9 @@ from repro.core.errors import (
 from repro.hybrid.representation import HybridFrame
 
 __all__ = ["MessageType", "Message", "send_message", "recv_message",
-           "encode_hybrid", "decode_hybrid", "PROTOCOL_MAGIC",
+           "send_message_async", "recv_message_async",
+           "encode_hybrid", "decode_hybrid", "encode_busy", "decode_busy",
+           "encode_stats", "decode_stats", "PROTOCOL_MAGIC",
            "PROTOCOL_VERSION", "MAX_PAYLOAD"]
 
 PROTOCOL_MAGIC = b"RPV2"
@@ -56,7 +68,10 @@ class MessageType(IntEnum):
     GET_HYBRID = 3           # payload: u64 frame index, f8 threshold, u32 resolution
     HYBRID_FRAME = 4         # payload: encoded HybridFrame
     ERROR = 5                # payload: utf-8 message
-    SHUTDOWN = 6
+    SHUTDOWN = 6             # payload: the server-generated shutdown token
+    GET_STATS = 7            # -> STATS
+    STATS = 8                # payload: utf-8 JSON stats document
+    BUSY = 9                 # payload: f8 retry-after seconds, utf-8 reason
 
 
 @dataclass
@@ -105,15 +120,8 @@ def _recv_exact(sock, n: int) -> bytes:
     return bytes(buf)
 
 
-def recv_message(sock) -> Message:
-    """Read exactly one framed message from the socket.
-
-    Raises :class:`BadMagicError`, :class:`BadVersionError`,
-    :class:`MessageTooLargeError`, :class:`ChecksumError`, or
-    :class:`TruncatedMessageError` when the stream is damaged, and
-    :class:`ProtocolError` for an unknown message type.
-    """
-    head = _recv_exact(sock, _FRAME_HEADER.size)
+def _unpack_header(head: bytes):
+    """Validate a frame header; returns ``(mtype, length, crc)``."""
     magic, version, mtype, length, crc = _FRAME_HEADER.unpack(head)
     if magic != PROTOCOL_MAGIC:
         raise BadMagicError(f"bad frame magic {magic!r} (stream desynchronized?)")
@@ -125,7 +133,11 @@ def recv_message(sock) -> Message:
         raise MessageTooLargeError(
             f"declared payload of {length} bytes exceeds the {MAX_PAYLOAD}-byte cap"
         )
-    payload = _recv_exact(sock, length) if length else b""
+    return mtype, length, crc
+
+
+def _check_payload(payload: bytes, crc: int, length: int, mtype: int) -> Message:
+    """Verify a payload against its header; returns the typed message."""
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
         raise ChecksumError(
             f"payload CRC mismatch on a {length}-byte {_type_name(mtype)} message"
@@ -135,6 +147,77 @@ def recv_message(sock) -> Message:
     except ValueError as exc:
         raise ProtocolError(f"unknown message type {mtype}") from exc
     return Message(mtype, payload)
+
+
+def recv_message(sock) -> Message:
+    """Read exactly one framed message from the socket.
+
+    Raises :class:`BadMagicError`, :class:`BadVersionError`,
+    :class:`MessageTooLargeError`, :class:`ChecksumError`, or
+    :class:`TruncatedMessageError` when the stream is damaged, and
+    :class:`ProtocolError` for an unknown message type.
+    """
+    head = _recv_exact(sock, _FRAME_HEADER.size)
+    mtype, length, crc = _unpack_header(head)
+    payload = _recv_exact(sock, length) if length else b""
+    return _check_payload(payload, crc, length, mtype)
+
+
+# ----------------------------------------------------------------------
+# asyncio transport (same framing, stream reader/writer endpoints)
+# ----------------------------------------------------------------------
+async def send_message_async(
+    writer: asyncio.StreamWriter,
+    message: Message,
+    bandwidth_bps: float | None = None,
+) -> int:
+    """Send one framed message on an asyncio stream; returns bytes sent.
+
+    ``bandwidth_bps`` throttles by sleeping between chunks without
+    blocking the event loop, mirroring :func:`send_message`.
+    """
+    header = _FRAME_HEADER.pack(
+        PROTOCOL_MAGIC,
+        PROTOCOL_VERSION,
+        int(message.type),
+        len(message.payload),
+        zlib.crc32(message.payload) & 0xFFFFFFFF,
+    )
+    data = header + message.payload
+    if bandwidth_bps is None:
+        writer.write(data)
+        await writer.drain()
+    else:
+        chunk = max(int(bandwidth_bps * 0.01), 1024)  # ~10 ms per chunk
+        for i in range(0, len(data), chunk):
+            part = data[i : i + chunk]
+            writer.write(part)
+            await writer.drain()
+            await asyncio.sleep(len(part) / bandwidth_bps)
+    return len(data)
+
+
+async def _recv_exact_async(reader: asyncio.StreamReader, n: int) -> bytes:
+    try:
+        return await reader.readexactly(n)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedMessageError(
+            f"peer closed the connection mid-message "
+            f"({len(exc.partial)}/{n} bytes received)"
+        ) from exc
+
+
+async def recv_message_async(reader: asyncio.StreamReader) -> Message:
+    """Read exactly one framed message from an asyncio stream.
+
+    Raises the same typed :class:`~repro.core.errors.ProtocolError`
+    subclasses as :func:`recv_message` -- the header/CRC validation is
+    shared code.
+    """
+    head = await _recv_exact_async(reader, _FRAME_HEADER.size)
+    mtype, length, crc = _unpack_header(head)
+    payload = await _recv_exact_async(reader, length) if length else b""
+    return _check_payload(payload, crc, length, mtype)
 
 
 def _type_name(mtype: int) -> str:
@@ -178,6 +261,39 @@ def decode_frame_list(payload: bytes):
             f"{count} steps)"
         )
     return np.frombuffer(payload, dtype="<u8", count=count, offset=_U64.size).tolist()
+
+
+_BUSY = struct.Struct("<d")
+
+
+def encode_busy(retry_after: float, reason: str = "") -> bytes:
+    """BUSY payload: when to come back, and why the request was shed."""
+    return _BUSY.pack(float(retry_after)) + reason.encode()
+
+
+def decode_busy(payload: bytes):
+    """Decode a BUSY payload; returns ``(retry_after, reason)``."""
+    try:
+        (retry_after,) = _BUSY.unpack_from(payload, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed BUSY payload: {exc}") from exc
+    return retry_after, payload[_BUSY.size :].decode(errors="replace")
+
+
+def encode_stats(stats: dict) -> bytes:
+    """STATS payload: the service's live counters as a JSON document."""
+    return json.dumps(stats, sort_keys=True).encode()
+
+
+def decode_stats(payload: bytes) -> dict:
+    """Decode a STATS payload back into a dict."""
+    try:
+        doc = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed STATS payload: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("STATS payload is not a JSON object")
+    return doc
 
 
 def encode_hybrid(frame: HybridFrame) -> bytes:

@@ -13,7 +13,10 @@ other connections.  Protocol damage closes the offending connection
 (the stream can no longer be trusted); per-request application errors
 are answered with an ERROR message and the connection lives on.
 ``stop()`` is idempotent and joins the serve thread and any open
-connection handlers.
+connection handlers.  SHUTDOWN is honored only when its payload
+carries the server-generated token (``stop()`` uses it for the
+accept-loop poke); a hostile client's bare SHUTDOWN gets an ERROR
+reply and the server keeps serving.
 
 The server runs in a daemon thread on localhost; tests and benches
 connect a :class:`repro.remote.client.VisualizationClient` to it.
@@ -21,6 +24,7 @@ connect a :class:`repro.remote.client.VisualizationClient` to it.
 
 from __future__ import annotations
 
+import secrets
 import socket
 import threading
 
@@ -70,13 +74,16 @@ class VisualizationServer:
         self.address = self._sock.getsockname()
         self._thread: threading.Thread | None = None
         self._handlers: list[threading.Thread] = []
+        self._handlers_lock = threading.Lock()
         self._stop = threading.Event()
+        self._shutdown_token = secrets.token_bytes(16)
         self.stats = {
             "requests": 0,
             "bytes_sent": 0,
             "extractions": 0,
             "protocol_errors": 0,
             "handler_errors": 0,
+            "unauthorized_shutdowns": 0,
         }
 
     # ------------------------------------------------------------------
@@ -88,15 +95,20 @@ class VisualizationServer:
     def stop(self) -> None:
         self._stop.set()
         try:
-            # poke the accept loop awake
+            # poke the accept loop awake (carrying the token that
+            # authorizes the shutdown -- a client can't forge this)
             poke = socket.create_connection(self.address, timeout=1.0)
-            protocol.send_message(poke, Message(MessageType.SHUTDOWN))
+            protocol.send_message(
+                poke, Message(MessageType.SHUTDOWN, self._shutdown_token)
+            )
             poke.close()
         except OSError:
             pass
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        for handler in self._handlers:
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
             handler.join(timeout=1.0)
         self._sock.close()
 
@@ -113,11 +125,12 @@ class VisualizationServer:
                 conn, _ = self._sock.accept()
             except OSError:
                 break
-            self._handlers = [t for t in self._handlers if t.is_alive()]
             handler = threading.Thread(
                 target=self._client_loop, args=(conn,), daemon=True
             )
-            self._handlers.append(handler)
+            with self._handlers_lock:
+                self._handlers = [t for t in self._handlers if t.is_alive()]
+                self._handlers.append(handler)
             handler.start()
 
     def _client_loop(self, conn) -> None:
@@ -145,11 +158,20 @@ class VisualizationServer:
     def _handle(self, conn) -> None:
         while not self._stop.is_set():
             msg = protocol.recv_message(conn)
+            if msg.type == MessageType.SHUTDOWN:
+                if msg.payload == self._shutdown_token:
+                    # the stop() poke, not a request: don't count it
+                    self._stop.set()
+                    return
+                self.stats["unauthorized_shutdowns"] += 1
+                count("remote_unauthorized_shutdowns")
+                self._send(
+                    conn,
+                    Message(MessageType.ERROR, b"unauthorized shutdown ignored"),
+                )
+                continue
             self.stats["requests"] += 1
             count("remote_requests")
-            if msg.type == MessageType.SHUTDOWN:
-                self._stop.set()
-                return
             try:
                 self._answer(conn, msg)
             except (ProtocolError, ConnectionError, socket.timeout, OSError):
@@ -184,6 +206,10 @@ class VisualizationServer:
                     conn,
                     Message(MessageType.HYBRID_FRAME, protocol.encode_hybrid(hybrid)),
                 )
+        elif msg.type == MessageType.GET_STATS:
+            self._send(
+                conn, Message(MessageType.STATS, protocol.encode_stats(self.stats))
+            )
         else:
             self._send(
                 conn,

@@ -1,5 +1,6 @@
 """Wire protocol framing and codecs."""
 
+import asyncio
 import socket
 import struct
 import threading
@@ -21,14 +22,20 @@ from repro.remote.protocol import (
     PROTOCOL_VERSION,
     Message,
     MessageType,
+    decode_busy,
     decode_frame_list,
     decode_get_hybrid,
     decode_hybrid,
+    decode_stats,
+    encode_busy,
     encode_frame_list,
     encode_get_hybrid,
     encode_hybrid,
+    encode_stats,
     recv_message,
+    recv_message_async,
     send_message,
+    send_message_async,
 )
 
 
@@ -218,3 +225,124 @@ class TestCodecs:
         assert np.array_equal(back.volume, f.volume)
         assert np.array_equal(back.points, f.points)
         assert back.step == 3
+
+    def test_busy_codec(self):
+        retry_after, reason = decode_busy(encode_busy(0.25, "queue full"))
+        assert retry_after == 0.25
+        assert reason == "queue full"
+
+    def test_busy_codec_no_reason(self):
+        assert decode_busy(encode_busy(1.5)) == (1.5, "")
+
+    def test_busy_codec_rejects_damage(self):
+        with pytest.raises(ProtocolError):
+            decode_busy(b"xy")
+
+    def test_stats_codec(self):
+        doc = {"requests": 12, "cache_hit_rate": 0.75, "name": "svc"}
+        assert decode_stats(encode_stats(doc)) == doc
+
+    def test_stats_codec_rejects_damage(self):
+        with pytest.raises(ProtocolError):
+            decode_stats(b"{not json")
+
+
+class TestAsyncFraming:
+    """The asyncio-stream transport frames identically to the
+    blocking-socket one (the service and the old server interoperate)."""
+
+    @staticmethod
+    def _run(coro):
+        return asyncio.run(coro)
+
+    @staticmethod
+    async def _stream_pair():
+        accepted = asyncio.Queue()
+
+        async def on_connect(reader, writer):
+            await accepted.put((reader, writer))
+
+        server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+        address = server.sockets[0].getsockname()
+        c_reader, c_writer = await asyncio.open_connection(*address)
+        s_reader, s_writer = await accepted.get()
+        return server, (c_reader, c_writer), (s_reader, s_writer)
+
+    def test_async_roundtrip(self):
+        async def go():
+            server, (cr, cw), (sr, sw) = await self._stream_pair()
+            try:
+                sent = await send_message_async(
+                    cw, Message(MessageType.GET_STATS, b"abc")
+                )
+                msg = await recv_message_async(sr)
+                assert msg.type == MessageType.GET_STATS
+                assert msg.payload == b"abc"
+                assert sent == _FRAME_HEADER.size + 3
+            finally:
+                cw.close()
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        self._run(go())
+
+    def test_async_to_blocking_interop(self):
+        """Bytes written by the async sender decode on a blocking socket."""
+        a, b = _socket_pair()
+        try:
+            async def send():
+                reader, writer = await asyncio.open_connection(
+                    sock=socket.socket(fileno=a.detach())
+                )
+                await send_message_async(
+                    writer, Message(MessageType.HYBRID_FRAME, b"payload")
+                )
+                writer.close()
+                await writer.wait_closed()
+
+            asyncio.run(send())
+            msg = recv_message(b)
+            assert msg.type == MessageType.HYBRID_FRAME
+            assert msg.payload == b"payload"
+        finally:
+            b.close()
+
+    def test_async_bad_magic(self):
+        async def go():
+            server, (cr, cw), (sr, sw) = await self._stream_pair()
+            try:
+                cw.write(b"GARBAGE!" + bytes(12))
+                await cw.drain()
+                with pytest.raises(BadMagicError):
+                    await recv_message_async(sr)
+            finally:
+                cw.close()
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        self._run(go())
+
+    def test_async_mid_message_disconnect(self):
+        async def go():
+            server, (cr, cw), (sr, sw) = await self._stream_pair()
+            try:
+                import zlib
+
+                payload = bytes(1000)
+                head = _FRAME_HEADER.pack(
+                    PROTOCOL_MAGIC, PROTOCOL_VERSION, 1, len(payload),
+                    zlib.crc32(payload),
+                )
+                cw.write(head + payload[:300])
+                await cw.drain()
+                cw.close()
+                with pytest.raises(TruncatedMessageError):
+                    await recv_message_async(sr)
+            finally:
+                sw.close()
+                server.close()
+                await server.wait_closed()
+
+        self._run(go())

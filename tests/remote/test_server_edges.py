@@ -60,3 +60,91 @@ class TestLifecycle:
                 assert client.list_frames() == []
                 with pytest.raises(RuntimeError, match="out of range"):
                     client.get_hybrid(0, 1.0)
+
+
+class TestShutdownAuthorization:
+    """SHUTDOWN without the server-generated token must be inert
+    (satellite: the unauthenticated-shutdown hole)."""
+
+    def test_hostile_shutdown_cannot_stop_server(self, one_frame):
+        import socket
+
+        from repro.remote import protocol
+        from repro.remote.protocol import Message, MessageType
+
+        with VisualizationServer(one_frame) as server:
+            hostile = socket.create_connection(server.address, timeout=2.0)
+            try:
+                protocol.send_message(
+                    hostile, Message(MessageType.SHUTDOWN, b"let me in")
+                )
+                reply = protocol.recv_message(hostile)
+                assert reply.type == MessageType.ERROR
+                assert b"unauthorized" in reply.payload
+            finally:
+                hostile.close()
+            # the server is still serving new connections afterwards
+            with VisualizationClient(server.address) as client:
+                assert client.list_frames() == [0]
+            assert server.stats["unauthorized_shutdowns"] == 1
+
+    def test_shutdown_poke_not_counted_as_request(self, one_frame):
+        """stop()'s authorized poke must not skew the request ledger."""
+        server = VisualizationServer(one_frame).start()
+        with VisualizationClient(server.address) as client:
+            client.list_frames()
+        server.stop()
+        assert server.stats["requests"] == 1
+        assert server.stats["unauthorized_shutdowns"] == 0
+
+    def test_get_stats_over_the_wire(self, one_frame):
+        with VisualizationServer(one_frame) as server:
+            with VisualizationClient(server.address) as client:
+                client.list_frames()
+                stats = client.get_stats()
+        assert stats["requests"] >= 2  # LIST_FRAMES + GET_STATS
+        assert stats["unauthorized_shutdowns"] == 0
+
+
+class TestClientJitter:
+    """Decorrelated-jitter backoff: bounded and seed-deterministic
+    (satellite: retry stampede control)."""
+
+    def test_delays_bounded(self):
+        import random
+
+        from repro.remote.client import decorrelated_jitter
+
+        rng = random.Random(7)
+        delay = 0.05
+        for _ in range(200):
+            delay = decorrelated_jitter(rng, 0.05, 2.0, delay)
+            assert 0.05 <= delay <= 2.0
+
+    def test_seeded_sequence_deterministic(self):
+        import random
+
+        from repro.remote.client import decorrelated_jitter
+
+        def sequence(seed):
+            rng = random.Random(seed)
+            delay, out = 0.05, []
+            for _ in range(20):
+                delay = decorrelated_jitter(rng, 0.05, 2.0, delay)
+                out.append(delay)
+            return out
+
+        assert sequence(3) == sequence(3)
+        assert sequence(3) != sequence(4)
+
+    def test_distinct_seeds_decorrelate(self):
+        """A fleet with distinct seeds doesn't retry in lockstep."""
+        import random
+
+        from repro.remote.client import decorrelated_jitter
+
+        first = [
+            decorrelated_jitter(random.Random(s), 0.05, 2.0, 0.5)
+            for s in range(16)
+        ]
+        assert len(set(first)) > 1

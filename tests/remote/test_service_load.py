@@ -1,0 +1,139 @@
+"""Chaos load: a seeded client fleet (5% misbehaving) vs the service.
+
+A reduced-scale rehearsal of the acceptance run in
+``benchmarks/bench_service.py`` (which drives 1000 clients): the
+service must survive the whole fleet, serve or explicitly shed every
+well-behaved client, keep queues bounded, and coalesce the hot set
+into a >0.5 cache hit rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import as_dataset
+from repro.octree.partition import partition
+from repro.remote.client import VisualizationClient
+from repro.remote.loadgen import ChaosSchedule, assign_roles, run_fleet
+from repro.remote.service import VisualizationService
+
+N_CLIENTS = 150
+FAULT_FRACTION = 0.05
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(31)
+    out = []
+    for step in range(10):  # the 10-frame hot set
+        p = rng.normal(0, 0.5, (1500, 6))
+        out.append(
+            partition(as_dataset(p), "xyz", max_level=4, capacity=64, step=step)
+        )
+    return out
+
+
+class TestRoleAssignment:
+    def test_seeded_roles_reproducible(self):
+        sched = ChaosSchedule(threshold=0.0, seed=9, n_clients=200,
+                              fault_fraction=0.05)
+        assert assign_roles(sched) == assign_roles(sched)
+
+    def test_fault_fraction_respected(self):
+        sched = ChaosSchedule(threshold=0.0, seed=9, n_clients=200,
+                              fault_fraction=0.05)
+        roles = assign_roles(sched)
+        bad = [r for r in roles if r != "good"]
+        assert len(bad) == 10
+        # all four chaos roles are represented
+        assert {"slowloris", "disconnect", "corrupt", "flood"} <= set(bad)
+
+    def test_different_seed_different_order(self):
+        a = ChaosSchedule(threshold=0.0, seed=1, n_clients=100)
+        b = ChaosSchedule(threshold=0.0, seed=2, n_clients=100)
+        assert assign_roles(a) != assign_roles(b)
+
+
+class TestChaosFleet:
+    def test_fleet_survives_and_everyone_is_served_or_shed(self, frames):
+        thr = float(np.percentile(frames[0].nodes["density"], 60))
+        schedule = ChaosSchedule(
+            threshold=thr,
+            seed=7,
+            n_clients=N_CLIENTS,
+            fault_fraction=FAULT_FRACTION,
+            requests_per_client=3,
+            hot_frames=len(frames),
+            resolution=8,
+            ramp_s=0.5,
+            # keep the slowloris clients short so the test stays fast
+            slowloris_bytes=3,
+            slowloris_gap_s=0.1,
+        )
+        with VisualizationService(
+            frames,
+            max_sessions=256,
+            queue_depth=4,
+            session_timeout=2.0,
+            request_timeout=10.0,
+        ) as service:
+            report = run_fleet(service.address, schedule)
+
+            # the service survived: still answering new sessions
+            with VisualizationClient(service.address) as probe:
+                assert probe.list_frames() == list(range(10))
+
+            snap = service.stats_snapshot()
+
+        expected_good = N_CLIENTS - round(N_CLIENTS * FAULT_FRACTION)
+        assert report.well_behaved == expected_good
+        # no well-behaved client failed silently: served or explicit shed
+        assert report.failed == 0
+        assert report.served + report.shed == report.well_behaved
+        assert report.served > 0
+
+        # the hot set coalesced: far fewer extractions than requests
+        assert snap["cache_hit_rate"] > 0.5
+        assert snap["extractions"] + snap["coalesced"] + snap["cache_hits"] >= (
+            len(report.latencies)
+        )
+        # bounded queues: nothing left enqueued after the fleet drained
+        assert snap["queue_depth"] == 0
+        # the misbehaving 5% were all noticed by some defense
+        assert (
+            snap["timeouts"] + snap["protocol_errors"] + snap["shed_requests"]
+        ) >= 1
+
+    def test_fleet_against_tiny_service_sheds_not_fails(self, frames):
+        """Starved of capacity the service turns clients away with
+        BUSY -- it never leaves a well-behaved client in limbo."""
+        import time
+
+        from repro.octree.extraction import extract
+
+        def slow_extract(frame, threshold, resolution):
+            time.sleep(0.05)  # make sessions hold their slots
+            return extract(frame, threshold, volume_resolution=resolution)
+
+        thr = float(np.percentile(frames[0].nodes["density"], 60))
+        schedule = ChaosSchedule(
+            threshold=thr,
+            seed=13,
+            n_clients=40,
+            fault_fraction=0.0,
+            requests_per_client=2,
+            hot_frames=len(frames),
+            resolution=8,
+            busy_retries=3,
+            ramp_s=0.0,
+        )
+        with VisualizationService(
+            frames, max_sessions=4, queue_depth=1,
+            session_timeout=2.0, request_timeout=10.0,
+            extract_fn=slow_extract,
+        ) as service:
+            report = run_fleet(service.address, schedule)
+            snap = service.stats_snapshot()
+        assert report.failed == 0
+        assert report.served + report.shed == report.well_behaved
+        assert report.shed > 0
+        assert snap["sessions_shed"] > 0

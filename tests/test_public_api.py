@@ -77,7 +77,9 @@ MODULES = [
     "repro.fieldlines.timeseries",
     "repro.remote.protocol",
     "repro.remote.server",
+    "repro.remote.service",
     "repro.remote.client",
+    "repro.remote.loadgen",
     "repro.core.pipeline",
     "repro.core.config",
     "repro.core.metrics",
@@ -135,6 +137,11 @@ FACADE_REQUIRED = [
     "render_forest",
     "ForestStore",
     "SortLastCompositor",
+    # the multi-tenant asyncio service + chaos fleet (PR 7)
+    "VisualizationService",
+    "ChaosSchedule",
+    "run_fleet",
+    "ServiceBusyError",
 ]
 
 # Deliberately dropped from the facade: these were never part of the

@@ -8,6 +8,7 @@
 #   scripts/check.sh --store    # the out-of-core store suite + RAM-cap gate
 #   scripts/check.sh --forest   # the forest/compositor suite + forest gate
 #   scripts/check.sh --service  # the multi-tenant service suite + chaos gate
+#   scripts/check.sh --lod      # the LOD / progressive-streaming suite + gate
 #
 # --faults runs the resilience suites (fault harness, crash-safe
 # executors, checkpoint/resume, remote link under injected damage)
@@ -38,6 +39,14 @@
 # run) and gates on survival / shedding / cache-hit-rate floors
 # (scripts/perf_gate.py --service).
 #
+# --lod runs the LOD-hierarchy and progressive-streaming suites (the
+# store/octree subsample layer, the REFINE/LOD_FRAME wire path, the
+# repaired degradation/cache/breaker control loops), then the TTFI
+# bench in a reduced smoke configuration (REPRO_LOD_PARTICLES=2000000;
+# the committed BENCH_lod.json baseline is the full 10^7 run) and
+# gates on the 4x TTFI speedup floor plus the prefix-validity and
+# final-bitwise flags (scripts/perf_gate.py --lod).
+#
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
 # failing.
@@ -51,6 +60,7 @@ run_perf=0
 run_store=0
 run_forest=0
 run_service=0
+run_lod=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
 elif [[ "${1:-}" == "--faults" ]]; then
@@ -68,6 +78,25 @@ elif [[ "${1:-}" == "--forest" ]]; then
 elif [[ "${1:-}" == "--service" ]]; then
     run_lint=0
     run_service=1
+elif [[ "${1:-}" == "--lod" ]]; then
+    run_lint=0
+    run_lod=1
+fi
+
+if [[ $run_lod -eq 1 ]]; then
+    echo "== LOD / progressive-streaming suite =="
+    PYTHONPATH=src python -m pytest -x -q \
+        tests/octree/test_lod.py \
+        tests/remote/test_progressive.py \
+        tests/remote/test_control_loops.py \
+        tests/remote/test_protocol.py \
+        tests/test_public_api.py
+    echo "== progressive TTFI bench (smoke scale) =="
+    REPRO_LOD_PARTICLES="${REPRO_LOD_PARTICLES:-2000000}" \
+        PYTHONPATH=src python -m pytest -q benchmarks/bench_lod.py
+    echo "== LOD gate =="
+    python scripts/perf_gate.py --lod
+    exit 0
 fi
 
 if [[ $run_service -eq 1 ]]; then

@@ -19,6 +19,12 @@ on machines with at least 4 CPUs, recorded in the bench -- the
 physically unreachable on fewer cores, so it is skipped with a notice
 there).
 
+``--lod`` gates ``BENCH_lod.json``: the progressive stream's
+time-to-first-image must beat the flat fetch by at least 4x, every
+yielded prefix must have decoded to a valid monotone frame, and the
+fully refined frame must be bit-identical to the flat extraction; the
+speedup is also drift-checked against the committed baseline.
+
 ``--service`` gates ``BENCH_service.json``: the multi-tenant chaos
 acceptance run must leave the service alive, with zero silently-failed
 well-behaved clients (every one served or explicitly shed with BUSY),
@@ -42,7 +48,9 @@ BENCH_FILE = "BENCH_frame_cache.json"
 STORE_BENCH_FILE = "BENCH_sharded_store.json"
 FOREST_BENCH_FILE = "BENCH_forest.json"
 SERVICE_BENCH_FILE = "BENCH_service.json"
+LOD_BENCH_FILE = "BENCH_lod.json"
 TOLERANCE = 0.20
+LOD_TTFI_SPEEDUP_FLOOR = 4.0
 RSS_FRACTION_FLOOR = 0.5
 FOREST_SPEEDUP_FLOOR = 2.5
 FOREST_SORTLAST_ABS_TOL = 0.1
@@ -250,10 +258,70 @@ def gate_service(root: Path) -> int:
     return 0
 
 
+def gate_lod(root: Path) -> int:
+    """Hard floors for the progressive-streaming TTFI bench."""
+    fresh, base = _load(root, LOD_BENCH_FILE)
+    speedup = float(fresh["ttfi_speedup"])
+
+    failed = False
+    flags = [
+        (
+            f"progressive TTFI speedup x{speedup:.1f} over flat fetch "
+            f"(floor x{LOD_TTFI_SPEEDUP_FLOOR:.0f}, "
+            f"{fresh['ttfi_flat_s'] * 1e3:.0f} ms -> "
+            f"{fresh['ttfi_lod_s'] * 1e3:.0f} ms at "
+            f"{fresh['n_particles']} particles)",
+            speedup >= LOD_TTFI_SPEEDUP_FLOOR,
+        ),
+        (
+            f"every yielded prefix a valid monotone frame "
+            f"({fresh['n_frames']} frames)",
+            bool(fresh["prefix_valid"]),
+        ),
+        (
+            "fully refined frame bit-identical to the flat extraction",
+            bool(fresh["final_bitwise"]),
+        ),
+        (
+            f"stream converged ({fresh['converged_s'] * 1e3:.0f} ms, "
+            f"{fresh['refinements']} refinements)",
+            fresh["converged_s"] > 0.0,
+        ),
+    ]
+    for label, ok in flags:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failed |= not ok
+
+    if base is not None and int(base["n_particles"]) == int(fresh["n_particles"]):
+        was = float(base["ttfi_speedup"])
+        floor = (1.0 - TOLERANCE) * was
+        ok = speedup >= floor
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} TTFI speedup vs baseline: "
+            f"x{speedup:.1f} (baseline x{was:.1f}, floor x{floor:.1f})"
+        )
+        failed |= not ok
+    elif base is not None:
+        print(
+            f"  skip drift check: bench ran at {fresh['n_particles']} "
+            f"particles, baseline at {base['n_particles']}"
+        )
+    else:
+        print(f"  no committed {LOD_BENCH_FILE} baseline; drift check skipped")
+
+    if failed:
+        print("perf gate: progressive-streaming gate failed", file=sys.stderr)
+        return 1
+    print("perf gate: progressive TTFI and refinement correctness floors hold")
+    return 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     if "--store" in sys.argv[1:]:
         return gate_store(root)
+    if "--lod" in sys.argv[1:]:
+        return gate_lod(root)
     if "--forest" in sys.argv[1:]:
         return gate_forest(root)
     if "--service" in sys.argv[1:]:

@@ -55,6 +55,7 @@ from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.representation import HybridFrame
 from repro.octree.extraction import extract
 from repro.octree.forest import ForestStore, partition_forest, render_forest
+from repro.octree.lod import LodHierarchy, build_lod
 from repro.octree.partition import PartitionedFrame, partition
 from repro.octree.stream_partition import PartitionedStore, partition_store
 from repro.remote.client import VisualizationClient
@@ -96,6 +97,9 @@ __all__ = [
     "frame_to_store",
     "partition_store",
     "PartitionedStore",
+    # LOD hierarchy + progressive streaming (PR 8)
+    "build_lod",
+    "LodHierarchy",
     # forest-of-octrees partition + sort-last compositing (PR 6)
     "partition_forest",
     "render_forest",

@@ -124,6 +124,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="particles per shard (default 262144)")
     p.set_defaults(func=_cmd_store)
 
+    p = sub.add_parser("lod", parents=[common],
+                       help="build or inspect a partitioned store's LOD "
+                            "hierarchy for progressive streaming")
+    p.add_argument("action", choices=["build", "info"],
+                   help="build: write per-node subsample shards and "
+                        "density mips (atomic manifest re-commit); "
+                        "info: describe an existing hierarchy")
+    p.add_argument("path", help="partitioned store directory")
+    p.add_argument("--levels", type=int, default=2,
+                   help="refinement levels (base keeps ~1/ratio^levels)")
+    p.add_argument("--ratio", type=int, default=4,
+                   help="per-level subsampling ratio")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the per-node sample permutations")
+    p.add_argument("--mip-base", type=int, default=64,
+                   help="finest density-mip resolution (power of two); "
+                        "streams at this resolution get their exact "
+                        "volume straight from mip 0")
+    p.add_argument("--mip-levels", type=int, default=3,
+                   help="mip pyramid depth (each level halves)")
+    p.set_defaults(func=_cmd_lod)
+
     p = sub.add_parser("forest", parents=[common],
                        help="forest-of-octrees partition + sort-last render")
     p.add_argument("action", choices=["partition", "render", "info"],
@@ -351,6 +373,38 @@ def _cmd_store(args) -> int:
         f"sharded store: step {store.step}, {store.n_particles} particles, "
         f"{store.n_shards} shards of {store.shard_rows} rows "
         f"({store.nbytes() / 1e6:.2f} MB payload)"
+    )
+    return 0
+
+
+def _cmd_lod(args) -> int:
+    from repro.octree.lod import build_lod
+    from repro.octree.stream_partition import PartitionedStore
+
+    pstore = PartitionedStore.open(args.path)
+    if args.action == "build":
+        with span("lod_build_cli", levels=args.levels, ratio=args.ratio):
+            lod = build_lod(
+                pstore, levels=args.levels, ratio=args.ratio, seed=args.seed,
+                mip_base=args.mip_base, mip_levels=args.mip_levels,
+            )
+        print(
+            f"built LOD hierarchy: {lod.levels} levels (ratio {lod.ratio}), "
+            f"mips {lod.mip_base}^3..{(lod.mip_base >> (lod.mip_levels - 1))}^3, "
+            f"{lod.nbytes() / 1e6:.2f} MB side files at {args.path}"
+        )
+        return 0
+    lod = pstore.lod
+    if lod is None:
+        print(f"{args.path}: no LOD hierarchy (run 'repro lod build')")
+        return 1
+    base = int(lod.index[lod.levels, -1])
+    print(
+        f"LOD hierarchy: seed {lod.seed}, ratio {lod.ratio}, "
+        f"{lod.levels} levels over {lod.n_nodes} nodes; "
+        f"base sample {base}/{pstore.n_particles} points; "
+        f"mips {lod.mip_base}^3 x{lod.mip_levels}; "
+        f"{lod.nbytes() / 1e6:.2f} MB side files"
     )
     return 0
 

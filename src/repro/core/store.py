@@ -48,12 +48,17 @@ __all__ = [
     "StoreWriter",
     "create_store",
     "is_store_dir",
+    "attach_lod_manifest",
     "DEFAULT_SHARD_ROWS",
 ]
 
 MANIFEST_NAME = "store.json"
 STORE_MAGIC = "RPRSTORE"
-STORE_VERSION = 1
+# v1: shards only.  v2 adds an optional "lod" section registering the
+# level-of-detail side files (see repro.octree.lod).  v1 stores open
+# unchanged -- the section is simply absent.
+STORE_VERSION = 2
+SUPPORTED_STORE_VERSIONS = (1, 2)
 DEFAULT_SHARD_ROWS = 262_144           # 12 MB of float64 particles
 _ROW_BYTES = 6 * 8
 
@@ -111,7 +116,7 @@ class ShardedStore:
             raise FormatError(f"{manifest_path}: unreadable store manifest ({exc})") from exc
         if manifest.get("magic") != STORE_MAGIC:
             raise FormatError(f"{manifest_path}: not a store manifest")
-        if manifest.get("version") != STORE_VERSION:
+        if manifest.get("version") not in SUPPORTED_STORE_VERSIONS:
             raise FormatError(
                 f"{manifest_path}: unsupported store version {manifest.get('version')!r}"
             )
@@ -271,6 +276,46 @@ class ShardedStore:
             filled += b - a
         return out
 
+    def gather_rows(self, rows) -> np.ndarray:
+        """Gather scattered global row indices into an (n, 6) array.
+
+        The access path of the finest LOD refinement level, whose
+        sampled rows are recorded as indices into the main particle
+        file instead of being duplicated on disk.  Rows are fetched in
+        ascending order (one memmap pass per touched shard) and
+        returned in the caller's order.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty((len(rows), 6), dtype=np.float64)
+        if len(rows) == 0:
+            return out
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        if sorted_rows[0] < 0 or sorted_rows[-1] >= self.n_particles:
+            raise IndexError(
+                f"row indices [{sorted_rows[0]}, {sorted_rows[-1]}] out of "
+                f"range for a {self.n_particles}-particle store"
+            )
+        shard_ids = (
+            np.searchsorted(self._starts, sorted_rows, side="right") - 1
+        )
+        cut = np.flatnonzero(np.diff(shard_ids)) + 1
+        starts = np.concatenate([[0], cut])
+        ends = np.concatenate([cut, [len(sorted_rows)]])
+        for a, b in zip(starts, ends):
+            i = int(shard_ids[a])
+            mm = self.shard(i)
+            out[order[a:b]] = mm[sorted_rows[a:b] - self.shard_start(i)]
+            if isinstance(mm, np.memmap):
+                _evict_pages(mm._mmap)
+        return out
+
+    @property
+    def lod_manifest(self) -> dict | None:
+        """The manifest's ``lod`` section (None when no LOD hierarchy
+        has been built for this store)."""
+        return self._manifest.get("lod")
+
     def to_array(self) -> np.ndarray:
         """Materialize the whole store as one in-RAM (N, 6) array.
 
@@ -364,6 +409,32 @@ def write_manifest(directory, entries: list, shard_rows: int, step: int = 0) -> 
         "shards": [{"rows": int(e["rows"]), "crc32": int(e["crc32"])} for e in entries],
     }
     path = directory / MANIFEST_NAME
+    atomic_write_bytes(path, json.dumps(manifest, indent=1).encode())
+    return path
+
+
+def attach_lod_manifest(directory, lod: dict | None) -> Path:
+    """Re-commit a store manifest with an ``lod`` section (or drop it).
+
+    The manifest write is the commit point of an LOD build: the side
+    files are written first, then this atomically registers them (and
+    upgrades a v1 manifest to v2).  A crash mid-build leaves stray
+    ``lod_*`` files but a manifest without the section -- the store
+    simply has no hierarchy.  Passing ``None`` detaches the section.
+    """
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FormatError(f"{path}: unreadable store manifest ({exc})") from exc
+    if manifest.get("magic") != STORE_MAGIC:
+        raise FormatError(f"{path}: not a store manifest")
+    if lod is None:
+        manifest.pop("lod", None)
+    else:
+        manifest["lod"] = lod
+    manifest["version"] = STORE_VERSION
     atomic_write_bytes(path, json.dumps(manifest, indent=1).encode())
     return path
 

@@ -30,6 +30,7 @@ from repro.octree.extraction import extract, extraction_sizes
 from repro.octree.parallel import partition_parallel
 from repro.octree.repartition import repartition
 from repro.octree.disk_extraction import extract_from_disk
+from repro.octree.lod import LodHierarchy, build_lod
 
 __all__ = [
     "Octree",
@@ -42,4 +43,6 @@ __all__ = [
     "partition_parallel",
     "repartition",
     "extract_from_disk",
+    "LodHierarchy",
+    "build_lod",
 ]

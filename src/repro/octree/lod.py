@@ -1,0 +1,514 @@
+"""Level-of-detail hierarchy over a partitioned particle store.
+
+The paper's incremental density-proportional seeding has the property
+that *any prefix of the work is the most accurate picture possible so
+far*.  This module gives the stored representation the same property
+(ROADMAP item 2, modeled on Szalay/Springel/Lemson's billion-point
+cosmology viewer): every octree node of a
+:class:`~repro.octree.stream_partition.PartitionedStore` gets a
+deterministic, seeded, *nested* particle subsample, and the density
+volume gets a mip pyramid -- so a remote client can receive a coarse
+but valid hybrid frame in one round-trip, then refine it
+incrementally until the result is bit-identical to the flat
+:func:`~repro.octree.extraction.extract` output.
+
+**Subsample determinism.**  Node ``j`` (index in the density-sorted
+node table) draws one permutation of its ``count`` particles from
+``numpy.random.default_rng([seed, j])``.  The level-``l`` sample is
+the first ``max(1, ceil(count / ratio**l))`` entries of that
+permutation -- so the samples are nested by construction (each level
+is a prefix of the next finer one), every non-empty node contributes
+at least one point to the coarsest level, and rebuilding with the
+same seed reproduces the hierarchy bit for bit.
+
+**On-disk layout** (side files inside the store directory, registered
+in the ``lod`` section of a version-2 ``store.json`` manifest --
+version-1 stores without the section still open):
+
+    lod_base.bin           f8 (n, 6) rows of the coarsest sample
+                           (level = ``levels``), all nodes concatenated
+                           in node order
+    lod_base_rows.bin      i8 global row index of each base row
+    lod_delta_<l>.bin      f8 rows of refinement level ``l``
+                           (``levels-1`` .. 1): the sample members of
+                           level ``l`` that level ``l+1`` lacks
+    lod_delta_rows_<l>.bin i8 global row indices of the above
+    lod_delta_rows_0.bin   i8 indices only -- the finest level is the
+                           bulk of the data, so its rows are *gathered
+                           from the main store* at serve time instead
+                           of being duplicated on disk
+    lod_index.bin          i8 (levels+1, n_nodes+1) per-level per-node
+                           offset table (row ``levels`` indexes the
+                           base files)
+    lod_mip_<k>.bin        f8 (m, m, m) CIC count grids,
+                           ``m = mip_base >> k``; mip 0 is deposited
+                           with the *identical* shard order and
+                           arithmetic as streamed extraction, so a
+                           volume served from it at
+                           ``resolution == mip_base`` is bitwise equal
+                           to ``extract``'s
+
+Because nodes are whole with respect to any threshold (the halo is
+always the first ``n`` nodes of the density-sorted table), the halo's
+slice of every level file is a contiguous prefix -- the same prefix
+property the paper exploits for the particle file itself.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import FormatError
+from repro.core.store import attach_lod_manifest
+from repro.core.trace import count, span
+
+__all__ = ["build_lod", "LodHierarchy", "node_centers"]
+
+_ROW_BYTES = 6 * 8
+_BATCH_ROWS = 1 << 19   # rows read per node-batch during the build
+
+
+def _base_file() -> str:
+    return "lod_base.bin"
+
+
+def _base_rows_file() -> str:
+    return "lod_base_rows.bin"
+
+
+def _delta_file(level: int) -> str:
+    return f"lod_delta_{int(level)}.bin"
+
+
+def _delta_rows_file(level: int) -> str:
+    return f"lod_delta_rows_{int(level)}.bin"
+
+
+def _mip_file(k: int) -> str:
+    return f"lod_mip_{int(k)}.bin"
+
+
+_INDEX_FILE = "lod_index.bin"
+
+
+def _sample_size(n: int, ratio: int, level: int) -> int:
+    """Level-``level`` sample size of an ``n``-particle node."""
+    return max(1, -(-n // ratio**level))
+
+
+def node_centers(nodes, lo, hi):
+    """Vectorized world-space centers + cell diagonals of leaf nodes.
+
+    The geometric half of screen-space-error ordering: deinterleaves
+    each node's Morton prefix into its (ix, iy, iz) cell index at the
+    node's own level (bits past ``3 * level`` are zero in the prefix,
+    so one loop over the deepest level present serves every node).
+    """
+    nodes = np.asarray(nodes)
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    level = nodes["level"].astype(np.int64)
+    key = nodes["key"].astype(np.uint64)
+    ix = np.zeros(len(nodes), dtype=np.uint64)
+    iy = np.zeros(len(nodes), dtype=np.uint64)
+    iz = np.zeros(len(nodes), dtype=np.uint64)
+    for g in range(int(level.max()) if len(nodes) else 0):
+        ix |= ((key >> np.uint64(3 * g)) & np.uint64(1)) << np.uint64(g)
+        iy |= ((key >> np.uint64(3 * g + 1)) & np.uint64(1)) << np.uint64(g)
+        iz |= ((key >> np.uint64(3 * g + 2)) & np.uint64(1)) << np.uint64(g)
+    size = (hi - lo)[None, :] / (1 << level)[:, None].astype(np.float64)
+    idx = np.stack([ix, iy, iz], axis=1).astype(np.float64)
+    centers = lo[None, :] + (idx + 0.5) * size
+    diag = np.linalg.norm(size, axis=1)
+    return centers, diag
+
+
+class _Writer:
+    """Append-only side-file writer tracking size and running CRC32."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._f = open(path, "wb")
+        self.crc = 0
+        self.nbytes = 0
+
+    def write(self, arr: np.ndarray) -> None:
+        raw = np.ascontiguousarray(arr).tobytes()
+        self._f.write(raw)
+        self.crc = zlib.crc32(raw, self.crc)
+        self.nbytes += len(raw)
+
+    def close(self) -> dict:
+        self._f.close()
+        return {"bytes": int(self.nbytes), "crc32": int(self.crc & 0xFFFFFFFF)}
+
+
+def build_lod(
+    pstore,
+    *,
+    levels: int = 2,
+    ratio: int = 4,
+    seed: int = 0,
+    mip_base: int = 64,
+    mip_levels: int = 3,
+) -> "LodHierarchy":
+    """Build (or rebuild) the LOD hierarchy of a partitioned store.
+
+    Parameters
+    ----------
+    pstore : :class:`~repro.octree.stream_partition.PartitionedStore`
+    levels : number of refinement levels; the base sample keeps
+        roughly ``1/ratio**levels`` of each node's particles
+    ratio : per-level subsampling ratio
+    seed : seed of the per-node sample permutations
+    mip_base : resolution of the finest density mip (a power of two);
+        a progressive stream requested at exactly this resolution
+        serves its exact final volume straight from mip 0
+    mip_levels : pyramid depth (each level halves the resolution)
+
+    The side files are written first; atomically re-committing the
+    store manifest with their names, sizes, and CRCs is the commit
+    point.  Returns the opened :class:`LodHierarchy`.
+    """
+    levels = int(levels)
+    ratio = int(ratio)
+    mip_base = int(mip_base)
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if ratio < 2:
+        raise ValueError("ratio must be >= 2")
+    if mip_base < 8 or mip_base & (mip_base - 1):
+        raise ValueError("mip_base must be a power of two >= 8")
+
+    store = pstore.store
+    nodes = pstore.nodes
+    counts = nodes["count"].astype(np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    n_nodes = len(nodes)
+    directory = Path(pstore.directory)
+
+    index = np.zeros((levels + 1, n_nodes + 1), dtype=np.int64)
+    writers = {levels: (_Writer(directory / _base_file()),
+                        _Writer(directory / _base_rows_file()))}
+    for lev in range(1, levels):
+        writers[lev] = (_Writer(directory / _delta_file(lev)),
+                        _Writer(directory / _delta_rows_file(lev)))
+    rows0_writer = _Writer(directory / _delta_rows_file(0))
+
+    with span("lod_build", nodes=n_nodes, levels=levels):
+        # batch contiguous node ranges so the particle file is read
+        # once, sequentially, a few hundred thousand rows at a time
+        j = 0
+        while j < n_nodes:
+            k = j
+            batch_rows = 0
+            while k < n_nodes and (batch_rows == 0 or
+                                   batch_rows + counts[k] <= _BATCH_ROWS):
+                batch_rows += counts[k]
+                k += 1
+            block = store.read_rows(starts[j], starts[j] + batch_rows)
+            for node in range(j, k):
+                c = int(counts[node])
+                local = int(starts[node] - starts[j])
+                perm = np.random.default_rng([seed, node]).permutation(c)
+                sizes = [_sample_size(c, ratio, lev) for lev in range(levels + 1)]
+                sizes[0] = c
+                for lev in range(levels, 0, -1):
+                    a = 0 if lev == levels else sizes[lev + 1]
+                    sel = np.sort(perm[a:sizes[lev]])
+                    w_rows, w_idx = writers[lev]
+                    w_rows.write(block[local + sel])
+                    w_idx.write((starts[node] + sel).astype("<i8"))
+                    index[lev, node + 1] = index[lev, node] + len(sel)
+                sel0 = np.sort(perm[sizes[1]:])
+                rows0_writer.write((starts[node] + sel0).astype("<i8"))
+                index[0, node + 1] = index[0, node] + len(sel0)
+            j = k
+
+        files = {}
+        for lev, (w_rows, w_idx) in writers.items():
+            name = _base_file() if lev == levels else _delta_file(lev)
+            rname = _base_rows_file() if lev == levels else _delta_rows_file(lev)
+            files[name] = w_rows.close()
+            files[rname] = w_idx.close()
+        files[_delta_rows_file(0)] = rows0_writer.close()
+
+        w = _Writer(directory / _INDEX_FILE)
+        w.write(index.astype("<i8"))
+        files[_INDEX_FILE] = w.close()
+
+        # mip 0 is the exact streamed deposit (identical chunk order
+        # and arithmetic as extract's volume pass); coarser mips are
+        # 2x2x2 sum pools of it -- counts stay counts at every level
+        from repro.octree.extraction import _streamed_volume
+
+        with span("lod_mips", base=mip_base):
+            grid = _streamed_volume(pstore, 0, (mip_base,) * 3, "all")
+            mips = []
+            m = mip_base
+            for _ in range(int(mip_levels)):
+                mips.append(grid)
+                if m % 2 or m // 2 < 8:
+                    break
+                m //= 2
+                grid = grid.reshape(m, 2, m, 2, m, 2).sum(axis=(1, 3, 5))
+            for k, g in enumerate(mips):
+                w = _Writer(directory / _mip_file(k))
+                w.write(g.astype("<f8"))
+                files[_mip_file(k)] = w.close()
+
+    manifest = {
+        "seed": int(seed),
+        "ratio": ratio,
+        "levels": levels,
+        "mip_base": mip_base,
+        "mip_levels": len(mips),
+        "n_nodes": int(n_nodes),
+        "files": files,
+    }
+    attach_lod_manifest(directory, manifest)
+    # keep the already-open store object coherent with the manifest we
+    # just committed (a fresh open() would see it anyway)
+    store._manifest["lod"] = manifest
+    hierarchy = LodHierarchy(pstore, manifest)
+    pstore._lod = hierarchy
+    count("lod_builds")
+    return hierarchy
+
+
+class LodHierarchy:
+    """A read-opened LOD hierarchy attached to a partitioned store.
+
+    Serves the three kinds of progressive-stream content:
+    :meth:`base` (the coarsest sample of the halo prefix),
+    :meth:`delta` (one refinement level's rows for a set of nodes),
+    and the volume path (:meth:`coarse_volume` for the first frame,
+    :meth:`exact_volume` when the requested resolution matches the
+    mip base).  :meth:`schedule` orders the refinement work by
+    screen-space error.
+    """
+
+    def __init__(self, pstore, meta: dict):
+        self.pstore = pstore
+        self.directory = Path(pstore.directory)
+        self.seed = int(meta["seed"])
+        self.ratio = int(meta["ratio"])
+        self.levels = int(meta["levels"])
+        self.mip_base = int(meta["mip_base"])
+        self.mip_levels = int(meta["mip_levels"])
+        self.n_nodes = int(meta["n_nodes"])
+        self._files = meta["files"]
+        if self.n_nodes != len(pstore.nodes):
+            raise FormatError(
+                f"{self.directory}: LOD hierarchy covers {self.n_nodes} "
+                f"nodes, store has {len(pstore.nodes)}"
+            )
+        self.index = self._read_file(
+            _INDEX_FILE, "<i8"
+        ).reshape(self.levels + 1, self.n_nodes + 1)
+        self._mips: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, pstore) -> "LodHierarchy | None":
+        """Open the hierarchy registered in the store manifest, or
+        return ``None`` when the store has none."""
+        meta = pstore.store.lod_manifest
+        if meta is None:
+            return None
+        return cls(pstore, meta)
+
+    def _read_file(self, name: str, dtype: str, check: bool = True) -> np.ndarray:
+        entry = self._files.get(name)
+        if entry is None:
+            raise FormatError(f"{self.directory}: LOD manifest lacks {name}")
+        path = self.directory / name
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            raise FormatError(f"{path}: missing LOD side file") from None
+        if len(raw) != int(entry["bytes"]):
+            raise FormatError(
+                f"{path}: {len(raw)} bytes, manifest expects {entry['bytes']}"
+            )
+        if check and zlib.crc32(raw) != int(entry["crc32"]):
+            raise FormatError(f"{path}: LOD side file CRC mismatch")
+        return np.frombuffer(raw, dtype=dtype)
+
+    def _memmap(self, name: str, dtype: str, row_shape=()) -> np.ndarray:
+        entry = self._files.get(name)
+        if entry is None:
+            raise FormatError(f"{self.directory}: LOD manifest lacks {name}")
+        itemsize = int(np.dtype(dtype).itemsize * max(int(np.prod(row_shape)), 1))
+        n = int(entry["bytes"]) // itemsize
+        if n == 0:
+            return np.empty((0,) + tuple(row_shape), dtype=dtype)
+        return np.memmap(
+            self.directory / name, dtype=dtype, mode="r",
+            shape=(n,) + tuple(row_shape),
+        )
+
+    # ------------------------------------------------------------------
+    def level_sizes(self, level: int, n_nodes: int | None = None) -> np.ndarray:
+        """Per-node row counts of one level's delta (halo prefix)."""
+        n = self.n_nodes if n_nodes is None else int(n_nodes)
+        row = self.index[int(level)]
+        return (row[1 : n + 1] - row[:n]).astype(np.int64)
+
+    def base(self, n_nodes: int):
+        """The coarsest sample of the first ``n_nodes`` nodes: a
+        contiguous prefix of the base files.  Returns ``(global_rows
+        i8, particle_rows f8)``."""
+        stop = int(self.index[self.levels, int(n_nodes)])
+        rows = np.array(self._memmap(_base_rows_file(), "<i8")[:stop])
+        data = np.array(self._memmap(_base_file(), "<f8", (6,))[:stop])
+        count("lod_base_reads")
+        return rows, data
+
+    def delta(self, level: int, node_ids: np.ndarray):
+        """Refinement rows of one level for the given node indices.
+
+        Levels >= 1 read their dedicated side files; level 0 (the
+        bulk) gathers its rows from the main particle file via the
+        stored indices.  Returns ``(global_rows i8, particle_rows f8,
+        per_node_sizes i64)``.
+        """
+        level = int(level)
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        offs = self.index[level]
+        sizes = (offs[node_ids + 1] - offs[node_ids]).astype(np.int64)
+        total = int(sizes.sum())
+        sel = np.empty(total, dtype=np.int64)
+        pos = 0
+        for j, sz in zip(node_ids, sizes):
+            sel[pos : pos + sz] = np.arange(offs[j], offs[j + 1])
+            pos += sz
+        name = _base_rows_file() if level == self.levels else _delta_rows_file(level)
+        rows = np.array(self._memmap(name, "<i8")[sel]) if total else np.empty(0, "<i8")
+        if level == 0:
+            data = self.pstore.store.gather_rows(rows)
+        else:
+            dname = _base_file() if level == self.levels else _delta_file(level)
+            mm = self._memmap(dname, "<f8", (6,))
+            data = np.array(mm[sel]) if total else np.empty((0, 6), "<f8")
+        count("lod_delta_reads")
+        return rows, data, sizes
+
+    def delta_points(self, level: int, node_ids: np.ndarray):
+        """One refinement unit as wire-ready arrays: ``(global_rows
+        i8, points f4 (n, 3), densities f4)`` -- the same per-element
+        float32 conversions as the flat extraction, so reassembled
+        streams are bitwise identical to it."""
+        rows, data, sizes = self.delta(level, node_ids)
+        cols = list(self.pstore.columns)
+        pts = data[:, cols].astype(np.float32)
+        dens = np.repeat(
+            self.pstore.nodes["density"][np.asarray(node_ids, dtype=np.int64)],
+            sizes,
+        ).astype(np.float32)
+        return rows, pts, dens
+
+    # ------------------------------------------------------------------
+    def mip(self, k: int) -> np.ndarray:
+        """Mip ``k``'s f8 count grid (cached after first read)."""
+        k = int(k)
+        if k not in self._mips:
+            m = self.mip_base >> k
+            self._mips[k] = self._read_file(_mip_file(k), "<f8").reshape(m, m, m)
+        return self._mips[k]
+
+    def _cell_volume(self, res: int) -> float:
+        lo, hi = self.pstore.lo, self.pstore.hi
+        return float(np.prod((hi - lo) / (np.array((res,) * 3) - 1)))
+
+    def coarse_volume(self, resolution: int) -> np.ndarray:
+        """An approximate f4 density volume at the requested
+        resolution, nearest-neighbor resampled from the coarsest mip
+        -- the one-round-trip first image."""
+        k = self.mip_levels - 1
+        m = self.mip_base >> k
+        density = self.mip(k) / self._cell_volume(m)
+        r = int(resolution)
+        idx = np.clip(
+            np.rint(np.arange(r) * (m - 1) / max(r - 1, 1)).astype(np.int64), 0, m - 1
+        )
+        return density[np.ix_(idx, idx, idx)].astype(np.float32)
+
+    def exact_volume(self, resolution: int) -> np.ndarray | None:
+        """The *exact* extraction volume as f4 -- bitwise equal to
+        ``extract``'s -- when the resolution matches the mip base
+        (same deposit, same cell-volume division, same f4 cast);
+        ``None`` otherwise (the caller falls back to the flat
+        extraction path)."""
+        if int(resolution) != self.mip_base:
+            return None
+        counts_grid = self.mip(0)
+        return (counts_grid / self._cell_volume(self.mip_base)).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    def schedule(self, n_nodes: int, eye, unit_points: int = 8192):
+        """Order the refinement work by screen-space error.
+
+        For the first ``n_nodes`` (halo) nodes, every non-empty
+        (level, node) delta gets priority ``(cell_diagonal /
+        distance_to_eye) * ratio**level`` -- nearer and coarser first,
+        exactly the projected-size heuristic of view-dependent LOD
+        renderers.  The sorted entries are greedily grouped into
+        single-level units of at most ``unit_points`` rows.  Ties
+        break on (level, node index), so the schedule is fully
+        deterministic for a given eye.
+
+        Returns a list of ``(level, node_index_array)`` units.
+        """
+        n = int(n_nodes)
+        if n == 0:
+            return []
+        nodes = self.pstore.nodes[:n]
+        centers, diag = node_centers(nodes, self.pstore.lo, self.pstore.hi)
+        eye = np.asarray(eye, dtype=np.float64)
+        dist = np.maximum(np.linalg.norm(centers - eye[None, :], axis=1), 1e-12)
+        pris, levs, ids = [], [], []
+        for level in range(self.levels - 1, -1, -1):
+            sizes = self.level_sizes(level, n)
+            live = np.flatnonzero(sizes)
+            if not len(live):
+                continue
+            pris.append((diag[live] / dist[live]) * float(self.ratio) ** level)
+            levs.append(np.full(len(live), level, dtype=np.int64))
+            ids.append(live)
+        if not pris:
+            return []
+        pri = np.concatenate(pris)
+        lev = np.concatenate(levs)
+        nid = np.concatenate(ids)
+        order = np.lexsort((nid, -lev, -pri))
+
+        units = []
+        cur_level, cur_ids, cur_rows = None, [], 0
+        for e in order:
+            level, j = int(lev[e]), int(nid[e])
+            sz = int(self.index[level, j + 1] - self.index[level, j])
+            if cur_level is not None and (
+                level != cur_level or (cur_rows and cur_rows + sz > unit_points)
+            ):
+                units.append((cur_level, np.array(cur_ids, dtype=np.int64)))
+                cur_ids, cur_rows = [], 0
+            cur_level = level
+            cur_ids.append(j)
+            cur_rows += sz
+        if cur_ids:
+            units.append((cur_level, np.array(cur_ids, dtype=np.int64)))
+        return units
+
+    def nbytes(self) -> int:
+        """On-disk footprint of the hierarchy's side files."""
+        return int(sum(int(e["bytes"]) for e in self._files.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"LodHierarchy(levels={self.levels}, ratio={self.ratio}, "
+            f"mip_base={self.mip_base}, n_nodes={self.n_nodes})"
+        )

@@ -127,6 +127,17 @@ class PartitionedStore:
 
     # ------------------------------------------------------------------
     @property
+    def lod(self):
+        """The store's :class:`~repro.octree.lod.LodHierarchy`, opened
+        lazily from the v2 manifest's ``lod`` section; ``None`` when no
+        hierarchy has been built (``repro.octree.lod.build_lod``)."""
+        if not hasattr(self, "_lod"):
+            from repro.octree.lod import LodHierarchy
+
+            self._lod = LodHierarchy.open(self)
+        return self._lod
+
+    @property
     def n_particles(self) -> int:
         return self.store.n_particles
 

@@ -26,14 +26,29 @@ Graceful degradation mirrors the paper's view-time quality/latency
 trade: with ``degrade_below_bps`` set, a measured throughput below the
 threshold halves the *requested* volume resolution (never below
 ``min_resolution``), so a congested link keeps delivering frames --
-coarser ones -- instead of stalling.
+coarser ones -- instead of stalling.  The estimate is *windowed*
+(the last ``throughput_window`` transfers, not the lifetime average),
+the downshift factor is capped exactly at the ``min_resolution``
+clamp, and a hysteresis-guarded upshift walks the resolution back up
+once the link stays healthy -- so a transient stall costs a few coarse
+frames, not the rest of the session.
+
+For links where even degradation is not enough -- or where the user
+wants a picture *now* and quality later -- :meth:`iter_hybrid` speaks
+the progressive LOD protocol: a coarse frame in one round-trip, then
+refinements in screen-space-error priority order, every yielded frame
+a valid :class:`HybridFrame` and the final one bit-identical to
+:meth:`get_hybrid`'s.
 """
 
 from __future__ import annotations
 
+import collections
 import random
 import socket
 import time
+
+import numpy as np
 
 from repro.core.errors import (
     ProtocolError,
@@ -78,6 +93,13 @@ class VisualizationClient:
     degrade_below_bps : measured-throughput floor that triggers a
         resolution downshift (``None`` disables degradation)
     min_resolution : downshift floor for the volume resolution
+    throughput_window : transfers in the sliding throughput estimate
+        the degradation policy reads (the lifetime average never
+        recovers after an incident; the window does)
+    upshift_after : consecutive healthy frames (windowed throughput at
+        least ``2 * degrade_below_bps``) before one upshift step -- the
+        hysteresis guard that keeps the resolution from flapping when
+        the link hovers near the threshold
     fault_plan : optional :class:`repro.core.faults.FaultPlan` wrapping
         the socket with injected stream faults (testing only)
     """
@@ -92,6 +114,8 @@ class VisualizationClient:
         jitter_seed: int = 0,
         degrade_below_bps: float | None = None,
         min_resolution: int = 8,
+        throughput_window: int = 8,
+        upshift_after: int = 3,
         fault_plan=None,
     ):
         self.address = address
@@ -101,9 +125,16 @@ class VisualizationClient:
         self.backoff_max = float(backoff_max)
         self.degrade_below_bps = degrade_below_bps
         self.min_resolution = int(min_resolution)
+        self.throughput_window = max(int(throughput_window), 1)
+        self.upshift_after = max(int(upshift_after), 1)
         self._fault_plan = fault_plan
         self._rng = random.Random(jitter_seed)
         self._degrade_factor = 1
+        self._good_streak = 0
+        self._samples: collections.deque = collections.deque(
+            maxlen=self.throughput_window
+        )
+        self._next_stream_id = 0
         self.stats = {
             "bytes_received": 0,
             "frames": 0,
@@ -112,7 +143,10 @@ class VisualizationClient:
             "retries": 0,
             "reconnects": 0,
             "degradations": 0,
+            "upshifts": 0,
             "busy": 0,
+            "refinements": 0,
+            "streams": 0,
         }
         self.sock = None
         self._connect()
@@ -189,6 +223,7 @@ class VisualizationClient:
             elapsed = time.perf_counter() - t0
             self.stats["bytes_received"] += len(reply.payload)
             self.stats["seconds"] += elapsed
+            self._samples.append((len(reply.payload), elapsed))
             count("remote_bytes_received", len(reply.payload))
             if reply.type == MessageType.BUSY:
                 retry_after, reason = protocol.decode_busy(reply.payload)
@@ -229,13 +264,47 @@ class VisualizationClient:
         """The resolution a request would use after degradation."""
         return max(int(resolution) // self._degrade_factor, self.min_resolution)
 
-    def _maybe_degrade(self) -> None:
+    def _degrade_cap(self, resolution: int) -> int:
+        """Largest useful downshift factor: one more halving would take
+        ``resolution`` below ``min_resolution``, which the clamp would
+        undo anyway -- growing the factor past this point only delays
+        recovery (the old one-way-ratchet bug)."""
+        cap = 1
+        while int(resolution) // (cap * 2) >= self.min_resolution:
+            cap *= 2
+        return cap
+
+    def _maybe_degrade(self, resolution: int) -> None:
+        """One step of the degradation control loop.
+
+        Reads the *windowed* throughput (the lifetime average can stay
+        below the threshold forever after one bad stretch, firing a
+        downshift every frame); downshifts are capped at the
+        ``min_resolution`` clamp; and a healed link upshifts back --
+        but only after ``upshift_after`` consecutive frames measured at
+        2x the threshold, so a link hovering at the boundary settles
+        instead of flapping (classic hysteresis band).
+        """
         if self.degrade_below_bps is None or self.stats["frames"] == 0:
             return
-        if self.throughput_bps() < self.degrade_below_bps:
-            self._degrade_factor *= 2
-            self.stats["degradations"] += 1
-            count("remote_degradations")
+        bps = self.windowed_throughput_bps()
+        if bps < self.degrade_below_bps:
+            self._good_streak = 0
+            cap = self._degrade_cap(resolution)
+            if self._degrade_factor < cap:
+                self._degrade_factor = min(self._degrade_factor * 2, cap)
+                self.stats["degradations"] += 1
+                count("remote_degradations")
+        elif bps >= 2.0 * self.degrade_below_bps:
+            self._good_streak += 1
+            if self._good_streak >= self.upshift_after and self._degrade_factor > 1:
+                self._degrade_factor //= 2
+                self._good_streak = 0
+                self.stats["upshifts"] += 1
+                count("remote_upshifts")
+        else:
+            # inside the hysteresis band: hold the current quality
+            self._good_streak = 0
 
     def get_hybrid(
         self, frame_index: int, threshold: float, resolution: int = 64
@@ -246,7 +315,7 @@ class VisualizationClient:
         policy; the frame actually received tells the caller what it
         got (``frame.resolution``).
         """
-        self._maybe_degrade()
+        self._maybe_degrade(resolution)
         resolution = self.effective_resolution(resolution)
         with span("remote_fetch", frame=frame_index, resolution=resolution):
             reply = self._request(
@@ -265,8 +334,132 @@ class VisualizationClient:
         self.stats["frames"] += 1
         return frame
 
+    # ------------------------------------------------------------------
+    # progressive LOD streaming
+    # ------------------------------------------------------------------
+    def iter_hybrid(
+        self,
+        frame_index: int,
+        threshold: float,
+        resolution: int = 64,
+        eye=None,
+        max_refinements: int | None = None,
+    ):
+        """Progressively stream one extraction as refining frames.
+
+        Speaks the pull-based LOD protocol: the first round-trip
+        returns a coarse but *valid* :class:`HybridFrame` (the
+        coarsest stored subsample of the halo plus a mip-resampled
+        volume), and each further round-trip merges one refinement
+        unit, served by the server in screen-space-error priority
+        order against ``eye`` (``None``: the frame's box center).
+
+        Every yielded frame is valid and monotonically more complete
+        -- its points are the file-order subset received so far -- and
+        when the stream runs to completion the **last yielded frame is
+        bit-identical to** :meth:`get_hybrid`'s for the same request.
+        ``max_refinements`` stops early after that many units (the
+        caller keeps the best frame so far; the server discards the
+        stream when the session ends or on its next DONE pull).
+
+        The degradation policy does not apply here: ordering quality
+        over time is this path's whole job, so the requested
+        resolution is never downshifted.  Point attributes are not
+        carried on progressive streams.
+
+        Raises :class:`~repro.core.errors.RemoteError` if the server
+        ends the stream before full coverage (premature DONE).
+        """
+        stream_id = self._next_stream_id
+        self._next_stream_id += 1
+        self.stats["streams"] += 1
+        count("remote_streams")
+
+        def pull():
+            reply = self._request(
+                Message(
+                    MessageType.REFINE,
+                    protocol.encode_refine(
+                        stream_id, frame_index, threshold, resolution, eye
+                    ),
+                ),
+                MessageType.LOD_FRAME,
+            )
+            try:
+                return protocol.decode_lod_frame(reply.payload)
+            except ProtocolError:
+                self.stats["errors"] += 1
+                count("remote_errors")
+                raise
+
+        with span("remote_stream_open", frame=frame_index, resolution=resolution):
+            _, kind, _, _, payload = pull()
+            if kind != protocol.LodKind.BASE:
+                raise RemoteError(f"expected BASE stream unit, got {kind.name}")
+            base, rows, n_total = protocol.decode_lod_base(payload)
+        volume = base.volume
+        rows_acc = rows
+        pts_acc = base.points
+        dens_acc = base.point_densities
+        have_exact_volume = False
+
+        def assembled() -> HybridFrame:
+            order = np.argsort(rows_acc, kind="stable")
+            return HybridFrame(
+                volume=volume,
+                points=pts_acc[order],
+                point_densities=dens_acc[order],
+                lo=base.lo,
+                hi=base.hi,
+                threshold=base.threshold,
+                step=base.step,
+                plot_type=base.plot_type,
+            )
+
+        self.stats["frames"] += 1
+        yield assembled()
+        served = 0
+        while max_refinements is None or served < max_refinements:
+            _, kind, _, _, payload = pull()
+            if kind == protocol.LodKind.DONE:
+                if len(rows_acc) != n_total or not have_exact_volume:
+                    raise RemoteError(
+                        f"stream ended after {len(rows_acc)}/{n_total} points "
+                        f"(exact volume: {have_exact_volume})"
+                    )
+                return
+            if kind == protocol.LodKind.POINTS:
+                r, p, d = protocol.decode_lod_points(payload)
+                rows_acc = np.concatenate([rows_acc, r])
+                pts_acc = np.concatenate([pts_acc, p])
+                dens_acc = np.concatenate([dens_acc, d])
+            elif kind == protocol.LodKind.VOLUME:
+                volume = protocol.decode_lod_volume(payload)
+                have_exact_volume = True
+            else:
+                raise RemoteError(f"unexpected stream unit {kind.name}")
+            self.stats["refinements"] += 1
+            count("remote_refinements")
+            served += 1
+            yield assembled()
+
     def throughput_bps(self) -> float:
         """Mean received throughput over all requests so far."""
         if self.stats["seconds"] <= 0:
             return 0.0
         return self.stats["bytes_received"] / self.stats["seconds"]
+
+    def windowed_throughput_bps(self) -> float:
+        """Throughput over the last ``throughput_window`` transfers.
+
+        This is what the degradation policy reads: unlike the lifetime
+        average, it forgets an incident once the window rolls past it,
+        so a healed link measures healthy again.
+        """
+        if not self._samples:
+            return 0.0
+        nbytes = sum(b for b, _ in self._samples)
+        seconds = sum(s for _, s in self._samples)
+        if seconds <= 0:
+            return 0.0
+        return nbytes / seconds

@@ -48,11 +48,16 @@ from repro.core.errors import (
 )
 from repro.hybrid.representation import HybridFrame
 
-__all__ = ["MessageType", "Message", "send_message", "recv_message",
+__all__ = ["MessageType", "Message", "LodKind", "send_message", "recv_message",
            "send_message_async", "recv_message_async",
            "encode_hybrid", "decode_hybrid", "encode_busy", "decode_busy",
-           "encode_stats", "decode_stats", "PROTOCOL_MAGIC",
-           "PROTOCOL_VERSION", "MAX_PAYLOAD"]
+           "encode_stats", "decode_stats",
+           "encode_refine", "decode_refine",
+           "encode_lod_frame", "decode_lod_frame",
+           "encode_lod_base", "decode_lod_base",
+           "encode_lod_points", "decode_lod_points",
+           "encode_lod_volume", "decode_lod_volume",
+           "PROTOCOL_MAGIC", "PROTOCOL_VERSION", "MAX_PAYLOAD"]
 
 PROTOCOL_MAGIC = b"RPV2"
 PROTOCOL_VERSION = 2
@@ -72,6 +77,17 @@ class MessageType(IntEnum):
     GET_STATS = 7            # -> STATS
     STATS = 8                # payload: utf-8 JSON stats document
     BUSY = 9                 # payload: f8 retry-after seconds, utf-8 reason
+    REFINE = 10              # payload: progressive stream pull (see encode_refine)
+    LOD_FRAME = 11           # payload: one progressive unit (see encode_lod_frame)
+
+
+class LodKind(IntEnum):
+    """Unit kinds inside a progressive refinement stream."""
+
+    BASE = 0     # coarse-but-valid HybridFrame + its global row indices
+    POINTS = 1   # one refinement delta: rows, f4 points, f4 densities
+    VOLUME = 2   # the exact extraction volume at the requested resolution
+    DONE = 3     # stream fully refined; no payload
 
 
 @dataclass
@@ -304,3 +320,153 @@ def encode_hybrid(frame: HybridFrame) -> bytes:
 def decode_hybrid(payload: bytes) -> HybridFrame:
     """Deserialize a hybrid frame received on the wire."""
     return HybridFrame.from_bytes(payload, source="<wire>")
+
+
+# ----------------------------------------------------------------------
+# progressive LOD streaming (REFINE / LOD_FRAME)
+# ----------------------------------------------------------------------
+_REFINE = struct.Struct("<IQdI3d")
+_LOD_FRAME = struct.Struct("<IBII")
+_LOD_BASE = struct.Struct("<QQ")
+
+
+def encode_refine(
+    stream_id: int, frame_index: int, threshold: float, resolution: int, eye=None
+) -> bytes:
+    """REFINE payload: one pull on a progressive stream.
+
+    The first REFINE of a ``stream_id`` opens the stream (the server
+    computes the refinement schedule and answers with the BASE unit);
+    each subsequent pull on the same id returns the next unit in
+    screen-space-error order, then DONE.  ``eye`` is the view position
+    the priorities are computed against; ``None`` lets the server use
+    the frame's box center.
+    """
+    if eye is None:
+        eye = (float("nan"),) * 3
+    ex, ey, ez = (float(v) for v in eye)
+    return _REFINE.pack(
+        int(stream_id), int(frame_index), float(threshold), int(resolution),
+        ex, ey, ez,
+    )
+
+
+def decode_refine(payload: bytes):
+    """Decode a REFINE payload; returns ``(stream_id, frame_index,
+    threshold, resolution, eye)`` with ``eye=None`` for the NaN
+    sentinel (server picks the box center)."""
+    try:
+        sid, frame_index, threshold, resolution, ex, ey, ez = _REFINE.unpack(payload)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed REFINE payload: {exc}") from exc
+    eye = None if not all(np.isfinite([ex, ey, ez])) else (ex, ey, ez)
+    return sid, frame_index, threshold, resolution, eye
+
+
+def encode_lod_frame(
+    stream_id: int, kind: "LodKind", seq: int, total: int, payload: bytes = b""
+) -> bytes:
+    """LOD_FRAME payload: unit ``seq`` of ``total`` on a stream."""
+    return _LOD_FRAME.pack(int(stream_id), int(kind), int(seq), int(total)) + payload
+
+
+def decode_lod_frame(payload: bytes):
+    """Decode a LOD_FRAME header; returns ``(stream_id, kind, seq,
+    total, unit_payload)``."""
+    try:
+        sid, kind, seq, total = _LOD_FRAME.unpack_from(payload, 0)
+        kind = LodKind(kind)
+    except (struct.error, ValueError) as exc:
+        raise ProtocolError(f"malformed LOD_FRAME payload: {exc}") from exc
+    return sid, kind, seq, total, payload[_LOD_FRAME.size:]
+
+
+def encode_lod_base(frame: HybridFrame, rows: np.ndarray, n_total: int) -> bytes:
+    """BASE unit: the coarse frame (its own wire layout) plus the
+    global particle-file row index of each of its points, plus the
+    total point count the fully refined stream converges to."""
+    blob = frame.to_bytes()
+    return (
+        _LOD_BASE.pack(int(n_total), len(blob))
+        + blob
+        + np.ascontiguousarray(rows, dtype="<i8").tobytes()
+    )
+
+
+def decode_lod_base(payload: bytes):
+    """Decode a BASE unit; returns ``(frame, rows, n_total)``."""
+    try:
+        n_total, blob_len = _LOD_BASE.unpack_from(payload, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed LOD base payload: {exc}") from exc
+    off = _LOD_BASE.size
+    if len(payload) < off + blob_len:
+        raise ProtocolError(
+            f"LOD base payload truncated ({len(payload)} bytes, frame "
+            f"blob declares {blob_len})"
+        )
+    frame = HybridFrame.from_bytes(payload[off : off + blob_len], source="<wire>")
+    rows = np.frombuffer(payload, dtype="<i8", offset=off + blob_len).copy()
+    if len(rows) != frame.n_points:
+        raise ProtocolError(
+            f"LOD base carries {len(rows)} row indices for "
+            f"{frame.n_points} points"
+        )
+    return frame, rows, int(n_total)
+
+
+def encode_lod_points(rows: np.ndarray, points: np.ndarray, densities: np.ndarray) -> bytes:
+    """POINTS unit: n rows (i8), points (n, 3) f4, densities (n,) f4."""
+    n = len(rows)
+    return (
+        _U64.pack(n)
+        + np.ascontiguousarray(rows, dtype="<i8").tobytes()
+        + np.ascontiguousarray(points, dtype="<f4").tobytes()
+        + np.ascontiguousarray(densities, dtype="<f4").tobytes()
+    )
+
+
+def decode_lod_points(payload: bytes):
+    """Decode a POINTS unit; returns ``(rows, points, densities)``."""
+    try:
+        (n,) = _U64.unpack_from(payload, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed LOD points payload: {exc}") from exc
+    expected = _U64.size + n * (8 + 12 + 4)
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"LOD points payload is {len(payload)} bytes, {expected} "
+            f"expected for {n} points"
+        )
+    off = _U64.size
+    rows = np.frombuffer(payload, dtype="<i8", count=n, offset=off).copy()
+    off += n * 8
+    points = np.frombuffer(payload, dtype="<f4", count=n * 3, offset=off).reshape(n, 3).copy()
+    off += n * 12
+    densities = np.frombuffer(payload, dtype="<f4", count=n, offset=off).copy()
+    return rows, points, densities
+
+
+def encode_lod_volume(volume: np.ndarray) -> bytes:
+    """VOLUME unit: the exact f4 density volume, shape-prefixed."""
+    volume = np.ascontiguousarray(volume, dtype="<f4")
+    return struct.pack("<3I", *volume.shape) + volume.tobytes()
+
+
+def decode_lod_volume(payload: bytes) -> np.ndarray:
+    """Decode a VOLUME unit back into the (rx, ry, rz) f4 grid."""
+    try:
+        rx, ry, rz = struct.unpack_from("<3I", payload, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"malformed LOD volume payload: {exc}") from exc
+    expected = 12 + rx * ry * rz * 4
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"LOD volume payload is {len(payload)} bytes, {expected} "
+            f"expected for a {rx}x{ry}x{rz} grid"
+        )
+    return (
+        np.frombuffer(payload, dtype="<f4", count=rx * ry * rz, offset=12)
+        .reshape(rx, ry, rz)
+        .copy()
+    )

@@ -59,11 +59,14 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
+
 from repro.core.errors import ProtocolError, TruncatedMessageError
 from repro.core.trace import count, span
+from repro.hybrid.representation import HybridFrame
 from repro.octree.extraction import extract
 from repro.remote import protocol
-from repro.remote.protocol import Message, MessageType
+from repro.remote.protocol import LodKind, Message, MessageType
 
 __all__ = ["VisualizationService", "ResultCache", "CircuitBreaker"]
 
@@ -81,6 +84,7 @@ class ResultCache:
         self.max_bytes = int(max_bytes)
         self._entries: collections.OrderedDict[tuple, bytes] = collections.OrderedDict()
         self.nbytes = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -92,16 +96,31 @@ class ResultCache:
             self._entries.move_to_end(key)
         return payload
 
-    def put(self, key, payload: bytes) -> None:
-        """Insert a payload, evicting LRU entries past the byte bound."""
+    def put(self, key, payload: bytes) -> bool:
+        """Insert a payload, evicting LRU entries past the byte bound.
+
+        A payload larger than ``max_bytes`` is refused outright
+        (``rejected`` counts them): under the old ``len > 1`` eviction
+        guard such a payload evicted everything else and then sat
+        pinned forever, permanently violating the byte bound.  The
+        invariant ``nbytes <= max_bytes`` holds after every put.
+        Returns whether the payload was cached.
+        """
+        if len(payload) > self.max_bytes:
+            self.rejected += 1
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.nbytes -= len(old)
+            return False
         old = self._entries.pop(key, None)
         if old is not None:
             self.nbytes -= len(old)
         self._entries[key] = payload
         self.nbytes += len(payload)
-        while self.nbytes > self.max_bytes and len(self._entries) > 1:
+        while self.nbytes > self.max_bytes:
             _, evicted = self._entries.popitem(last=False)
             self.nbytes -= len(evicted)
+        return True
 
 
 class CircuitBreaker:
@@ -112,17 +131,52 @@ class CircuitBreaker:
     immediate error, attempting no work).  After the cooldown one probe
     is allowed through; its success closes the circuit, its failure
     re-opens it for another cooldown.
+
+    State is bounded: every key that is neither quarantined nor
+    mid-streak is pruned once it goes stale (no failure for a full
+    cooldown, or quarantine expired a full cooldown ago with no probe
+    arriving).  A long-lived service keyed on unbounded request
+    parameters no longer accumulates one dict entry per key it has
+    ever seen.
     """
+
+    _PRUNE_EVERY = 256
 
     def __init__(self, threshold: int = 3, cooldown: float = 30.0):
         self.threshold = int(threshold)
         self.cooldown = float(cooldown)
-        self._failures: dict = {}
+        self._failures: dict = {}      # key -> (streak, last failure time)
         self._open_until: dict = {}
+        self._op_count = 0
+
+    def __len__(self) -> int:
+        """Tracked keys (the quantity the prune bounds)."""
+        return len(self._failures.keys() | self._open_until.keys())
+
+    def _maybe_prune(self, now: float) -> None:
+        self._op_count += 1
+        if self._op_count % self._PRUNE_EVERY == 0:
+            self.prune(now)
+
+    def prune(self, now: float | None = None) -> None:
+        """Drop stale entries: sub-threshold streaks whose last failure
+        is older than a cooldown (consecutive-failure evidence that old
+        says nothing about the present), and quarantines that expired a
+        full cooldown ago without any probe re-arming them."""
+        now = time.monotonic() if now is None else now
+        self._open_until = {
+            k: t for k, t in self._open_until.items() if now < t + self.cooldown
+        }
+        self._failures = {
+            k: (streak, last)
+            for k, (streak, last) in self._failures.items()
+            if now - last < self.cooldown or k in self._open_until
+        }
 
     def allow(self, key, now: float | None = None) -> bool:
         """May work on ``key`` be attempted right now?"""
         now = time.monotonic() if now is None else now
+        self._maybe_prune(now)
         open_until = self._open_until.get(key)
         if open_until is None:
             return True
@@ -141,8 +195,9 @@ class CircuitBreaker:
     def record_failure(self, key, now: float | None = None) -> int:
         """A unit of work on ``key`` failed; returns the failure streak."""
         now = time.monotonic() if now is None else now
-        streak = self._failures.get(key, 0) + 1
-        self._failures[key] = streak
+        self._maybe_prune(now)
+        streak = self._failures.get(key, (0, now))[0] + 1
+        self._failures[key] = (streak, now)
         if streak >= self.threshold:
             self._open_until[key] = now + self.cooldown
         return streak
@@ -158,7 +213,7 @@ class _Session:
     """Per-connection state: bounded request queue + write lock."""
 
     __slots__ = ("sid", "reader", "writer", "queue", "write_lock", "worker",
-                 "active")
+                 "active", "streams")
 
     def __init__(self, sid: int, reader, writer, depth: int):
         self.sid = sid
@@ -168,6 +223,36 @@ class _Session:
         self.write_lock = asyncio.Lock()
         self.worker: asyncio.Task | None = None
         self.active = False  # True while the worker is serving a request
+        self.streams: dict[int, _RefineStream] = {}
+
+
+class _RefineStream:
+    """One progressive refinement stream's schedule and position.
+
+    Created on the first REFINE of a ``stream_id``; each further pull
+    serves ``units[pos]`` and advances.  The schedule is computed once
+    (screen-space-error order against the stream's eye) so it is
+    deterministic for the whole stream's life, and the per-session
+    dict holding these dies with the session -- a disconnect cannot
+    leak stream state.
+    """
+
+    __slots__ = ("index", "threshold", "resolution", "eye", "n_nodes",
+                 "n_total", "units", "pos")
+
+    def __init__(self, index, threshold, resolution, eye, n_nodes, n_total, units):
+        self.index = int(index)
+        self.threshold = float(threshold)
+        self.resolution = int(resolution)
+        self.eye = eye
+        self.n_nodes = int(n_nodes)
+        self.n_total = int(n_total)
+        self.units = units
+        self.pos = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.units)
 
 
 class VisualizationService:
@@ -216,6 +301,8 @@ class VisualizationService:
         shed_retry_after: float = 0.05,
         bandwidth_bps: float | None = None,
         extract_fn=None,
+        max_streams: int = 8,
+        unit_points: int = 8192,
     ):
         self.frames = list(frames)
         self._host, self._port = host, port
@@ -227,6 +314,8 @@ class VisualizationService:
         self.shed_retry_after = float(shed_retry_after)
         self.bandwidth_bps = bandwidth_bps
         self._extract_fn = extract_fn or self._default_extract
+        self.max_streams = int(max_streams)
+        self.unit_points = int(unit_points)
         self.shutdown_token = secrets.token_bytes(16)
 
         self.cache = ResultCache(cache_bytes)
@@ -266,6 +355,8 @@ class VisualizationService:
             "handler_errors": 0,
             "unauthorized_shutdowns": 0,
             "bytes_sent": 0,
+            "streams": 0,
+            "refinements": 0,
         }
 
     @staticmethod
@@ -544,6 +635,8 @@ class VisualizationService:
             self.stats["served"] += 1
             count("service_served")
             await self._reply(session, Message(MessageType.HYBRID_FRAME, payload))
+        elif msg.type == MessageType.REFINE:
+            await self._handle_refine(session, msg)
         elif msg.type == MessageType.GET_STATS:
             self.stats["served"] += 1
             await self._reply(
@@ -555,6 +648,164 @@ class VisualizationService:
                 session,
                 Message(MessageType.ERROR, f"unexpected {msg.type}".encode()),
             )
+
+    # ------------------------------------------------------------------
+    # progressive LOD refinement streams
+    # ------------------------------------------------------------------
+    async def _handle_refine(self, session: _Session, msg: Message) -> None:
+        """One pull on a progressive stream: open it on first contact,
+        then serve the next scheduled unit (or DONE)."""
+        try:
+            sid, index, threshold, resolution, eye = protocol.decode_refine(msg.payload)
+        except ProtocolError:
+            self.stats["protocol_errors"] += 1
+            count("service_protocol_errors")
+            await self._reply(session, Message(MessageType.ERROR, b"malformed REFINE"))
+            return
+        if not 0 <= index < len(self.frames):
+            await self._reply(
+                session,
+                Message(MessageType.ERROR, f"frame index {index} out of range".encode()),
+            )
+            return
+        if getattr(self.frames[index], "lod", None) is None:
+            await self._reply(
+                session,
+                Message(
+                    MessageType.ERROR,
+                    f"frame {index} has no LOD hierarchy (build_lod first)".encode(),
+                ),
+            )
+            return
+        stream = session.streams.get(sid)
+        loop = asyncio.get_running_loop()
+        try:
+            if stream is None:
+                if len(session.streams) >= self.max_streams:
+                    await self._reply(
+                        session,
+                        Message(
+                            MessageType.ERROR,
+                            f"session stream limit ({self.max_streams}) reached".encode(),
+                        ),
+                    )
+                    return
+                stream = await loop.run_in_executor(
+                    self._pool, self._open_stream, index, threshold, resolution, eye
+                )
+                session.streams[sid] = stream
+                self.stats["streams"] += 1
+                count("service_streams")
+            if stream.pos >= stream.total:
+                session.streams.pop(sid, None)
+                payload = protocol.encode_lod_frame(
+                    sid, LodKind.DONE, stream.pos, stream.total
+                )
+            else:
+                kind, unit_payload = await self._unit_payload(stream)
+                payload = protocol.encode_lod_frame(
+                    sid, kind, stream.pos, stream.total, unit_payload
+                )
+                stream.pos += 1
+                self.stats["refinements"] += 1
+                count("service_refinements")
+        except Exception as exc:
+            session.streams.pop(sid, None)
+            self.stats["extraction_errors"] += 1
+            count("service_extraction_errors")
+            await self._reply(session, Message(MessageType.ERROR, str(exc).encode()))
+            return
+        self.stats["served"] += 1
+        count("service_served")
+        await self._reply(session, Message(MessageType.LOD_FRAME, payload))
+
+    def _open_stream(self, index, threshold, resolution, eye) -> _RefineStream:
+        """Compute one stream's deterministic refinement schedule
+        (runs in the extraction pool -- it touches the node table)."""
+        frame = self.frames[index]
+        lod = frame.lod
+        n_below = int(
+            np.searchsorted(frame.nodes["density"], float(threshold), side="left")
+        )
+        cutoff = int(frame.density_cutoff_index(float(threshold)))
+        if eye is None:
+            eye = tuple((np.asarray(frame.lo) + np.asarray(frame.hi)) / 2.0)
+        point_units = [
+            ("points", level, ids)
+            for level, ids in lod.schedule(n_below, eye, self.unit_points)
+        ]
+        # the exact volume is nearly free when the requested resolution
+        # matches the mip base (a cached grid slice), so it refines
+        # first; otherwise it costs a full flat extraction and goes
+        # last so point refinements are not blocked behind it
+        if int(resolution) == lod.mip_base:
+            units = [("base",), ("volume",)] + point_units
+        else:
+            units = [("base",)] + point_units + [("volume",)]
+        return _RefineStream(index, threshold, resolution, eye, n_below, cutoff, units)
+
+    async def _unit_payload(self, stream: _RefineStream):
+        """Build the wire payload of the stream's next unit."""
+        loop = asyncio.get_running_loop()
+        unit = stream.units[stream.pos]
+        if unit[0] == "base":
+            key = ("lod_base", stream.index, stream.threshold, stream.resolution)
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.stats["cache_hits"] += 1
+                count("service_cache_hits")
+            else:
+                self.stats["cache_misses"] += 1
+                count("service_cache_misses")
+                payload = await loop.run_in_executor(
+                    self._pool, self._build_base,
+                    stream.index, stream.threshold, stream.resolution,
+                    stream.n_nodes, stream.n_total,
+                )
+                self.cache.put(key, payload)
+            return LodKind.BASE, payload
+        if unit[0] == "points":
+            _, level, node_ids = unit
+            lod = self.frames[stream.index].lod
+            rows, pts, dens = await loop.run_in_executor(
+                self._pool, lod.delta_points, level, node_ids
+            )
+            return LodKind.POINTS, protocol.encode_lod_points(rows, pts, dens)
+        # exact volume: straight from mip 0 when the resolution matches
+        # the mip base, else sliced out of the flat extraction payload
+        # (the shared coalescing ResultCache path -- a later GET_HYBRID
+        # of the same request is then a cache hit, and vice versa)
+        lod = self.frames[stream.index].lod
+        volume = lod.exact_volume(stream.resolution)
+        if volume is None:
+            payload = await self._get_encoded(
+                stream.index, stream.threshold, stream.resolution
+            )
+            volume = protocol.decode_hybrid(payload).volume
+        return LodKind.VOLUME, protocol.encode_lod_volume(volume)
+
+    def _build_base(self, index, threshold, resolution, n_nodes, n_total) -> bytes:
+        """The BASE unit: coarsest sample of the halo + mip volume."""
+        frame = self.frames[index]
+        lod = frame.lod
+        with span("service_lod_base", frame=index, resolution=resolution):
+            rows, data = lod.base(n_nodes)
+            pts = data[:, list(frame.columns)].astype(np.float32)
+            dens = np.repeat(
+                frame.nodes["density"][:n_nodes],
+                lod.level_sizes(lod.levels, n_nodes),
+            ).astype(np.float32)
+            base = HybridFrame(
+                volume=lod.coarse_volume(resolution),
+                points=pts,
+                point_densities=dens,
+                lo=frame.lo,
+                hi=frame.hi,
+                threshold=float(threshold),
+                step=frame.step,
+                plot_type=frame.plot_type,
+            )
+            return protocol.encode_lod_base(base, rows, n_total)
 
     async def _reply(self, session: _Session, message: Message) -> None:
         async with session.write_lock:

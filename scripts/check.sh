@@ -9,6 +9,7 @@
 #   scripts/check.sh --forest   # the forest/compositor suite + forest gate
 #   scripts/check.sh --service  # the multi-tenant service suite + chaos gate
 #   scripts/check.sh --lod      # the LOD / progressive-streaming suite + gate
+#   scripts/check.sh --amr      # the adaptive-AMR / splat suite + AMR gate
 #
 # --faults runs the resilience suites (fault harness, crash-safe
 # executors, checkpoint/resume, remote link under injected damage)
@@ -47,6 +48,13 @@
 # gates on the 4x TTFI speedup floor plus the prefix-validity and
 # final-bitwise flags (scripts/perf_gate.py --lod).
 #
+# --amr runs the adaptive-AMR volume and Gaussian-splat suites (brick
+# manifest determinism, crash-safe serialization, extended frame-cache
+# keys, fragment-batch regressions), then the AMR bench that refreshes
+# BENCH_amr.json, and gates on the 1.5x deposit-speedup floor, the
+# equal-bytes beam-core detail win, the flat-path bitwise pins, and
+# batched == serial splatting (scripts/perf_gate.py --amr).
+#
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
 # failing.
@@ -61,6 +69,7 @@ run_store=0
 run_forest=0
 run_service=0
 run_lod=0
+run_amr=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
 elif [[ "${1:-}" == "--faults" ]]; then
@@ -81,6 +90,24 @@ elif [[ "${1:-}" == "--service" ]]; then
 elif [[ "${1:-}" == "--lod" ]]; then
     run_lint=0
     run_lod=1
+elif [[ "${1:-}" == "--amr" ]]; then
+    run_lint=0
+    run_amr=1
+fi
+
+if [[ $run_amr -eq 1 ]]; then
+    echo "== adaptive-AMR / splat suite =="
+    PYTHONPATH=src python -m pytest -x -q \
+        tests/octree/test_amr.py \
+        tests/render/test_splat.py \
+        tests/render/test_frame_cache.py \
+        tests/render/test_fragment_batches.py \
+        tests/test_public_api.py
+    echo "== AMR bench =="
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_amr.py
+    echo "== AMR gate =="
+    python scripts/perf_gate.py --amr
+    exit 0
 fi
 
 if [[ $run_lod -eq 1 ]]; then

@@ -25,6 +25,15 @@ yielded prefix must have decoded to a valid monotone frame, and the
 fully refined frame must be bit-identical to the flat extraction; the
 speedup is also drift-checked against the committed baseline.
 
+``--amr`` gates ``BENCH_amr.json``: the adaptive AMR volume must
+deposit at least 1.5x faster than the flat CIC deposit at the matched
+effective core resolution, resolve strictly more nonzero beam-core
+cells than the flat ``64^3`` grid at equal (within 5 %) bytes, keep
+the flat extraction and its render bitwise-identical alongside the
+adaptive build (the SHA-256 digests are pinned against the committed
+baseline), and splat batched == serial bitwise; the deposit speedup is
+also drift-checked against the committed baseline.
+
 ``--service`` gates ``BENCH_service.json``: the multi-tenant chaos
 acceptance run must leave the service alive, with zero silently-failed
 well-behaved clients (every one served or explicitly shed with BUSY),
@@ -49,8 +58,11 @@ STORE_BENCH_FILE = "BENCH_sharded_store.json"
 FOREST_BENCH_FILE = "BENCH_forest.json"
 SERVICE_BENCH_FILE = "BENCH_service.json"
 LOD_BENCH_FILE = "BENCH_lod.json"
+AMR_BENCH_FILE = "BENCH_amr.json"
 TOLERANCE = 0.20
 LOD_TTFI_SPEEDUP_FLOOR = 4.0
+AMR_DEPOSIT_SPEEDUP_FLOOR = 1.5
+AMR_BYTES_TOL = 0.05
 RSS_FRACTION_FLOOR = 0.5
 FOREST_SPEEDUP_FLOOR = 2.5
 FOREST_SORTLAST_ABS_TOL = 0.1
@@ -316,12 +328,89 @@ def gate_lod(root: Path) -> int:
     return 0
 
 
+def gate_amr(root: Path) -> int:
+    """Hard floors for the adaptive-AMR + Gaussian-splat bench."""
+    fresh, base = _load(root, AMR_BENCH_FILE)
+    dep, det = fresh["deposit"], fresh["detail"]
+    fb, splat = fresh["flat_bitwise"], fresh["splat"]
+    speedup = float(dep["speedup"])
+    bytes_ratio = float(det["bytes_ratio"])
+
+    failed = False
+    flags = [
+        (
+            f"adaptive deposit x{speedup:.1f} over flat at effective "
+            f"{dep['flat_res']}^3 (floor x{AMR_DEPOSIT_SPEEDUP_FLOOR}, "
+            f"{dep['t_flat_s'] * 1e3:.0f} ms -> {dep['t_amr_s'] * 1e3:.0f} ms "
+            f"at {dep['n_particles']} particles)",
+            speedup >= AMR_DEPOSIT_SPEEDUP_FLOOR,
+        ),
+        (
+            f"equal memory: adaptive/flat bytes {bytes_ratio:.3f} "
+            f"(within {AMR_BYTES_TOL:.0%})",
+            1.0 - AMR_BYTES_TOL <= bytes_ratio <= 1.0 + AMR_BYTES_TOL,
+        ),
+        (
+            f"beam-core detail: adaptive {det['amr_core_nonzero']} nonzero "
+            f"cells > flat {det['flat_core_nonzero']} "
+            f"(x{det['detail_ratio']:.1f}, {det['refined_bricks']} of "
+            f"{det['occupied_bricks']} bricks refined)",
+            det["amr_core_nonzero"] > det["flat_core_nonzero"],
+        ),
+        (
+            "flat volume bitwise-identical alongside the adaptive build",
+            bool(fb["alongside_bitwise"]),
+        ),
+        ("splat fragments batched == serial bitwise", bool(splat["batched_bitwise"])),
+        (
+            f"splat renders batched == serial bitwise "
+            f"({splat['n_fragments']} fragments)",
+            bool(splat["render_batched_bitwise"]),
+        ),
+    ]
+    for label, ok in flags:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failed |= not ok
+
+    if base is not None and int(base["n_particles"]) == int(fresh["n_particles"]):
+        for key in ("volume_sha256", "image_sha256"):
+            ok = fb[key] == base["flat_bitwise"][key]
+            print(
+                f"  {'ok  ' if ok else 'FAIL'} flat {key.split('_')[0]} digest "
+                f"matches committed baseline"
+            )
+            failed |= not ok
+        was = float(base["deposit"]["speedup"])
+        floor = (1.0 - TOLERANCE) * was
+        ok = speedup >= floor
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} deposit speedup vs baseline: "
+            f"x{speedup:.1f} (baseline x{was:.1f}, floor x{floor:.1f})"
+        )
+        failed |= not ok
+    elif base is not None:
+        print(
+            f"  skip drift check: bench ran at {fresh['n_particles']} "
+            f"particles, baseline at {base['n_particles']}"
+        )
+    else:
+        print(f"  no committed {AMR_BENCH_FILE} baseline; drift check skipped")
+
+    if failed:
+        print("perf gate: adaptive-AMR gate failed", file=sys.stderr)
+        return 1
+    print("perf gate: AMR deposit, equal-memory detail, and splat floors hold")
+    return 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     if "--store" in sys.argv[1:]:
         return gate_store(root)
     if "--lod" in sys.argv[1:]:
         return gate_lod(root)
+    if "--amr" in sys.argv[1:]:
+        return gate_amr(root)
     if "--forest" in sys.argv[1:]:
         return gate_forest(root)
     if "--service" in sys.argv[1:]:

@@ -53,6 +53,7 @@ from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportiona
 from repro.fieldlines.sos import build_strips, render_strips
 from repro.hybrid.renderer import HybridRenderer
 from repro.hybrid.representation import HybridFrame
+from repro.octree.amr import AmrVolume, amr_from_nodes, build_amr, plan_amr_levels
 from repro.octree.extraction import extract
 from repro.octree.forest import ForestStore, partition_forest, render_forest
 from repro.octree.lod import LodHierarchy, build_lod
@@ -62,6 +63,7 @@ from repro.remote.client import VisualizationClient
 from repro.remote.loadgen import ChaosSchedule, FleetReport, run_fleet
 from repro.remote.server import VisualizationServer
 from repro.remote.service import VisualizationService
+from repro.render.amr import AmrRgbaVolume, amr_geometry_key, build_amr_geometry
 from repro.render.camera import Camera
 from repro.render.compositor import SortLastCompositor
 from repro.render.frame_cache import (
@@ -69,6 +71,7 @@ from repro.render.frame_cache import (
     FrameGeometryCache,
     frame_geometry_cache,
 )
+from repro.render.points import gaussian_splat_fragments
 
 __all__ = [
     # end-to-end pipelines + configuration
@@ -100,6 +103,15 @@ __all__ = [
     # LOD hierarchy + progressive streaming (PR 8)
     "build_lod",
     "LodHierarchy",
+    # adaptive AMR volumes + Gaussian splatting (PR 9)
+    "AmrVolume",
+    "build_amr",
+    "plan_amr_levels",
+    "amr_from_nodes",
+    "AmrRgbaVolume",
+    "amr_geometry_key",
+    "build_amr_geometry",
+    "gaussian_splat_fragments",
     # forest-of-octrees partition + sort-last compositing (PR 6)
     "partition_forest",
     "render_forest",

@@ -188,6 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "the single octree (bit-identical reference)")
     p.add_argument("--part", default="hybrid",
                    choices=["hybrid", "volume", "points"])
+    p.add_argument("--adaptive", action="store_true",
+                   help="render through octree-refined AMR volumes "
+                        "planned on one shared brick manifest (render)")
     p.set_defaults(func=_cmd_forest)
 
     p = sub.add_parser("service", parents=[common],
@@ -234,6 +237,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-disk", action="store_true",
                    help="prefix-only extraction: volume from octree "
                         "nodes, discarded particles never read")
+    p.add_argument("--adaptive", action="store_true",
+                   help="also build an octree-refined adaptive (AMR) "
+                        "density volume at equal memory: resolution "
+                        "where the beam is")
+    p.add_argument("--amr-bricks", type=int, default=8,
+                   help="AMR root bricks per axis (power of two)")
+    p.add_argument("--amr-cells", type=int, default=8,
+                   help="cells per axis of a level-0 AMR brick")
+    p.add_argument("--amr-refine", type=int, default=2,
+                   help="deepest AMR refinement level")
+    p.add_argument("--amr-bytes", type=int, default=None,
+                   help="AMR volume byte budget (default: the flat "
+                        "volume's own footprint, resolution^3 * 4)")
     p.set_defaults(func=_cmd_extract)
 
     p = sub.add_parser("render", parents=[common],
@@ -249,6 +265,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--part", default="hybrid",
                    choices=["hybrid", "volume", "points"],
                    help="render the combined image or one region")
+    p.add_argument("--point-mode", default="sprite",
+                   choices=["sprite", "splat"],
+                   help="point tier: square sprites or Gaussian splats")
+    p.add_argument("--splat-sigma", type=float, default=1.5,
+                   help="base splat radius in pixels (--point-mode splat)")
+    p.add_argument("--volume-mode", default="auto",
+                   choices=["auto", "flat"],
+                   help="auto: composite the AMR volume when the frame "
+                        "carries one; flat: always the uniform grid")
     p.set_defaults(func=_cmd_render)
 
     p = sub.add_parser("fieldlines", parents=[common],
@@ -449,6 +474,7 @@ def _cmd_forest(args) -> int:
                 threshold_percentile=args.percentile,
                 volume_resolution=args.resolution, part=args.part,
                 mode=args.mode, workers=args.workers,
+                adaptive=args.adaptive,
             )
         write_ppm(args.out, fb.to_rgb8())
         print(
@@ -541,6 +567,13 @@ def _cmd_extract(args) -> int:
     from repro.octree.format import _read_nodes, load_partitioned, partition_paths
 
     attrs = tuple(a for a in args.attributes.split(",") if a)
+    amr_kwargs = dict(
+        adaptive=args.adaptive,
+        amr_bricks=args.amr_bricks,
+        amr_brick_cells=args.amr_cells,
+        amr_max_refine=args.amr_refine,
+        amr_byte_budget=args.amr_bytes,
+    )
     if is_store_dir(args.stem):
         from repro.octree.stream_partition import PartitionedStore
 
@@ -552,13 +585,13 @@ def _cmd_extract(args) -> int:
         with span("extract", streaming=True):
             hybrid = extract(
                 ps, threshold, volume_resolution=args.resolution,
-                point_attributes=attrs,
+                point_attributes=attrs, **amr_kwargs,
             )
         nbytes = hybrid.save(args.out)
         print(
             f"extracted (shard-streamed) {hybrid.n_points} points + "
-            f"{args.resolution}^3 volume at threshold {threshold:.4g} -> "
-            f"{args.out} ({nbytes / 1e6:.2f} MB)"
+            f"{args.resolution}^3 volume{_amr_note(hybrid)} at threshold "
+            f"{threshold:.4g} -> {args.out} ({nbytes / 1e6:.2f} MB)"
         )
         return 0
     if args.from_disk:
@@ -572,13 +605,14 @@ def _cmd_extract(args) -> int:
             threshold = float(np.percentile(nodes["density"], args.percentile))
         with span("extract", from_disk=True):
             hybrid = extract_from_disk(
-                args.stem, threshold, volume_resolution=args.resolution
+                args.stem, threshold, volume_resolution=args.resolution,
+                **amr_kwargs,
             )
         nbytes = hybrid.save(args.out)
         print(
             f"extracted (prefix-only I/O) {hybrid.n_points} points + "
-            f"{args.resolution}^3 volume at threshold {threshold:.4g} -> "
-            f"{args.out} ({nbytes / 1e6:.2f} MB)"
+            f"{args.resolution}^3 volume{_amr_note(hybrid)} at threshold "
+            f"{threshold:.4g} -> {args.out} ({nbytes / 1e6:.2f} MB)"
         )
         return 0
     pf = load_partitioned(args.stem)
@@ -588,14 +622,26 @@ def _cmd_extract(args) -> int:
         threshold = float(np.percentile(pf.nodes["density"], args.percentile))
     with span("extract"):
         hybrid = extract(
-            pf, threshold, volume_resolution=args.resolution, point_attributes=attrs
+            pf, threshold, volume_resolution=args.resolution,
+            point_attributes=attrs, **amr_kwargs,
         )
     nbytes = hybrid.save(args.out)
     print(
-        f"extracted {hybrid.n_points} points + {args.resolution}^3 volume "
-        f"at threshold {threshold:.4g} -> {args.out} ({nbytes / 1e6:.2f} MB)"
+        f"extracted {hybrid.n_points} points + {args.resolution}^3 "
+        f"volume{_amr_note(hybrid)} at threshold {threshold:.4g} -> "
+        f"{args.out} ({nbytes / 1e6:.2f} MB)"
     )
     return 0
+
+
+def _amr_note(hybrid) -> str:
+    amr = hybrid.meta.get("amr")
+    if amr is None:
+        return ""
+    return (
+        f" + AMR ({amr.n_occupied} bricks, {amr.n_refined} refined, "
+        f"{amr.nbytes / 1e6:.2f} MB)"
+    )
 
 
 def _cmd_render(args) -> int:
@@ -613,6 +659,9 @@ def _cmd_render(args) -> int:
         transfer=LinkedTransferFunctions(boundary=args.boundary),
         n_slices=args.slices,
         point_color_by=args.color_by,
+        point_mode=args.point_mode,
+        splat_sigma=args.splat_sigma,
+        volume_mode=args.volume_mode,
     )
     with span("render", part=args.part):
         if args.part == "volume":
@@ -734,7 +783,8 @@ def _cmd_info(args) -> int:
         attrs = ", ".join(sorted(h.attributes)) or "none"
         print(
             f"hybrid frame: step {h.step}, plot type {h.plot_type}, "
-            f"{h.n_points} points + {h.resolution} volume, "
+            f"{h.n_points} points + {h.resolution} volume"
+            f"{_amr_note(h)}, "
             f"threshold {h.threshold:.4g}, attributes: {attrs}"
         )
     elif magic == b"RPRLINES":

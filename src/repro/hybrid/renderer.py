@@ -24,7 +24,11 @@ from repro.hybrid.transfer import DensityNormalizer, LinkedTransferFunctions
 from repro.render.camera import Camera
 from repro.render.colormap import Colormap, get_colormap
 from repro.render.framebuffer import Framebuffer
-from repro.render.points import point_fragments, select_fraction
+from repro.render.points import (
+    gaussian_splat_fragments,
+    point_fragments,
+    select_fraction,
+)
 from repro.render.volume import render_mixed
 
 __all__ = ["HybridRenderer"]
@@ -59,6 +63,18 @@ class HybridRenderer:
         it from each frame.  Bricked (forest) and animated renders pass
         the global maximum here so every partial image is classified on
         the same scale.  ``None`` (default) normalizes per frame.
+    point_mode : 'sprite' (default) draws square point sprites;
+        'splat' draws Gaussian splats
+        (:func:`repro.render.points.gaussian_splat_fragments`) -- the
+        higher quality tier, with per-point footprints scaled by
+        normalized density
+    splat_sigma : base splat radius (pixels of one standard deviation)
+    splat_scale : per-point sigma is ``splat_sigma * (1 + splat_scale
+        * t)`` with ``t`` the point's normalized density -- denser
+        points splat wider; 0 gives every point the base sigma
+    volume_mode : 'auto' (default) composites the adaptive AMR volume
+        when the frame carries one (``frame.meta['amr']``), 'flat'
+        always uses the uniform grid
     """
 
     def __init__(
@@ -73,6 +89,10 @@ class HybridRenderer:
         cache=None,
         point_batch_size: int | None = None,
         max_density: float | None = None,
+        point_mode: str = "sprite",
+        splat_sigma: float = 1.5,
+        splat_scale: float = 1.0,
+        volume_mode: str = "auto",
     ):
         self.transfer = transfer or LinkedTransferFunctions()
         self.point_colormap = (
@@ -94,17 +114,52 @@ class HybridRenderer:
         if max_density is not None and float(max_density) <= 0.0:
             raise ValueError("max_density must be > 0")
         self.max_density = None if max_density is None else float(max_density)
+        if point_mode not in ("sprite", "splat"):
+            raise ValueError("point_mode must be 'sprite' or 'splat'")
+        self.point_mode = point_mode
+        if float(splat_sigma) <= 0.0:
+            raise ValueError("splat_sigma must be > 0")
+        self.splat_sigma = float(splat_sigma)
+        if float(splat_scale) < 0.0:
+            raise ValueError("splat_scale must be >= 0")
+        self.splat_scale = float(splat_scale)
+        if volume_mode not in ("auto", "flat"):
+            raise ValueError("volume_mode must be 'auto' or 'flat'")
+        self.volume_mode = volume_mode
 
     # ------------------------------------------------------------------
+    def _frame_amr(self, frame: HybridFrame):
+        """The frame's adaptive volume, when present and enabled."""
+        if self.volume_mode != "auto":
+            return None
+        return frame.meta.get("amr")
+
     def _normalizer(self, frame: HybridFrame) -> DensityNormalizer:
         dmax = self.max_density
         if dmax is None:
             dmax = frame.max_density()
+            amr = self._frame_amr(frame)
+            if amr is not None:
+                # refined cells resolve peaks the flat grid averages
+                # away; classify on the true maximum so they don't clip
+                dmax = max(dmax, amr.max_density())
         return DensityNormalizer(max(dmax, 1e-300), mode=self.normalizer_mode)
 
-    def classify_volume(self, frame: HybridFrame) -> np.ndarray:
-        """Apply the volume transfer function; returns an RGBA volume."""
+    def classify_volume(self, frame: HybridFrame):
+        """Apply the volume transfer function.
+
+        Returns an (X, Y, Z, 4) RGBA texture for flat frames, or an
+        :class:`repro.render.amr.AmrRgbaVolume` (classified per-brick
+        cells) when the frame carries an adaptive volume and
+        ``volume_mode='auto'``.
+        """
         norm = self._normalizer(frame)
+        amr = self._frame_amr(frame)
+        if amr is not None:
+            from repro.render.amr import AmrRgbaVolume
+
+            t = norm(amr.data.astype(np.float64))
+            return AmrRgbaVolume(amr, self.transfer.volume_rgba(t))
         t = norm(frame.volume.astype(np.float64))
         return self.transfer.volume_rgba(t)
 
@@ -116,8 +171,14 @@ class HybridRenderer:
         :func:`repro.render.points.select_fraction`, so "three out of
         every four points are drawn" at fraction 0.75.
         """
+        pos, rgba, _ = self._classify_points(frame)
+        return pos, rgba
+
+    def _classify_points(self, frame: HybridFrame):
+        """Like :meth:`classified_points` plus the kept points'
+        normalized densities (drives per-point splat radii)."""
         if frame.n_points == 0:
-            return np.empty((0, 3)), np.empty((0, 4))
+            return np.empty((0, 3)), np.empty((0, 4)), np.empty(0)
         norm = self._normalizer(frame)
         t = norm(frame.point_densities.astype(np.float64))
         fractions = self.transfer.point_fraction(t)
@@ -139,24 +200,43 @@ class HybridRenderer:
             color_t = t[keep]
         rgba[:, :3] = self.point_colormap(color_t)
         rgba[:, 3] = self.point_alpha
-        return pos, rgba
+        return pos, rgba, t[keep]
 
-    def _project_points(self, camera: Camera, pos: np.ndarray, rgba: np.ndarray):
+    def _point_sigmas(self, t: np.ndarray) -> np.ndarray:
+        """Per-point splat sigmas from normalized densities."""
+        return self.splat_sigma * (1.0 + self.splat_scale * np.asarray(t))
+
+    def _project_points(
+        self,
+        camera: Camera,
+        pos: np.ndarray,
+        rgba: np.ndarray,
+        sigmas: np.ndarray | None = None,
+    ):
         """Project classified points to fragments, honoring
         ``point_batch_size`` (a list of per-batch fragment streams in
         point order, which ``render_mixed`` merges losslessly)."""
         if len(pos) == 0:
             return None
+
+        def frags(a, b):
+            if self.point_mode == "splat":
+                sig = (
+                    self.splat_sigma
+                    if sigmas is None
+                    else sigmas[a:b]
+                )
+                return gaussian_splat_fragments(
+                    camera, pos[a:b], rgba[a:b], sig
+                )
+            return point_fragments(
+                camera, pos[a:b], rgba[a:b], point_size=self.point_size
+            )
+
         batch = self.point_batch_size
         if batch is None or len(pos) <= batch:
-            return point_fragments(camera, pos, rgba, point_size=self.point_size)
-        return [
-            point_fragments(
-                camera, pos[a : a + batch], rgba[a : a + batch],
-                point_size=self.point_size,
-            )
-            for a in range(0, len(pos), batch)
-        ]
+            return frags(0, len(pos))
+        return [frags(a, a + batch) for a in range(0, len(pos), batch)]
 
     # ------------------------------------------------------------------
     def render(self, frame: HybridFrame, camera: Camera | None = None) -> Framebuffer:
@@ -167,8 +247,9 @@ class HybridRenderer:
         with span("classify_volume"):
             rgba_volume = self.classify_volume(frame)
         with span("classify_points", n_points=frame.n_points):
-            pos, rgba = self.classified_points(frame)
-            frags = self._project_points(camera, pos, rgba)
+            pos, rgba, t = self._classify_points(frame)
+            sigmas = self._point_sigmas(t) if self.point_mode == "splat" else None
+            frags = self._project_points(camera, pos, rgba, sigmas)
         return render_mixed(
             camera,
             rgba_volume,
@@ -198,11 +279,12 @@ class HybridRenderer:
         ``opaque=True`` draws fully opaque points, as the paper does
         "so they are more visible"."""
         camera = camera or Camera.fit_bounds(frame.lo, frame.hi, width=256, height=256)
-        pos, rgba = self.classified_points(frame)
+        pos, rgba, t = self._classify_points(frame)
         if opaque and len(rgba):
             rgba = rgba.copy()
             rgba[:, 3] = 1.0
-        frags = self._project_points(camera, pos, rgba)
+        sigmas = self._point_sigmas(t) if self.point_mode == "splat" else None
+        frags = self._project_points(camera, pos, rgba, sigmas)
         return render_mixed(
             camera, None, frame.lo, frame.hi, point_fragments=frags,
             n_slices=self.n_slices,

@@ -25,6 +25,14 @@ On-disk format (little-endian):
                   16-byte NUL-padded name + float32 values (M,)
                   (absent in blobs written before attributes existed;
                   readers treat a missing trailer as zero attributes)
+    amr (v3)      u64 blob length + one serialized
+                  :class:`repro.octree.amr.AmrVolume` (its own magic,
+                  header, and CRC)
+
+Version 3 is emitted only when the frame carries an adaptive volume
+(``meta['amr']``); frames without one keep writing version-2 bytes
+bit-identical to previous releases, so flat extraction output is
+stable across this change (gated by ``perf_gate.py --amr``).
 
 Writes are atomic (temp file + ``os.replace``); parsing a damaged
 blob raises a typed :class:`repro.core.errors.FormatError` describing
@@ -51,6 +59,7 @@ __all__ = ["HybridFrame"]
 
 MAGIC = b"RPRHYBRD"
 FORMAT_VERSION = 2
+FORMAT_VERSION_AMR = 3
 _HEADER = struct.Struct("<8sH3IQQd3d3d16s")
 
 
@@ -108,11 +117,13 @@ class HybridFrame:
         """Size of the payload (the number the paper's storage
         arguments are about)."""
         attr_bytes = sum(a.nbytes for a in self.attributes.values())
+        amr = self.meta.get("amr")
         return int(
             self.volume.nbytes
             + self.points.nbytes
             + self.point_densities.nbytes
             + attr_bytes
+            + (amr.nbytes if amr is not None else 0)
         )
 
     def max_density(self) -> float:
@@ -122,11 +133,17 @@ class HybridFrame:
 
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialize to the documented binary layout."""
+        """Serialize to the documented binary layout.
+
+        Flat frames write version 2, byte-for-byte what previous
+        releases wrote; frames carrying an adaptive volume write
+        version 3 with the AMR blob appended after the trailer.
+        """
+        amr = self.meta.get("amr")
         name = self.plot_type.encode("ascii")[:16].ljust(16, b"\0")
         header = _HEADER.pack(
             MAGIC,
-            FORMAT_VERSION,
+            FORMAT_VERSION if amr is None else FORMAT_VERSION_AMR,
             *(int(r) for r in self.volume.shape),
             self.n_points,
             int(self.step),
@@ -145,6 +162,10 @@ class HybridFrame:
         for attr_name, values in self.attributes.items():
             parts.append(attr_name.encode("ascii")[:16].ljust(16, b"\0"))
             parts.append(values.tobytes())
+        if amr is not None:
+            blob = amr.to_bytes()
+            parts.append(struct.pack("<Q", len(blob)))
+            parts.append(blob)
         return b"".join(parts)
 
     def save(self, path) -> int:
@@ -166,10 +187,10 @@ class HybridFrame:
         magic, version = fields[0], fields[1]
         if magic != MAGIC:
             raise FormatError(f"{path}: not a hybrid frame file")
-        if version != FORMAT_VERSION:
+        if version not in (FORMAT_VERSION, FORMAT_VERSION_AMR):
             raise FormatError(
                 f"{path}: unsupported format version {version} "
-                f"(expected {FORMAT_VERSION})"
+                f"(expected {FORMAT_VERSION} or {FORMAT_VERSION_AMR})"
             )
         rx, ry, rz = fields[2:5]
         n_points = fields[5]
@@ -212,6 +233,19 @@ class HybridFrame:
                 values = np.frombuffer(raw, dtype="<f4", count=n_points, offset=off)
                 off += n_points * 4
                 attributes[attr_name] = values.copy()
+        meta = {}
+        if version >= FORMAT_VERSION_AMR:
+            from repro.octree.amr import AmrVolume
+
+            if len(raw) < off + 8:
+                raise FormatError(f"{path}: truncated AMR blob length")
+            (blob_len,) = struct.unpack_from("<Q", raw, off)
+            off += 8
+            if len(raw) < off + blob_len:
+                raise FormatError(f"{path}: truncated AMR blob")
+            meta["amr"] = AmrVolume.from_bytes(
+                raw[off : off + blob_len], source=path
+            )
         return cls(
             volume=volume.copy(),
             points=points.copy(),
@@ -222,4 +256,5 @@ class HybridFrame:
             step=step,
             plot_type=plot_type,
             attributes=attributes,
+            meta=meta,
         )

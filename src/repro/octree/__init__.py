@@ -31,6 +31,7 @@ from repro.octree.parallel import partition_parallel
 from repro.octree.repartition import repartition
 from repro.octree.disk_extraction import extract_from_disk
 from repro.octree.lod import LodHierarchy, build_lod
+from repro.octree.amr import AmrVolume, amr_from_nodes, build_amr, plan_amr_levels
 
 __all__ = [
     "Octree",
@@ -45,4 +46,8 @@ __all__ = [
     "extract_from_disk",
     "LodHierarchy",
     "build_lod",
+    "AmrVolume",
+    "amr_from_nodes",
+    "build_amr",
+    "plan_amr_levels",
 ]

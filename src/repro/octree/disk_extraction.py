@@ -22,7 +22,12 @@ from repro.hybrid.representation import HybridFrame
 from repro.octree.format import _read_nodes, load_particle_prefix, partition_paths
 from repro.octree.octree import plot_columns
 
-__all__ = ["node_bounds", "volume_from_nodes", "extract_from_disk"]
+__all__ = [
+    "node_bounds",
+    "counts_from_nodes",
+    "volume_from_nodes",
+    "extract_from_disk",
+]
 
 
 def node_bounds(level: int, key: int, lo: np.ndarray, hi: np.ndarray):
@@ -39,15 +44,15 @@ def node_bounds(level: int, key: int, lo: np.ndarray, hi: np.ndarray):
     return nlo, nlo + size
 
 
-def volume_from_nodes(
+def counts_from_nodes(
     nodes: np.ndarray, lo: np.ndarray, hi: np.ndarray, resolution: int
 ) -> np.ndarray:
-    """Rasterize octree nodes into a density volume.
+    """Rasterize octree nodes into a particle-*count* grid.
 
     Each node's count is distributed over the voxels its box overlaps,
-    weighted by fractional overlap -- a box splat.  The result is the
-    octree's own piecewise-constant density field resampled to the
-    grid; mass (total count) is conserved.
+    weighted by fractional overlap -- a box splat.  Mass (total count)
+    is conserved.  :func:`volume_from_nodes` divides the result by the
+    voxel volume; the AMR planner uses the counts directly.
     """
     res = int(resolution)
     vol = np.zeros((res, res, res))
@@ -79,6 +84,17 @@ def volume_from_nodes(
             vol[i0[0] : i1[0], i0[1] : i1[1], i0[2] : i1[2]] += (
                 count * cell / total
             )
+    return vol
+
+
+def volume_from_nodes(
+    nodes: np.ndarray, lo: np.ndarray, hi: np.ndarray, resolution: int
+) -> np.ndarray:
+    """Rasterize octree nodes into a density volume (the box splat of
+    :func:`counts_from_nodes` divided by the voxel volume)."""
+    res = int(resolution)
+    span = np.maximum(hi - lo, 1e-300)
+    vol = counts_from_nodes(nodes, lo, hi, res)
     # convert counts to density (count per unit volume)
     cell_volume = float(np.prod(span)) / res**3
     return vol / cell_volume
@@ -88,12 +104,23 @@ def extract_from_disk(
     stem,
     threshold_density: float,
     volume_resolution: int = 64,
+    *,
+    adaptive: bool = False,
+    amr_bricks: int = 8,
+    amr_brick_cells: int = 8,
+    amr_max_refine: int = 2,
+    amr_refine_budget: int | None = None,
+    amr_byte_budget: int | None = None,
 ) -> HybridFrame:
     """Extract a hybrid frame reading only nodes + the halo prefix.
 
     Exactly the paper's I/O pattern: the nodes file is small, the
     particle file is read only up to the density cutoff, and the
-    volume comes from the node metadata.
+    volume comes from the node metadata.  ``adaptive=True`` attaches
+    an :class:`repro.octree.amr.AmrVolume` rasterized from the same
+    node metadata (:func:`repro.octree.amr.amr_from_nodes`), keeping
+    the discarded-particles-never-read property; the flat volume is
+    unchanged.
     """
     nodes_path, _ = partition_paths(stem)
     nodes, n_particles, max_level, capacity, step, lo, hi, plot_type = _read_nodes(
@@ -112,6 +139,23 @@ def extract_from_disk(
 
     density_volume = volume_from_nodes(nodes, lo, hi, volume_resolution)
 
+    meta = {}
+    if adaptive:
+        from repro.octree.amr import amr_from_nodes
+
+        if amr_refine_budget is None and amr_byte_budget is None:
+            amr_byte_budget = int(volume_resolution) ** 3 * 4
+        meta["amr"] = amr_from_nodes(
+            nodes,
+            lo,
+            hi,
+            bricks=amr_bricks,
+            brick_cells=amr_brick_cells,
+            max_refine=amr_max_refine,
+            refine_budget=amr_refine_budget,
+            byte_budget=amr_byte_budget,
+        )
+
     return HybridFrame(
         volume=density_volume.astype(np.float32),
         points=halo.astype(np.float32),
@@ -121,4 +165,5 @@ def extract_from_disk(
         threshold=float(threshold_density),
         step=int(step),
         plot_type=plot_type,
+        meta=meta,
     )

@@ -62,6 +62,12 @@ def extract(
     volume_resolution: int = 64,
     volume_from: str = "all",
     point_attributes=(),
+    adaptive: bool = False,
+    amr_bricks: int = 8,
+    amr_brick_cells: int = 8,
+    amr_max_refine: int = 2,
+    amr_refine_budget: int | None = None,
+    amr_byte_budget: int | None = None,
 ) -> HybridFrame:
     """Extract a hybrid representation at a threshold density.
 
@@ -85,6 +91,18 @@ def extract(
         dynamically calculated property ... such as temperature or
         emittance".  Computed from the full 6-D data of the halo
         prefix only; the discarded dense region costs nothing.
+    adaptive : additionally build an octree-refined adaptive density
+        volume (:class:`repro.octree.amr.AmrVolume`) and attach it as
+        ``frame.meta['amr']``.  The flat ``volume`` is still produced
+        by the unchanged deposit path, so flat consumers (and the
+        bitwise guarantees they are tested under) are unaffected.
+    amr_bricks, amr_brick_cells, amr_max_refine : AMR brick geometry
+        (root bricks per axis, level-0 cells per brick axis, deepest
+        refinement level)
+    amr_refine_budget, amr_byte_budget : refinement criterion (at most
+        one; see :func:`repro.octree.amr.plan_amr_levels`).  When
+        neither is given the byte budget defaults to the flat volume's
+        own footprint (``volume_resolution^3 * 4``) -- equal memory.
 
     Tuning arguments are keyword-only; passing them positionally
     raises ``TypeError`` (the one-release ``DeprecationWarning`` shim
@@ -126,6 +144,23 @@ def extract(
     )
     density_volume = counts / cell_volume
 
+    meta = {}
+    if adaptive:
+        from repro.octree.amr import build_amr
+
+        if amr_refine_budget is None and amr_byte_budget is None:
+            amr_byte_budget = int(volume_resolution) ** 3 * 4
+        meta["amr"] = build_amr(
+            frame,
+            cutoff=cutoff,
+            volume_from=volume_from,
+            bricks=amr_bricks,
+            brick_cells=amr_brick_cells,
+            max_refine=amr_max_refine,
+            refine_budget=amr_refine_budget,
+            byte_budget=amr_byte_budget,
+        )
+
     return HybridFrame(
         volume=density_volume.astype(np.float32),
         points=halo.astype(np.float32),
@@ -136,6 +171,7 @@ def extract(
         step=frame.step,
         plot_type=frame.plot_type,
         attributes=attributes,
+        meta=meta,
     )
 
 
@@ -152,25 +188,67 @@ def threshold_for_point_budget(frame: PartitionedFrame, n_points: int) -> float:
     return float(frame.nodes["density"][k])
 
 
-def extraction_sizes(frame: PartitionedFrame, thresholds, volume_resolution: int = 64):
+def extraction_sizes(
+    frame: PartitionedFrame,
+    thresholds,
+    volume_resolution: int = 64,
+    *,
+    adaptive: bool = False,
+    amr_bricks: int = 8,
+    amr_brick_cells: int = 8,
+    amr_max_refine: int = 2,
+    amr_refine_budget: int | None = None,
+    amr_byte_budget: int | None = None,
+):
     """File-size / point-count table across a threshold sweep.
 
     Returns a list of dicts (threshold, n_points, point_bytes,
     volume_bytes, total_bytes) without materializing the volumes --
     this is the paper's size-vs-accuracy tradeoff curve.
+
+    ``adaptive=True`` additionally prices the *planned* adaptive
+    volume exactly (an ``amr_bytes`` key, folded into ``total_bytes``
+    alongside the flat volume that adaptive extraction still carries):
+    the brick manifest is a pure function of the root-brick particle
+    histogram (threshold-independent, since the volume always covers
+    all particles), so one cheap counting pass prices every threshold
+    honestly for size reports and LOD scheduling.
     """
     out = []
+    amr_bytes = 0
+    if adaptive:
+        from repro.octree.amr import (
+            _coord_chunks,
+            amr_plan_nbytes,
+            brick_particle_counts,
+            plan_amr_levels,
+        )
+
+        if amr_refine_budget is None and amr_byte_budget is None:
+            amr_byte_budget = int(volume_resolution) ** 3 * 4
+        counts = brick_particle_counts(
+            _coord_chunks(frame, 0, "all"), frame.lo, frame.hi, amr_bricks
+        )
+        levels = plan_amr_levels(
+            counts,
+            brick_cells=amr_brick_cells,
+            max_refine=amr_max_refine,
+            refine_budget=amr_refine_budget,
+            byte_budget=amr_byte_budget,
+        )
+        amr_bytes = amr_plan_nbytes(levels, amr_brick_cells)
     vol_bytes = int(volume_resolution**3 * 4)
     for t in thresholds:
         cutoff = frame.density_cutoff_index(float(t))
         point_bytes = cutoff * (3 + 1) * 4  # coords + density, float32
-        out.append(
-            {
-                "threshold": float(t),
-                "n_points": int(cutoff),
-                "point_bytes": int(point_bytes),
-                "volume_bytes": vol_bytes,
-                "total_bytes": int(point_bytes + vol_bytes),
-            }
-        )
+        row = {
+            "threshold": float(t),
+            "n_points": int(cutoff),
+            "point_bytes": int(point_bytes),
+            "volume_bytes": vol_bytes,
+            "total_bytes": int(point_bytes + vol_bytes + amr_bytes),
+        }
+        if adaptive:
+            row["amr_bytes"] = int(amr_bytes)
+        out.append(row)
     return out

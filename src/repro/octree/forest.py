@@ -606,10 +606,13 @@ def _grid_ownership(res: int, bricks: int) -> np.ndarray:
 def _brick_extract_task(task):
     """Phase A (picklable): extract one brick's halo and its float64
     CIC counts on the *global* grid; halo goes to disk, the counts'
-    non-zero sub-box comes back for the parent's deterministic sum."""
+    non-zero sub-box comes back for the parent's deterministic sum.
+    With ``amr_bricks`` set, the brick's particles are also histogrammed
+    into the global AMR root grid so the parent can plan one shared
+    brick manifest."""
     from repro.octree.extraction import _halo_densities, _streamed_volume
 
-    brick_dir, brick_id, threshold, res, work_dir = task
+    brick_dir, brick_id, threshold, res, work_dir, amr_bricks = task
     with span("forest_brick_render", which="extract", brick=int(brick_id)):
         ps = PartitionedStore.open(brick_dir)
         cutoff = ps.density_cutoff_index(float(threshold))
@@ -617,6 +620,13 @@ def _brick_extract_task(task):
         dens = _halo_densities(ps.nodes, cutoff)
         shape = (int(res),) * 3
         counts = _streamed_volume(ps, cutoff, shape, "all")
+        amr_hist = None
+        if amr_bricks:
+            from repro.octree.amr import _coord_chunks, brick_particle_counts
+
+            amr_hist = brick_particle_counts(
+                _coord_chunks(ps, 0, "all"), ps.lo, ps.hi, int(amr_bricks)
+            )
         nz = np.nonzero(counts)
         if nz[0].size:
             bbox = [(int(ax.min()), int(ax.max()) + 1) for ax in nz]
@@ -633,14 +643,18 @@ def _brick_extract_task(task):
             Path(work_dir) / f"halo_{int(brick_id):06d}.npz", pos=pos32, dens=dens32
         )
         pmax = float(dens32.max()) if len(dens32) else None
-    return (int(brick_id), bbox, sub, pmax, int(cutoff))
+    return (int(brick_id), bbox, sub, pmax, int(cutoff), amr_hist)
 
 
 def _brick_render_task(task):
     """Phase B (picklable): render one brick's hybrid content against
-    the shared global density scale; returns the partial image."""
+    the shared global density scale; returns the partial image.
+    ``amr_spec``, when set, is (brick_dir, masked level map, brick
+    geometry): the task re-opens its store and deposits only the AMR
+    bricks this rank owns, so the per-rank adaptive volumes tile the
+    global one exactly."""
     (brick_id, halo_path, vol_sub, vol_off, res, lo_t, hi_t, threshold, step,
-     plot_type, renderer, camera, part) = task
+     plot_type, renderer, camera, part, amr_spec) = task
     from repro.hybrid.representation import HybridFrame
 
     with span("forest_brick_render", which="render", brick=int(brick_id)):
@@ -653,6 +667,18 @@ def _brick_render_task(task):
                 oy : oy + vol_sub.shape[1],
                 oz : oz + vol_sub.shape[2],
             ] = vol_sub
+        meta = {}
+        if amr_spec is not None and part != "points":
+            from repro.octree.amr import build_amr
+
+            amr_dir, masked_levels, amr_bricks, amr_brick_cells = amr_spec
+            ps = PartitionedStore.open(amr_dir)
+            meta["amr"] = build_amr(
+                ps,
+                bricks=int(amr_bricks),
+                brick_cells=int(amr_brick_cells),
+                levels=masked_levels,
+            )
         frame = HybridFrame(
             volume=volume,
             points=data["pos"],
@@ -662,6 +688,7 @@ def _brick_render_task(task):
             threshold=float(threshold),
             step=int(step),
             plot_type=plot_type,
+            meta=meta,
         )
         if part == "volume":
             fb = renderer.render_volume_part(frame, camera=camera)
@@ -683,6 +710,11 @@ def render_forest(
     part: str = "hybrid",
     mode: str = "sortlast",
     workers: int = 1,
+    adaptive: bool = False,
+    amr_bricks: int | None = None,
+    amr_brick_cells: int = 8,
+    amr_max_refine: int = 2,
+    amr_byte_budget: int | None = None,
 ):
     """Render a forest store to one composited image.
 
@@ -708,6 +740,21 @@ def render_forest(
     workers : fan per-brick extraction and rendering across processes
         (``sortlast`` only); the composited image is identical for any
         worker count
+    adaptive : render through octree-refined AMR volumes
+        (:mod:`repro.octree.amr`): phase A additionally histograms
+        each forest brick's particles into a global AMR root grid, one
+        shared brick manifest is planned from the summed histogram,
+        and each phase-B rank deposits only the AMR bricks inside its
+        own forest brick (ownership masking) -- the per-rank adaptive
+        volumes tile the global one, so the composited image stays
+        worker-count deterministic.  The flat phase-A grid is still
+        built and still pins the shared density scale.
+    amr_bricks : AMR root bricks per axis; defaults to
+        ``max(8, forest.bricks)`` and must be a power-of-two multiple
+        of ``forest.bricks`` so AMR bricks nest in forest bricks
+    amr_brick_cells, amr_max_refine, amr_byte_budget : forwarded to
+        the planner (byte budget defaults to the flat volume's
+        ``volume_resolution^3 * 4`` -- equal memory)
 
     Returns the composited :class:`repro.render.framebuffer.Framebuffer`.
     """
@@ -725,11 +772,31 @@ def render_forest(
             np.percentile(forest.node_densities(), float(threshold_percentile))
         )
 
+    if adaptive:
+        if amr_bricks is None:
+            amr_bricks = max(8, int(forest.bricks))
+        amr_bricks = int(amr_bricks)
+        if amr_bricks % int(forest.bricks) or amr_bricks & (amr_bricks - 1):
+            raise ValueError(
+                "amr_bricks must be a power-of-two multiple of forest.bricks"
+            )
+        if amr_byte_budget is None:
+            amr_byte_budget = int(volume_resolution) ** 3 * 4
+
     if mode == "gather":
         from repro.octree.extraction import extract
 
         frame = forest.to_partitioned_frame()
-        hybrid = extract(frame, threshold, volume_resolution=int(volume_resolution))
+        hybrid = extract(
+            frame,
+            threshold,
+            volume_resolution=int(volume_resolution),
+            adaptive=adaptive,
+            amr_bricks=amr_bricks if adaptive else 8,
+            amr_brick_cells=amr_brick_cells,
+            amr_max_refine=amr_max_refine,
+            amr_byte_budget=amr_byte_budget,
+        )
         if part == "volume":
             return renderer.render_volume_part(hybrid, camera=camera)
         if part == "points":
@@ -745,7 +812,7 @@ def render_forest(
         # Phase A: per-brick halo extraction + global-grid CIC counts
         tasks = [
             (str(forest.directory / _brick_dir_name(b)), b, float(threshold),
-             res, str(work_dir))
+             res, str(work_dir), int(amr_bricks) if adaptive else 0)
             for b in brick_ids
         ]
         results = run_shards(
@@ -757,7 +824,8 @@ def render_forest(
         # regrouped), then the single float32 cast fixes the scale
         counts = np.zeros((res,) * 3, dtype=np.float64)
         point_maxes = []
-        for brick_id, bbox, sub, pmax, _cutoff in results:
+        amr_hist = None
+        for brick_id, bbox, sub, pmax, _cutoff, hist in results:
             if sub is not None:
                 counts[
                     bbox[0][0] : bbox[0][1],
@@ -766,6 +834,8 @@ def render_forest(
                 ] += sub
             if pmax is not None:
                 point_maxes.append(pmax)
+            if hist is not None:
+                amr_hist = hist if amr_hist is None else amr_hist + hist
         cell_volume = float(
             np.prod((forest.hi - forest.lo) / (np.array((res,) * 3) - 1))
         )
@@ -787,7 +857,26 @@ def render_forest(
             cache=renderer.cache,
             point_batch_size=renderer.point_batch_size,
             max_density=dmax,
+            point_mode=renderer.point_mode,
+            splat_sigma=renderer.splat_sigma,
+            splat_scale=renderer.splat_scale,
+            volume_mode=renderer.volume_mode,
         )
+
+        # one shared AMR brick manifest, planned from the global
+        # histogram -- every rank refines against the same level map
+        global_levels = None
+        if adaptive:
+            from repro.octree.amr import plan_amr_levels
+
+            if amr_hist is None:
+                amr_hist = np.zeros((int(amr_bricks),) * 3, dtype=np.int64)
+            global_levels = plan_amr_levels(
+                amr_hist,
+                brick_cells=int(amr_brick_cells),
+                max_refine=int(amr_max_refine),
+                byte_budget=int(amr_byte_budget),
+            )
 
         # Phase B: independent brick renders on the shared scale
         own = _grid_ownership(res, forest.bricks)
@@ -806,10 +895,28 @@ def render_forest(
                 ].copy()
             else:
                 vol_off, vol_sub = None, None
+            amr_spec = None
+            if adaptive and part != "points":
+                # ownership mask: an AMR brick belongs to the forest
+                # brick its box nests in (amr_bricks is a multiple of
+                # forest.bricks, so the tiling is exact)
+                i, j, k = brick_ijk(b, forest.brick_level)
+                g = int(amr_bricks) // int(forest.bricks)
+                masked = np.full(global_levels.shape, -1, dtype=np.int8)
+                masked[
+                    i * g : (i + 1) * g, j * g : (j + 1) * g, k * g : (k + 1) * g
+                ] = global_levels[
+                    i * g : (i + 1) * g, j * g : (j + 1) * g, k * g : (k + 1) * g
+                ]
+                amr_spec = (
+                    str(forest.directory / _brick_dir_name(b)), masked,
+                    int(amr_bricks), int(amr_brick_cells),
+                )
             tasks.append(
                 (b, str(work_dir / f"halo_{b:06d}.npz"), vol_sub, vol_off, res,
                  tuple(forest.lo), tuple(forest.hi), float(threshold),
-                 forest.step, forest.plot_type, brick_renderer, camera, part)
+                 forest.step, forest.plot_type, brick_renderer, camera, part,
+                 amr_spec)
             )
         rendered = run_shards(
             _brick_render_task, tasks, workers=int(workers), label="forest_render"

@@ -154,6 +154,7 @@ def build_lod(
     seed: int = 0,
     mip_base: int = 64,
     mip_levels: int = 3,
+    amr=None,
 ) -> "LodHierarchy":
     """Build (or rebuild) the LOD hierarchy of a partitioned store.
 
@@ -168,6 +169,14 @@ def build_lod(
         a progressive stream requested at exactly this resolution
         serves its exact final volume straight from mip 0
     mip_levels : pyramid depth (each level halves the resolution)
+    amr : an already-built :class:`repro.octree.amr.AmrVolume` over the
+        same store; its bricks are sum-pooled into mip 0
+        (``AmrVolume.pool_counts``) instead of re-depositing the
+        particles -- mass-conserving, and skips one full pass over the
+        particle file.  Note this is an approximation of the exact
+        deposit (refined bricks resolve what the flat pass averages),
+        so the ``exact_volume`` bitwise property only holds for the
+        default (``amr=None``) path.
 
     The side files are written first; atomically re-committing the
     store manifest with their names, sizes, and CRCs is the commit
@@ -246,7 +255,10 @@ def build_lod(
         from repro.octree.extraction import _streamed_volume
 
         with span("lod_mips", base=mip_base):
-            grid = _streamed_volume(pstore, 0, (mip_base,) * 3, "all")
+            if amr is not None:
+                grid = amr.pool_counts(mip_base)
+            else:
+                grid = _streamed_volume(pstore, 0, (mip_base,) * 3, "all")
             mips = []
             m = mip_base
             for _ in range(int(mip_levels)):

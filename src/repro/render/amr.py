@@ -1,0 +1,196 @@
+"""View-aligned slice geometry for octree-refined AMR volumes.
+
+The flat renderer resamples one uniform grid through a stacked CSR
+matrix (:class:`repro.render.frame_cache.FrameGeometry`).  An
+:class:`repro.octree.amr.AmrVolume` is a *collection* of bricks at
+mixed resolutions, but the slice machinery only ever needed two
+things: a flat pixel index per covered sample and eight (voxel index,
+weight) pairs per sample.  So AMR volumes reuse the same
+``FrameGeometry`` container -- the matrix columns just address the
+concatenated per-brick ``data`` array instead of a dense grid, and the
+trilinear stencil of each sample is built inside the brick that
+contains it (cell-centered, clamped at brick faces; the half-texel
+seams this admits are noted in DESIGN.md).
+
+Samples falling in *empty* bricks are dropped from the matrix
+entirely -- the AMR analogue of empty-space skipping, and where the
+resample-time win at equal bytes comes from.
+
+Cache key: :func:`amr_geometry_key` extends the flat
+:func:`geometry_key` with an ``("amr", level_hash)`` suffix, so an AMR
+and a flat volume seen from the same camera can never collide in the
+shared :class:`FrameGeometryCache`, while two AMR frames with the same
+brick manifest share one cached geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.render.frame_cache import (
+    FrameGeometry,
+    frame_geometry_cache,
+    geometry_key,
+)
+
+__all__ = ["amr_geometry_key", "build_amr_geometry", "AmrRgbaVolume"]
+
+
+def amr_geometry_key(camera, amr, n_slices: int):
+    """Cache key for (camera, AMR brick manifest, slicing).
+
+    The grid-shape slot of the flat key carries the brick geometry
+    (root bricks, level-0 cells, total cells) and the suffix pins the
+    level-map hash; flat keys are plain 12-tuples, so the two key
+    families are disjoint by construction.
+    """
+    base = geometry_key(
+        camera,
+        (int(amr.bricks), int(amr.brick_cells), int(amr.total_cells)),
+        amr.lo,
+        amr.hi,
+        n_slices,
+    )
+    return base + ("amr", int(amr.level_hash))
+
+
+def build_amr_geometry(camera, amr, n_slices: int) -> FrameGeometry:
+    """Compute slice geometry whose matrix columns address ``amr.data``."""
+    from repro.render.volume import volume_depth_range
+
+    key = amr_geometry_key(camera, amr, n_slices)
+    lo = np.asarray(amr.lo, dtype=np.float64)
+    hi = np.asarray(amr.hi, dtype=np.float64)
+    bricks = int(amr.bricks)
+    levels_flat = amr.levels.reshape(-1).astype(np.int64)
+    offsets = amr.offsets
+
+    d0, d1 = volume_depth_range(camera, lo, hi)
+    if d1 <= d0:
+        return FrameGeometry(
+            key, d0, d1, 0.0, np.zeros(0),
+            np.zeros(0, np.int32), np.zeros(1, np.int64), None,
+        )
+    slab = (d1 - d0) / n_slices
+    depths = d1 - (np.arange(n_slices, dtype=np.float64) + 0.5) * slab
+
+    origins, dirs = camera.pixel_rays()
+    cos = np.maximum(dirs @ camera.forward, 1e-9)
+    box_span = np.maximum(hi - lo, 1e-300)
+
+    pix_parts: list[np.ndarray] = []
+    idx_parts: list[np.ndarray] = []
+    w_parts: list[np.ndarray] = []
+    row_start = np.zeros(n_slices + 1, dtype=np.int64)
+    for s in range(n_slices):
+        t = depths[s] / cos
+        pts = origins + dirs * t[:, None]
+        coords = (pts - lo) / box_span
+        inside = np.all((coords >= 0.0) & (coords <= 1.0), axis=1)
+        act = np.flatnonzero(inside)
+        if len(act):
+            c = coords[act]
+            rel = c * bricks
+            bidx = np.clip(rel.astype(np.int64), 0, bricks - 1)
+            bid = (bidx[:, 0] * bricks + bidx[:, 1]) * bricks + bidx[:, 2]
+            lvl = levels_flat[bid]
+            live = lvl >= 0  # empty-space skip: drop samples in empty bricks
+            act = act[live]
+        row_start[s + 1] = row_start[s] + len(act)
+        if len(act) == 0:
+            continue
+        c, rel, bidx, bid, lvl = (
+            c[live], rel[live], bidx[live], bid[live], lvl[live],
+        )
+        m = np.int64(amr.brick_cells) << lvl
+        # brick-local cell-centered texel coordinates, same convention
+        # as FrameGeometry.build but clamped within the owning brick
+        local = (rel - bidx) * m[:, None]
+        f = np.clip(local - 0.5, 0.0, (m - 1.0)[:, None])
+        i0 = np.minimum(f.astype(np.int64), (m - 2)[:, None])
+        tfr = f - i0
+        wx0, wx1 = 1.0 - tfr[:, 0], tfr[:, 0]
+        wy0, wy1 = 1.0 - tfr[:, 1], tfr[:, 1]
+        wz0, wz1 = 1.0 - tfr[:, 2], tfr[:, 2]
+        w = np.empty((len(c), 8))
+        w[:, 0] = wx0 * wy0 * wz0
+        w[:, 1] = wx1 * wy0 * wz0
+        w[:, 2] = wx0 * wy1 * wz0
+        w[:, 3] = wx1 * wy1 * wz0
+        w[:, 4] = wx0 * wy0 * wz1
+        w[:, 5] = wx1 * wy0 * wz1
+        w[:, 6] = wx0 * wy1 * wz1
+        w[:, 7] = wx1 * wy1 * wz1
+        base = offsets[bid] + (i0[:, 0] * m + i0[:, 1]) * m + i0[:, 2]
+        # per-sample corner strides vary with the brick's resolution
+        sx, sy, sz = m * m, m, np.ones_like(m)
+        corner = np.stack(
+            [
+                np.zeros_like(m), sx, sy, sx + sy,
+                sz, sx + sz, sy + sz, sx + sy + sz,
+            ],
+            axis=1,
+        )
+        idx = base[:, None] + corner
+        pix_parts.append(act.astype(np.int32))
+        idx_parts.append(idx)
+        w_parts.append(w)
+
+    n_rows = int(row_start[-1])
+    if n_rows == 0:
+        return FrameGeometry(
+            key, d0, d1, slab, depths,
+            np.zeros(0, np.int32), row_start, None,
+        )
+    pix = np.concatenate(pix_parts)
+    data = np.concatenate(w_parts).ravel()
+    indices = np.concatenate(idx_parts).ravel()
+    indptr = np.arange(0, n_rows * 8 + 1, 8, dtype=np.int64)
+    matrix = sp.csr_matrix(
+        (data, indices, indptr), shape=(n_rows, int(amr.total_cells)), copy=False
+    )
+    return FrameGeometry(key, d0, d1, slab, depths, pix, row_start, matrix)
+
+
+class AmrRgbaVolume:
+    """A classified AMR volume, ready for :func:`render_mixed`.
+
+    Pairs the brick structure (for geometry) with the per-cell RGBA of
+    the transfer function applied to the flat ``data`` array (for
+    sampling).  ``render_mixed`` duck-types on ``flat_rgba`` to route
+    through :func:`build_amr_geometry` instead of the dense path.
+    """
+
+    def __init__(self, amr, flat_rgba: np.ndarray):
+        flat_rgba = np.ascontiguousarray(flat_rgba, dtype=np.float64)
+        if flat_rgba.ndim != 2 or flat_rgba.shape != (amr.total_cells, 4):
+            raise ValueError(
+                f"flat_rgba must be ({amr.total_cells}, 4), "
+                f"got {flat_rgba.shape}"
+            )
+        self.amr = amr
+        self.flat_rgba = flat_rgba
+
+    @property
+    def lo(self):
+        return self.amr.lo
+
+    @property
+    def hi(self):
+        return self.amr.hi
+
+    def geometry(self, camera, n_slices: int, cache) -> FrameGeometry:
+        """Slice geometry under the same cache policy as the flat path:
+        ``None`` -> process-global cache, ``False`` -> uncached build,
+        a :class:`FrameGeometryCache` -> that instance."""
+        if cache is None:
+            cache = frame_geometry_cache()
+        if cache is False:
+            return build_amr_geometry(camera, self.amr, n_slices)
+        key = amr_geometry_key(camera, self.amr, n_slices)
+        return cache.get_keyed(
+            key,
+            lambda: build_amr_geometry(camera, self.amr, n_slices),
+            n_slices=n_slices,
+        )

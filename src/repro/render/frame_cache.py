@@ -261,6 +261,20 @@ class FrameGeometryCache:
     def get(self, camera, vol_shape, lo, hi, n_slices: int) -> FrameGeometry:
         """Return the geometry for this viewpoint, building on a miss."""
         key = geometry_key(camera, vol_shape, lo, hi, n_slices)
+        return self.get_keyed(
+            key,
+            lambda: FrameGeometry.build(camera, vol_shape, lo, hi, n_slices),
+            n_slices=n_slices,
+        )
+
+    def get_keyed(self, key, builder, *, n_slices: int = 0) -> FrameGeometry:
+        """Look up an arbitrary geometry key, calling ``builder`` on a miss.
+
+        This is how non-uniform volumes (AMR bricks, whose key extends
+        :func:`geometry_key` with the brick-manifest hash) share one
+        LRU with flat volumes: key construction stays with the caller,
+        hit/miss accounting and byte-budget eviction stay here.
+        """
         geo = self._entries.get(key)
         if geo is not None:
             self._entries.move_to_end(key)
@@ -270,7 +284,7 @@ class FrameGeometryCache:
         self.misses += 1
         count("frame_cache_miss")
         with span("frame_geometry_build", n_slices=int(n_slices)):
-            geo = FrameGeometry.build(camera, vol_shape, lo, hi, n_slices)
+            geo = builder()
         self._entries[key] = geo
         self._evict()
         return geo

@@ -24,7 +24,7 @@ import numpy as np
 from repro.render.camera import Camera
 from repro.render.colormap import Colormap, get_colormap
 from repro.render.framebuffer import Framebuffer
-from repro.render.points import point_fragments
+from repro.render.points import gaussian_splat_fragments, point_fragments
 from repro.render.raster import rasterize
 from repro.render.shading import halo_profile, phong, strip_shading
 from repro.render.volume import render_mixed
@@ -55,6 +55,15 @@ class Scene:
         """Point sprites (see :mod:`repro.render.points`)."""
         pix, dep, col = point_fragments(
             self.camera, positions, rgba, point_size=point_size
+        )
+        self._push(pix, dep, col)
+        return self
+
+    def add_splats(self, positions, rgba, sigma=1.5, **kwargs) -> "Scene":
+        """Gaussian splats -- the quality tier above sprites (see
+        :func:`repro.render.points.gaussian_splat_fragments`)."""
+        pix, dep, col = gaussian_splat_fragments(
+            self.camera, positions, rgba, sigma, **kwargs
         )
         self._push(pix, dep, col)
         return self
@@ -177,10 +186,22 @@ class Scene:
             )
         return self
 
-    def add_volume(self, rgba_volume, lo, hi) -> "Scene":
-        """The (single) classified density volume."""
+    def add_volume(self, rgba_volume, lo=None, hi=None) -> "Scene":
+        """The (single) classified density volume -- a dense
+        (X, Y, Z, 4) texture with explicit bounds, or a classified
+        :class:`repro.render.amr.AmrRgbaVolume` (bounds carried by its
+        bricks)."""
         if self._volume is not None:
             raise ValueError("a scene holds at most one volume")
+        if hasattr(rgba_volume, "flat_rgba"):
+            self._volume = (
+                rgba_volume,
+                np.asarray(rgba_volume.lo),
+                np.asarray(rgba_volume.hi),
+            )
+            return self
+        if lo is None or hi is None:
+            raise ValueError("dense volumes require explicit lo / hi bounds")
         self._volume = (np.asarray(rgba_volume), np.asarray(lo), np.asarray(hi))
         return self
 

@@ -253,7 +253,9 @@ def render_mixed(
         fb = Framebuffer(camera.width, camera.height)
 
     if isinstance(point_fragments, (list, tuple)) and (
-        len(point_fragments) == 0 or isinstance(point_fragments[0], (list, tuple))
+        len(point_fragments) == 0
+        or point_fragments[0] is None
+        or isinstance(point_fragments[0], (list, tuple))
     ):
         point_fragments = _merge_fragment_batches(point_fragments)
 
@@ -294,7 +296,15 @@ def render_mixed(
         rgba_flat[t_idx, :3] = out[:, :3] / safe
         rgba_flat[t_idx, 3:] = a
 
-    if rgba_volume is not None:
+    # classified AMR volumes (repro.render.amr.AmrRgbaVolume) carry a
+    # flat per-cell RGBA plus their own brick-aware geometry builder;
+    # everything past geometry resolution is shared with the flat path
+    amr_mode = rgba_volume is not None and hasattr(rgba_volume, "flat_rgba")
+    if amr_mode:
+        if geometry is None:
+            geometry = rgba_volume.geometry(camera, n_slices, cache)
+        flat = rgba_volume.flat_rgba
+    elif rgba_volume is not None:
         rgba_volume = np.ascontiguousarray(rgba_volume, dtype=np.float64)
         if rgba_volume.ndim != 4 or rgba_volume.shape[3] != 4:
             raise ValueError("rgba_volume must be (X, Y, Z, 4)")
@@ -310,6 +320,7 @@ def render_mixed(
                 geometry = cache.get(
                     camera, rgba_volume.shape[:3], lo, hi, n_slices
                 )
+        flat = rgba_volume.reshape(-1, 4)
 
     if rgba_volume is None or geometry.empty:
         composite_point_range(0, n_frag)
@@ -319,7 +330,6 @@ def render_mixed(
     exponent = reference_slices / n_slices
     d1 = geometry.d1
     slab = geometry.slab
-    flat = rgba_volume.reshape(-1, 4)
 
     with span("slice_composite", n_slices=n_slices, n_fragments=n_frag):
         with span("slice_sample"):

@@ -145,6 +145,34 @@ class TestMips:
         v = pstore.lod.coarse_volume(48)
         assert v.shape == (48, 48, 48) and v.dtype == np.float32
 
+    def test_amr_fed_pyramid_conserves_mass(self, tmp_path, particles):
+        """build_lod(amr=...) pools AMR brick counts into mip 0 instead
+        of re-depositing: every particle is still counted exactly once,
+        and the pooled pyramid keeps that mass at every level."""
+        from repro.octree.amr import build_amr
+
+        ps = partition_store(
+            particles, tmp_path / "amrstore", "xyz",
+            max_level=5, capacity=64, step=3,
+        )
+        amr = build_amr(
+            ps.to_frame(), bricks=8, brick_cells=4, max_refine=1,
+            refine_budget=256,
+        )
+        assert amr.n_refined > 0  # the pool really mixes brick levels
+        lod = build_lod(
+            ps, levels=2, ratio=4, seed=9, mip_base=32, mip_levels=3,
+            amr=amr,
+        )
+        m0 = lod.mip(0)
+        assert m0.shape == (32, 32, 32)
+        assert m0.sum() == pytest.approx(len(particles))
+        for k in range(1, lod.mip_levels):
+            assert lod.mip(k).sum() == pytest.approx(m0.sum())
+        # the pooled mip still serves the progressive first frame
+        v = lod.coarse_volume(32)
+        assert v.shape == (32, 32, 32) and np.all(np.isfinite(v))
+
 
 class TestSchedule:
     def test_deterministic_and_complete(self, pstore):

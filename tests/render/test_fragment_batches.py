@@ -48,6 +48,44 @@ class TestMergeFragmentBatches:
         assert _merge_fragment_batches([None, None]) is None
 
 
+class TestEmptyBatches:
+    def test_all_empty_batches_render_like_no_points(self, camera, cloud):
+        """A batch list that merges to nothing must produce exactly the
+        no-points image -- the empty-shard regression."""
+        empty = point_fragments(camera, np.empty((0, 3)), np.empty((0, 4)))
+        without = render_mixed(camera, None, [-1] * 3, [1] * 3)
+        with_empties = render_mixed(
+            camera, None, [-1] * 3, [1] * 3,
+            point_fragments=[None, empty, (np.empty(0, int),) * 3],
+        )
+        assert np.array_equal(without.rgba, with_empties.rgba)
+        assert np.array_equal(without.depth, with_empties.depth)
+
+    def test_empty_point_set_yields_typed_empty_stream(self, camera):
+        """point_fragments on zero points returns (0,)/(0, 4)-shaped
+        arrays, never an atleast_2d (1, 0) artifact."""
+        pix, dep, rgba = point_fragments(
+            camera, np.empty((0, 3)), np.empty((0, 4))
+        )
+        assert pix.shape == (0,)
+        assert dep.shape == (0,)
+        assert rgba.shape == (0, 4)
+        # and a list-of-3-arrays positional form, the historical caller
+        pix2, dep2, rgba2 = point_fragments(camera, [], np.empty((0, 4)))
+        assert pix2.shape == (0,)
+
+    def test_interleaved_empty_batches_identical(self, camera, cloud):
+        pos, rgba = cloud
+        whole = point_fragments(camera, pos, rgba)
+        empty = point_fragments(camera, np.empty((0, 3)), np.empty((0, 4)))
+        a = render_mixed(camera, None, [-1] * 3, [1] * 3, point_fragments=whole)
+        b = render_mixed(
+            camera, None, [-1] * 3, [1] * 3,
+            point_fragments=[empty, whole, empty],
+        )
+        assert np.array_equal(a.rgba, b.rgba)
+
+
 class TestBatchedRendering:
     def test_points_only_image_identical(self, camera, cloud):
         pos, rgba = cloud

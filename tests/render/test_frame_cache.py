@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
+from repro.octree.amr import AmrVolume
+from repro.render.amr import AmrRgbaVolume, amr_geometry_key
 from repro.render.camera import Camera
 from repro.render.frame_cache import (
     FrameGeometry,
@@ -163,6 +166,138 @@ class TestCachePolicy:
         ref = render_volume(camera, vol, lo, hi, n_slices=16, cache=False)
         assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0, "bytes": 0}
         assert np.array_equal(fb.rgba, ref.rgba)
+
+
+def _toy_amr(rng, lo, hi, bricks=2, brick_cells=4):
+    """A small hand-built AMR volume: one empty brick, one refined."""
+    levels = np.zeros((bricks,) * 3, dtype=np.int8)
+    levels[0, 0, 0] = -1
+    levels[1, 1, 1] = 1
+    cells = sum(
+        (brick_cells << int(l)) ** 3 for l in levels.ravel() if l >= 0
+    )
+    data = rng.random(cells).astype(np.float32)
+    return AmrVolume(lo, hi, bricks, brick_cells, levels, data)
+
+
+class TestAmrKeys:
+    def test_amr_key_disjoint_from_flat(self, scene, rng):
+        """An AMR key can never equal any flat key -- not even a flat
+        volume whose grid shape happens to match the brick-geometry
+        slot -- because the ("amr", level_hash) suffix changes arity."""
+        camera, _, lo, hi, _ = scene
+        amr = _toy_amr(rng, lo, hi)
+        akey = amr_geometry_key(camera, amr, 16)
+        collider = geometry_key(
+            camera,
+            (amr.bricks, amr.brick_cells, amr.total_cells),
+            lo, hi, 16,
+        )
+        assert akey[: len(collider)] == collider
+        assert akey != collider
+        assert akey[-2:] == ("amr", amr.level_hash)
+
+    def test_level_map_participates_in_key(self, scene, rng):
+        camera, _, lo, hi, _ = scene
+        a = _toy_amr(rng, lo, hi)
+        k0 = amr_geometry_key(camera, a, 16)
+        # same manifest, different contents: same key (contents are
+        # applied per frame, exactly like the flat path)
+        same = AmrVolume(
+            lo, hi, a.bricks, a.brick_cells, a.levels,
+            np.zeros_like(a.data),
+        )
+        assert amr_geometry_key(camera, same, 16) == k0
+        # refine one more brick: new manifest, new key
+        levels2 = a.levels.copy()
+        levels2[0, 1, 0] = 1
+        cells2 = sum(
+            (a.brick_cells << int(l)) ** 3 for l in levels2.ravel() if l >= 0
+        )
+        refined = AmrVolume(
+            lo, hi, a.bricks, a.brick_cells, levels2,
+            np.zeros(cells2, np.float32),
+        )
+        assert amr_geometry_key(camera, refined, 16) != k0
+
+    def test_amr_and_flat_share_cache_without_collision(self, scene, rng):
+        """Flat and AMR geometries for the same camera/bounds/slicing
+        coexist in one cache as distinct entries, and the warm AMR
+        render is bitwise-identical to the uncached one."""
+        camera, vol, lo, hi, _ = scene
+        amr = _toy_amr(rng, lo, hi)
+        classified = AmrRgbaVolume(
+            amr, rng.random((amr.total_cells, 4))
+        )
+        cache = FrameGeometryCache()
+        render_volume(camera, vol, lo, hi, n_slices=16, cache=cache)
+        cold = render_mixed(
+            camera, classified, lo, hi, n_slices=16, cache=cache
+        )
+        assert cache.stats()["misses"] == 2
+        assert len(cache) == 2
+        assert amr_geometry_key(camera, amr, 16) in cache
+        assert geometry_key(camera, vol.shape[:3], lo, hi, 16) in cache
+        warm = render_mixed(
+            camera, classified, lo, hi, n_slices=16, cache=cache
+        )
+        fresh = render_mixed(
+            camera, classified, lo, hi, n_slices=16, cache=False
+        )
+        assert cache.stats()["hits"] == 1
+        assert np.array_equal(cold.rgba, warm.rgba)
+        assert np.array_equal(fresh.rgba, warm.rgba)
+
+
+class _StubGeometry:
+    """Minimal nbytes-bearing stand-in for eviction accounting tests."""
+
+    def __init__(self, nbytes):
+        self.nbytes = int(nbytes)
+
+
+class TestEvictionProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 1_000), min_size=1, max_size=40),
+        max_bytes=st.integers(1, 2_000),
+        max_entries=st.integers(1, 12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_byte_exact_lru_eviction(self, sizes, max_bytes, max_entries):
+        """For any insertion sequence of mixed flat/AMR-arity keys and
+        any budget: the survivors are exactly the most-recent suffix,
+        total_bytes is the exact sum of survivor nbytes, and the budget
+        holds whenever more than one entry remains."""
+        cache = FrameGeometryCache(max_entries=max_entries, max_bytes=max_bytes)
+        keys = []
+        for i, nb in enumerate(sizes):
+            # alternate key arities, mirroring flat (12) vs AMR (14) keys
+            key = ("k",) * (12 + 2 * (i % 2)) + (i,)
+            keys.append((key, nb))
+            cache.get_keyed(key, lambda nb=nb: _StubGeometry(nb))
+            assert len(cache) <= max_entries
+            assert cache.total_bytes == sum(
+                g.nbytes for g in cache._entries.values()
+            )
+            if len(cache) > 1:
+                assert cache.total_bytes <= max_bytes
+            # survivors are a contiguous most-recently-inserted suffix
+            survivors = [k for k, _ in keys if k in cache]
+            assert survivors == [k for k, _ in keys[len(keys) - len(survivors):]]
+        assert cache.stats()["misses"] == len(sizes)
+
+    @given(sizes=st.lists(st.integers(1, 100), min_size=2, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_rehit_refreshes_lru_rank(self, sizes):
+        """Re-fetching the oldest key promotes it past the next eviction."""
+        cache = FrameGeometryCache(max_entries=2, max_bytes=1 << 30)
+        k = [("k", i) for i in range(3)]
+        cache.get_keyed(k[0], lambda: _StubGeometry(sizes[0]))
+        cache.get_keyed(k[1], lambda: _StubGeometry(sizes[1]))
+        cache.get_keyed(k[0], lambda: _StubGeometry(0))  # hit, promotes
+        cache.get_keyed(k[2], lambda: _StubGeometry(sizes[-1]))
+        assert k[0] in cache and k[2] in cache and k[1] not in cache
+        assert cache.stats()["hits"] == 1
 
 
 class TestGeometry:

@@ -1,0 +1,247 @@
+"""Gaussian splatting: vectorized kernel correctness, batch/serial
+bitwise equivalence, and the degenerate inputs (empty point sets,
+zero-radius splats) that must render exactly like the no-points path."""
+
+import numpy as np
+import pytest
+
+from repro.render.camera import Camera
+from repro.render.framebuffer import Framebuffer
+from repro.render.points import gaussian_splat_fragments, point_fragments
+from repro.render.scene import Scene
+from repro.render.volume import render_mixed
+
+
+@pytest.fixture
+def camera():
+    return Camera.fit_bounds([-1, -1, -1], [1, 1, 1], width=64, height=64)
+
+
+@pytest.fixture
+def cloud(rng):
+    pos = rng.normal(0, 0.4, (300, 3))
+    rgba = np.column_stack([rng.random((300, 3)), np.full(300, 0.6)])
+    return pos, rgba
+
+
+@pytest.fixture
+def small_volume(rng):
+    vol = rng.random((8, 8, 8, 4))
+    vol[..., 3] *= 0.4
+    return vol
+
+
+class TestKernel:
+    def test_weight_falls_off_from_center(self, camera):
+        """A single centered splat: fragment alpha is maximal at the
+        projected pixel and decreases monotonically with distance."""
+        pix, dep, rgba = gaussian_splat_fragments(
+            camera, np.zeros((1, 3)), np.array([1.0, 0.0, 0.0, 1.0]), 2.0
+        )
+        assert len(pix) > 1
+        xy = np.column_stack([pix % camera.width, pix // camera.width])
+        center = xy[np.argmax(rgba[:, 3])]
+        d = np.hypot(*(xy - center).T)
+        order = np.argsort(d, kind="stable")
+        alphas = rgba[order, 3]
+        dist = d[order]
+        # alpha is non-increasing as distance grows (ties share alpha)
+        for i in range(1, len(alphas)):
+            if dist[i] > dist[i - 1]:
+                assert alphas[i] <= alphas[i - 1] + 1e-12
+
+    def test_footprint_bounded_by_truncate_and_max_radius(self, camera):
+        pos = np.zeros((1, 3))
+        rgba = np.array([1.0, 1.0, 1.0, 1.0])
+        few = gaussian_splat_fragments(
+            camera, pos, rgba, 5.0, truncate=1.0, min_weight=0.0
+        )
+        many = gaussian_splat_fragments(
+            camera, pos, rgba, 5.0, truncate=3.0, min_weight=0.0
+        )
+        capped = gaussian_splat_fragments(
+            camera, pos, rgba, 5.0, truncate=3.0, max_radius=2, min_weight=0.0
+        )
+        assert len(few[0]) < len(many[0])
+        assert len(capped[0]) <= 25  # (2*2+1)^2
+
+    def test_per_point_sigma(self, camera):
+        pos = np.array([[-0.5, 0.0, 0.0], [0.5, 0.0, 0.0]])
+        rgba = np.array([1.0, 1.0, 1.0, 1.0])
+        pix, dep, col = gaussian_splat_fragments(
+            camera, pos, rgba, np.array([0.5, 3.0])
+        )
+        # the wide splat contributes far more fragments; fragments stay
+        # point-major so the split is a prefix/suffix
+        assert len(pix) > 2
+        by_depth = np.unique(dep, return_counts=True)[1]
+        assert by_depth.min() < by_depth.max()
+
+    def test_fragment_count_traced(self, camera, cloud):
+        from repro.core.trace import capture
+
+        pos, rgba = cloud
+        with capture(enabled=True) as tracer:
+            pix, _, _ = gaussian_splat_fragments(camera, pos, rgba, 1.5)
+        counters = tracer.snapshot()["counters"]
+        assert counters["splat_fragments"] == len(pix)
+
+
+class TestDegenerateInputs:
+    def test_empty_points_yield_empty_stream(self, camera):
+        for fn in (point_fragments, gaussian_splat_fragments):
+            pix, dep, rgba = fn(camera, np.empty((0, 3)), np.empty((0, 4)))
+            assert pix.shape == (0,)
+            assert dep.shape == (0,)
+            assert rgba.shape == (0, 4)
+
+    def test_zero_sigma_emits_nothing(self, camera, cloud):
+        pos, rgba = cloud
+        pix, dep, col = gaussian_splat_fragments(camera, pos, rgba, 0.0)
+        assert len(pix) == 0
+
+    def test_zero_sigma_renders_like_no_points(self, camera, cloud, small_volume):
+        pos, rgba = cloud
+        frags = gaussian_splat_fragments(camera, pos, rgba, 0.0)
+        lo, hi = np.full(3, -1.0), np.full(3, 1.0)
+        with_dead = render_mixed(
+            camera, small_volume, lo, hi, point_fragments=frags,
+            n_slices=12, cache=False,
+        )
+        without = render_mixed(
+            camera, small_volume, lo, hi, n_slices=12, cache=False
+        )
+        assert np.array_equal(with_dead.rgba, without.rgba)
+        assert np.array_equal(with_dead.depth, without.depth)
+
+    def test_mixed_zero_sigma_matches_live_subset(self, camera, cloud):
+        """Points with sigma <= 0 drop out exactly; the rest are
+        bitwise-identical to splatting the live subset alone."""
+        pos, rgba = cloud
+        sig = np.full(len(pos), 1.5)
+        sig[::3] = 0.0
+        mixed = gaussian_splat_fragments(camera, pos, rgba, sig)
+        live = sig > 0
+        alone = gaussian_splat_fragments(
+            camera, pos[live], rgba[live], sig[live]
+        )
+        assert np.array_equal(mixed[0], alone[0])
+        assert np.array_equal(mixed[1], alone[1])
+        assert np.array_equal(mixed[2], alone[2])
+
+
+class TestBatchEquivalence:
+    def test_batched_fragments_bitwise_equal(self, camera, cloud):
+        pos, rgba = cloud
+        sig = np.linspace(0.5, 2.5, len(pos))
+        full = gaussian_splat_fragments(camera, pos, rgba, sig)
+        for batch in (1, 7, 100, len(pos)):
+            parts = [
+                gaussian_splat_fragments(
+                    camera, pos[a : a + batch], rgba[a : a + batch],
+                    sig[a : a + batch],
+                )
+                for a in range(0, len(pos), batch)
+            ]
+            assert np.array_equal(full[0], np.concatenate([p[0] for p in parts]))
+            assert np.array_equal(full[1], np.concatenate([p[1] for p in parts]))
+            assert np.array_equal(full[2], np.concatenate([p[2] for p in parts]))
+
+    def test_batched_render_bitwise_equal(self, camera, cloud, small_volume):
+        pos, rgba = cloud
+        lo, hi = np.full(3, -1.0), np.full(3, 1.0)
+        full = gaussian_splat_fragments(camera, pos, rgba, 1.5)
+        batches = [
+            gaussian_splat_fragments(camera, pos[a : a + 50], rgba[a : a + 50], 1.5)
+            for a in range(0, len(pos), 50)
+        ]
+        a = render_mixed(
+            camera, small_volume, lo, hi, point_fragments=full,
+            n_slices=12, cache=False,
+        )
+        b = render_mixed(
+            camera, small_volume, lo, hi, point_fragments=batches,
+            n_slices=12, cache=False,
+        )
+        assert np.array_equal(a.rgba, b.rgba)
+
+    def test_empty_batches_interleaved(self, camera, cloud, small_volume):
+        """Empty fragment batches anywhere in the list must not change
+        the composite (the empty-shard regression)."""
+        pos, rgba = cloud
+        lo, hi = np.full(3, -1.0), np.full(3, 1.0)
+        frags = gaussian_splat_fragments(camera, pos, rgba, 1.5)
+        empty = gaussian_splat_fragments(
+            camera, np.empty((0, 3)), np.empty((0, 4)), 1.5
+        )
+        a = render_mixed(
+            camera, small_volume, lo, hi, point_fragments=[frags],
+            n_slices=12, cache=False,
+        )
+        b = render_mixed(
+            camera, small_volume, lo, hi,
+            point_fragments=[empty, frags, empty],
+            n_slices=12, cache=False,
+        )
+        assert np.array_equal(a.rgba, b.rgba)
+
+
+class TestRendererTier:
+    def test_splat_mode_differs_from_sprites(self, hybrid_frame):
+        from repro.hybrid.renderer import HybridRenderer
+
+        camera = Camera.fit_bounds(
+            hybrid_frame.lo, hybrid_frame.hi, width=64, height=64
+        )
+        sprites = HybridRenderer(n_slices=12, cache=False).render(
+            hybrid_frame, camera
+        )
+        splats = HybridRenderer(
+            n_slices=12, cache=False, point_mode="splat"
+        ).render(hybrid_frame, camera)
+        assert np.all(np.isfinite(splats.rgba))
+        assert not np.array_equal(sprites.rgba, splats.rgba)
+
+    def test_batched_renderer_matches_unbatched(self, hybrid_frame):
+        from repro.hybrid.renderer import HybridRenderer
+
+        camera = Camera.fit_bounds(
+            hybrid_frame.lo, hybrid_frame.hi, width=64, height=64
+        )
+        kw = dict(n_slices=12, cache=False, point_mode="splat", splat_scale=0.5)
+        a = HybridRenderer(**kw).render(hybrid_frame, camera)
+        b = HybridRenderer(**kw, point_batch_size=101).render(hybrid_frame, camera)
+        assert np.array_equal(a.rgba, b.rgba)
+
+    def test_invalid_parameters_rejected(self):
+        from repro.hybrid.renderer import HybridRenderer
+
+        with pytest.raises(ValueError, match="point_mode"):
+            HybridRenderer(point_mode="blob")
+        with pytest.raises(ValueError, match="splat_sigma"):
+            HybridRenderer(splat_sigma=0.0)
+        with pytest.raises(ValueError, match="splat_scale"):
+            HybridRenderer(splat_scale=-1.0)
+        with pytest.raises(ValueError, match="volume_mode"):
+            HybridRenderer(volume_mode="amr-only")
+
+
+class TestScene:
+    def test_add_splats_composites(self, camera, cloud):
+        pos, rgba = cloud
+        scene = Scene(camera).add_splats(pos, rgba, sigma=1.5)
+        assert scene.n_fragments > len(pos)  # footprints cover pixels
+        fb = scene.render(n_slices=8)
+        assert np.any(fb.rgba != 0.0)
+
+    def test_add_splats_matches_manual_fragments(self, camera, cloud):
+        pos, rgba = cloud
+        fb_scene = Scene(camera).add_splats(pos, rgba, sigma=1.5).render(
+            n_slices=8
+        )
+        frags = gaussian_splat_fragments(camera, pos, rgba, 1.5)
+        fb_manual = render_mixed(
+            camera, None, np.zeros(3), np.ones(3), point_fragments=frags,
+            fb=Framebuffer(camera.width, camera.height), n_slices=8,
+        )
+        assert np.array_equal(fb_scene.rgba, fb_manual.rgba)

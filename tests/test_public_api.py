@@ -44,6 +44,7 @@ MODULES = [
     "repro.octree.forest",
     "repro.octree.parallel",
     "repro.octree.repartition",
+    "repro.octree.amr",
     "repro.hybrid.representation",
     "repro.hybrid.attributes",
     "repro.hybrid.transfer",
@@ -56,6 +57,7 @@ MODULES = [
     "repro.render.frame_cache",
     "repro.render.volume",
     "repro.render.points",
+    "repro.render.amr",
     "repro.render.raster",
     "repro.render.shading",
     "repro.render.colormap",
@@ -142,6 +144,15 @@ FACADE_REQUIRED = [
     "ChaosSchedule",
     "run_fleet",
     "ServiceBusyError",
+    # adaptive AMR volumes + Gaussian splatting (PR 9)
+    "AmrVolume",
+    "build_amr",
+    "plan_amr_levels",
+    "amr_from_nodes",
+    "AmrRgbaVolume",
+    "build_amr_geometry",
+    "amr_geometry_key",
+    "gaussian_splat_fragments",
 ]
 
 # Deliberately dropped from the facade: these were never part of the

@@ -30,7 +30,7 @@ N_FRAMES = 12
 def frame_dir(tmp_path_factory):
     out = tmp_path_factory.mktemp("timeseries")
     sim = BeamSimulation(
-        BeamConfig(n_particles=scaled(20_000), n_cells=N_FRAMES - 1, seed=6)
+        BeamConfig(n_particles=scaled(20_000), n_cells=N_FRAMES - 1, seed=6).resolved()
     )
     threshold = None
     index = 0

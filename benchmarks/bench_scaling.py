@@ -28,7 +28,7 @@ POINT_BUDGET = scaled(5_000)
 
 def _hybrid_for(n):
     sim = BeamSimulation(
-        BeamConfig(n_particles=n, n_cells=4, seed=13, mismatch=1.5)
+        BeamConfig(n_particles=n, n_cells=4, seed=13, mismatch=1.5).resolved()
     )
     sim.run()
     pf = partition(as_dataset(sim.particles), "xyz", max_level=6, capacity=48)

@@ -26,7 +26,7 @@ def beam_particles():
     """A halo-developed beam frame (the paper's 100 M-particle frame,
     scaled)."""
     sim = BeamSimulation(
-        BeamConfig(n_particles=scaled(60_000), n_cells=8, seed=1, mismatch=1.5)
+        BeamConfig(n_particles=scaled(60_000), n_cells=8, seed=1, mismatch=1.5).resolved()
     )
     sim.run()
     return sim.particles.copy()

@@ -10,6 +10,7 @@
 #   scripts/check.sh --service  # the multi-tenant service suite + chaos gate
 #   scripts/check.sh --lod      # the LOD / progressive-streaming suite + gate
 #   scripts/check.sh --amr      # the adaptive-AMR / splat suite + AMR gate
+#   scripts/check.sh --scenarios # the digital-twin scenario suite + gate
 #
 # --faults runs the resilience suites (fault harness, crash-safe
 # executors, checkpoint/resume, remote link under injected damage)
@@ -55,6 +56,14 @@
 # equal-bytes beam-core detail win, the flat-path bitwise pins, and
 # batched == serial splatting (scripts/perf_gate.py --amr).
 #
+# --scenarios runs the digital-twin scenario suites (declarative
+# specs, closed-loop feedback, ensemble sweeps, the scenario CLI, the
+# implicit-lattice deprecation pins), then the acceptance bench (a
+# 16-member sweep at workers=4 surviving an injected worker kill, the
+# envelope feedback convergence budget, forest/LOD renderability of
+# the landed members) that refreshes BENCH_scenarios.json, and gates
+# on those flags (scripts/perf_gate.py --scenarios).
+#
 # ruff is optional: environments without it (the pinned CI image bakes
 # only the runtime deps) skip the lint step with a notice instead of
 # failing.
@@ -70,6 +79,7 @@ run_forest=0
 run_service=0
 run_lod=0
 run_amr=0
+run_scenarios=0
 if [[ "${1:-}" == "--no-lint" ]]; then
     run_lint=0
 elif [[ "${1:-}" == "--faults" ]]; then
@@ -93,6 +103,24 @@ elif [[ "${1:-}" == "--lod" ]]; then
 elif [[ "${1:-}" == "--amr" ]]; then
     run_lint=0
     run_amr=1
+elif [[ "${1:-}" == "--scenarios" ]]; then
+    run_lint=0
+    run_scenarios=1
+fi
+
+if [[ $run_scenarios -eq 1 ]]; then
+    echo "== digital-twin scenario suite =="
+    PYTHONPATH=src python -m pytest -x -q \
+        tests/beams/test_scenario.py \
+        tests/beams/test_feedback.py \
+        tests/beams/test_sweep.py \
+        tests/test_deprecations.py \
+        tests/test_public_api.py
+    echo "== scenario acceptance bench =="
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_scenarios.py
+    echo "== scenario gate =="
+    python scripts/perf_gate.py --scenarios
+    exit 0
 fi
 
 if [[ $run_amr -eq 1 ]]; then

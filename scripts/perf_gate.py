@@ -42,8 +42,18 @@ bounded queues fully drained, a coalescing cache hit rate above the
 absolute ceiling; the hit rate is also drift-checked against the
 committed baseline.
 
+``--scenarios`` gates ``BENCH_scenarios.json``: the envelope feedback
+loop must converge within its documented step budget with the
+closed-loop error inside twice the deadband, the 16-member sweep must
+land every member as a CRC-verified sharded store despite one injected
+worker kill, re-invocation must resume all 16 members from disk, one
+member must flow through the forest partitioner and LOD builder
+unchanged, and member tracking must be bitwise-deterministic under its
+seed; the sweep throughput is also drift-checked against the committed
+baseline on machines with a matching CPU count.
+
 Run via ``scripts/check.sh --perf`` / ``--store`` / ``--forest`` /
-``--service`` (which refresh the JSON first).
+``--service`` / ``--scenarios`` (which refresh the JSON first).
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ FOREST_BENCH_FILE = "BENCH_forest.json"
 SERVICE_BENCH_FILE = "BENCH_service.json"
 LOD_BENCH_FILE = "BENCH_lod.json"
 AMR_BENCH_FILE = "BENCH_amr.json"
+SCENARIOS_BENCH_FILE = "BENCH_scenarios.json"
 TOLERANCE = 0.20
 LOD_TTFI_SPEEDUP_FLOOR = 4.0
 AMR_DEPOSIT_SPEEDUP_FLOOR = 1.5
@@ -403,8 +414,85 @@ def gate_amr(root: Path) -> int:
     return 0
 
 
+def gate_scenarios(root: Path) -> int:
+    """Hard floors for the digital-twin scenario acceptance bench."""
+    fresh, base = _load(root, SCENARIOS_BENCH_FILE)
+    fb, sweep, render = fresh["feedback"], fresh["sweep"], fresh["render"]
+    cpus = int(fresh.get("cpu_count", 1))
+
+    failed = False
+    flags = [
+        (
+            f"envelope feedback converged at step {fb['converged_step']} "
+            f"(budget {fb['step_budget']})",
+            bool(fb["within_budget"]),
+        ),
+        (
+            f"closed-loop error {fb['final_error']:.4f} within "
+            f"2x deadband ({fb['deadband']})",
+            fb["final_error"] <= 2.0 * fb["deadband"],
+        ),
+        (
+            f"all sweep members landed as verified stores "
+            f"({sweep['members_ok']} of {sweep['n_members']})",
+            sweep["members_ok"] == sweep["n_members"] == 16,
+        ),
+        (
+            f"worker crash injected and survived "
+            f"({sweep['pool_breaks']} pool break(s), "
+            f"{sweep['shard_retries']} retried shard(s))",
+            bool(sweep["crash_injected"]) and sweep["pool_breaks"] >= 1,
+        ),
+        (
+            f"re-invocation resumed every member from disk "
+            f"({sweep['resumed']} of {sweep['n_members']} in "
+            f"{sweep['t_resume_s'] * 1e3:.0f} ms)",
+            sweep["resumed"] == sweep["n_members"],
+        ),
+        (
+            f"member renderable through forest + LOD "
+            f"({render['forest_particles']} particles, "
+            f"{render['lod_levels']} LOD level(s))",
+            bool(render["renderable"]),
+        ),
+        (
+            "member tracking deterministic under its seed",
+            bool(render["deterministic"]),
+        ),
+    ]
+    for label, ok in flags:
+        print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failed |= not ok
+
+    if base is not None and int(base.get("cpu_count", 1)) == cpus:
+        was = float(base["sweep"]["members_per_s"])
+        now = float(sweep["members_per_s"])
+        floor = (1.0 - TOLERANCE) * was
+        ok = now >= floor
+        print(
+            f"  {'ok  ' if ok else 'FAIL'} sweep throughput vs baseline: "
+            f"{now:.2f} members/s (baseline {was:.2f}, floor {floor:.2f})"
+        )
+        failed |= not ok
+    elif base is not None:
+        print(
+            f"  skip drift check: bench ran on {cpus} cpu(s), "
+            f"baseline on {base.get('cpu_count', 1)}"
+        )
+    else:
+        print(f"  no committed {SCENARIOS_BENCH_FILE} baseline; drift check skipped")
+
+    if failed:
+        print("perf gate: scenario gate failed", file=sys.stderr)
+        return 1
+    print("perf gate: feedback budget, sweep survival, and render floors hold")
+    return 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
+    if "--scenarios" in sys.argv[1:]:
+        return gate_scenarios(root)
     if "--store" in sys.argv[1:]:
         return gate_store(root)
     if "--lod" in sys.argv[1:]:

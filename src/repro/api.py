@@ -48,6 +48,21 @@ from repro.core.trace import (
     span,
 )
 from repro.beams.io import frame_to_store
+from repro.beams.scenario import (
+    ElementSpec,
+    EnvelopeController,
+    FeedbackController,
+    LatticeSpec,
+    OrbitController,
+    Scenario,
+    ScenarioSpec,
+    SweepResult,
+    controllers_from_spec,
+    expand_axes,
+    load_scenario,
+    load_sweep,
+    run_sweep,
+)
 from repro.beams.simulation import BeamConfig, BeamSimulation
 from repro.fieldlines.seeding import OrderedFieldLines, seed_density_proportional
 from repro.fieldlines.sos import build_strips, render_strips
@@ -84,6 +99,20 @@ __all__ = [
     # beam workflow stages
     "BeamConfig",
     "BeamSimulation",
+    # digital-twin scenario layer (PR 10)
+    "ElementSpec",
+    "LatticeSpec",
+    "ScenarioSpec",
+    "Scenario",
+    "load_scenario",
+    "FeedbackController",
+    "EnvelopeController",
+    "OrbitController",
+    "controllers_from_spec",
+    "run_sweep",
+    "expand_axes",
+    "load_sweep",
+    "SweepResult",
     "partition",
     "PartitionedFrame",
     "extract",

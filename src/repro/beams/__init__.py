@@ -19,6 +19,8 @@ spacecharge    cloud-in-cell deposition + FFT Poisson solver (PIC)
 simulation     time-stepping driver writing per-step particle frames
 diagnostics    rms sizes, emittances, halo parameter, density profiles
 io             the 6-double-per-particle binary frame format
+scenario       digital-twin layer: declarative lattice/scenario specs,
+               closed-loop feedback controllers, ensemble sweep driver
 """
 
 from repro.beams.distributions import (
@@ -29,16 +31,24 @@ from repro.beams.distributions import (
     make_distribution,
 )
 from repro.beams.lattice import Drift, Quadrupole, fodo_cell, fodo_channel
-from repro.beams.elements import Solenoid, ThinRFGap
+from repro.beams.elements import Corrector, Solenoid, ThinRFGap
 from repro.beams.cavity import CavityTracker, boris_push, track_through_cavity
 from repro.beams.matching import matched_sigmas, matched_twiss, phase_advance
 from repro.beams.transport import track_step, transfer_matrices
 from repro.beams.simulation import BeamSimulation, BeamConfig
 from repro.beams.diagnostics import (
+    centroid,
     rms_size,
     rms_emittance,
     halo_parameter,
     density_profile,
+)
+from repro.beams.scenario import (
+    ElementSpec,
+    LatticeSpec,
+    Scenario,
+    ScenarioSpec,
+    run_sweep,
 )
 from repro.beams.io import write_frame, read_frame, frame_path, FrameWriter
 
@@ -54,6 +64,7 @@ __all__ = [
     "fodo_channel",
     "Solenoid",
     "ThinRFGap",
+    "Corrector",
     "CavityTracker",
     "boris_push",
     "track_through_cavity",
@@ -64,10 +75,16 @@ __all__ = [
     "transfer_matrices",
     "BeamSimulation",
     "BeamConfig",
+    "centroid",
     "rms_size",
     "rms_emittance",
     "halo_parameter",
     "density_profile",
+    "ElementSpec",
+    "LatticeSpec",
+    "ScenarioSpec",
+    "Scenario",
+    "run_sweep",
     "write_frame",
     "read_frame",
     "frame_path",

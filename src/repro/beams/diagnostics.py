@@ -15,6 +15,7 @@ from repro.beams.distributions import COLUMN_NAMES, PX, PY, X, Y
 __all__ = [
     "rms_size",
     "rms_emittance",
+    "centroid",
     "halo_parameter",
     "density_profile",
     "summary",
@@ -25,6 +26,16 @@ def rms_size(particles: np.ndarray, column: int) -> float:
     """Centered rms size of one phase-space column."""
     c = particles[:, column]
     return float(np.sqrt(np.mean((c - c.mean()) ** 2)))
+
+
+def centroid(particles: np.ndarray) -> np.ndarray:
+    """First moments (6,): the beam centroid in phase space.
+
+    The readback of an orbit-feedback loop: a steered or mis-injected
+    beam has nonzero (x, y) / (px, py) centroids that betatron-oscillate
+    down the channel; correctors push them back to the axis.
+    """
+    return particles.mean(axis=0)
 
 
 def rms_emittance(particles: np.ndarray, plane: str = "x") -> float:

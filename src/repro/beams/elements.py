@@ -14,6 +14,12 @@ solenoid channels distinct from FODO ones.
 ``ThinRFGap`` applies the linearized longitudinal kick of an RF
 cavity at synchronous phase: pz -> pz - k z, which bunches the beam in
 z the way quadrupoles confine it transversely.
+
+``Corrector`` is a thin steering element -- the dipole corrector of a
+real machine's orbit-feedback system.  It adds a constant momentum
+kick (px += kick_x, py += kick_y) to every particle, shifting the
+beam centroid without touching its shape; the closed-loop orbit
+controllers of :mod:`repro.beams.scenario.feedback` actuate it.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import numpy as np
 from repro.beams.distributions import PX, PY, PZ, X, Y, Z
 from repro.beams.lattice import Element
 
-__all__ = ["Solenoid", "ThinRFGap"]
+__all__ = ["Solenoid", "ThinRFGap", "Corrector"]
 
 
 @dataclass(frozen=True)
@@ -100,3 +106,40 @@ class ThinRFGap(Element):
     def split(self, n: int):
         # a thin kick cannot be split; return it once plus no-ops
         return [self] + [ThinRFGap(0.0)] * (n - 1)
+
+
+@dataclass(frozen=True)
+class Corrector(Element):
+    """Thin steering corrector: px += kick_x, py += kick_y.
+
+    A drift of the given length (0 for a pure thin kick) followed by a
+    constant transverse momentum kick applied to every particle.  The
+    kick moves the beam *centroid* only -- rms sizes and emittances are
+    untouched -- which is exactly the actuator an orbit-feedback loop
+    needs.
+    """
+
+    kick_x: float = 0.0
+    kick_y: float = 0.0
+
+    def __init__(self, length: float = 0.0, kick_x: float = 0.0, kick_y: float = 0.0):
+        object.__setattr__(self, "length", float(length))
+        object.__setattr__(self, "kick_x", float(kick_x))
+        object.__setattr__(self, "kick_y", float(kick_y))
+
+    def matrices(self):
+        m = np.array([[1.0, self.length], [0.0, 1.0]])
+        return m, m.copy()
+
+    def transport(self, particles: np.ndarray) -> None:
+        if self.length != 0.0:
+            particles[:, X] += particles[:, PX] * self.length
+            particles[:, Y] += particles[:, PY] * self.length
+        particles[:, Z] += particles[:, PZ] * self.length
+        particles[:, PX] += self.kick_x
+        particles[:, PY] += self.kick_y
+
+    def split(self, n: int):
+        # the drift part splits; the kick fires once at the end
+        out = [Corrector(self.length / n)] * (n - 1)
+        return out + [Corrector(self.length / n, self.kick_x, self.kick_y)]

@@ -15,7 +15,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Element", "Drift", "Quadrupole", "fodo_cell", "fodo_channel", "channel_period"]
+__all__ = [
+    "Element",
+    "Drift",
+    "Quadrupole",
+    "fodo_cell",
+    "fodo_channel",
+    "channel_period",
+    "one_turn_matrix",
+]
 
 
 @dataclass(frozen=True)

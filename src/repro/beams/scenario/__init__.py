@@ -1,0 +1,55 @@
+"""Digital-twin scenario layer: declarative lattices, closed-loop
+feedback, ensemble sweeps.
+
+The paper's terascale runs are campaigns, not single simulations:
+a lattice is designed, a control room tunes it against live
+diagnostics, and parameter ensembles map the operating envelope.
+This package is that workflow over the in-process engine --
+
+:mod:`~repro.beams.scenario.spec`
+    pure-data :class:`LatticeSpec` / :class:`ScenarioSpec` trees that
+    JSON round-trip and compile to a live :class:`Scenario`;
+:mod:`~repro.beams.scenario.feedback`
+    closed-loop controllers reading beam diagnostics each step and
+    actuating named lattice knobs;
+:mod:`~repro.beams.scenario.sweep`
+    :func:`run_sweep`, fanning parameter grids through the crash-safe
+    shard executor into per-member :class:`~repro.core.store.ShardedStore`
+    directories the forest / LOD / service paths consume.
+"""
+
+from repro.beams.scenario.feedback import (
+    EnvelopeController,
+    FeedbackController,
+    OrbitController,
+    controllers_from_spec,
+)
+from repro.beams.scenario.spec import (
+    ElementSpec,
+    LatticeSpec,
+    Scenario,
+    ScenarioSpec,
+    load_scenario,
+)
+from repro.beams.scenario.sweep import (
+    SweepResult,
+    expand_axes,
+    load_sweep,
+    run_sweep,
+)
+
+__all__ = [
+    "ElementSpec",
+    "LatticeSpec",
+    "ScenarioSpec",
+    "Scenario",
+    "load_scenario",
+    "FeedbackController",
+    "EnvelopeController",
+    "OrbitController",
+    "controllers_from_spec",
+    "run_sweep",
+    "expand_axes",
+    "load_sweep",
+    "SweepResult",
+]

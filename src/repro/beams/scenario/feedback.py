@@ -1,0 +1,316 @@
+"""Closed-loop feedback controllers over live scenarios.
+
+The control-room half of the digital twin: a controller samples beam
+diagnostics (:mod:`repro.beams.diagnostics`) every ``every`` steps and
+actuates a named lattice knob on the running
+:class:`~repro.beams.scenario.spec.Scenario` -- the same
+observe/decide/actuate loop an orbit- or envelope-feedback system
+closes around a real machine.
+
+Two concrete loops:
+
+:class:`EnvelopeController`
+    integral control of an rms beam size onto a target by moving a
+    quadrupole (or solenoid) strength -- the matching loop.  With
+    space charge, envelope-mismatch oscillations decohere over a few
+    cells, so the slow integral term converges onto the matched size.
+
+:class:`OrbitController`
+    steering control of the beam centroid onto the axis through a
+    corrector kick.  The centroid obeys the bare linear lattice, so a
+    position-only kick merely re-phases the oscillation; damping
+    requires the momentum-proportional term (``gain_p``), giving the
+    discrete PD loop of a real orbit-feedback system.
+
+Both detect their own pathologies: a *deadband* (hands-off region)
+with ``settle`` consecutive in-band samples declaring convergence, and
+an instability trip (error blowing past ``blowup`` times its initial
+value, or rising monotonically ``rising_limit`` samples in a row) that
+latches the controller off -- visible in a trace as the
+``feedback_unstable`` counter.  Controllers are observable end to end
+through :mod:`repro.core.trace`: ``feedback_samples``,
+``feedback_actuations``, ``feedback_converged``, ``feedback_unstable``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.beams.diagnostics import centroid, rms_size
+from repro.beams.distributions import PX, PY, X, Y
+from repro.core.errors import FormatError
+from repro.core.trace import count
+
+__all__ = [
+    "FeedbackController",
+    "EnvelopeController",
+    "OrbitController",
+    "controllers_from_spec",
+]
+
+# observable name -> particles -> measured scalar
+_OBSERVABLES = {
+    "sigma_x": lambda p: rms_size(p, X),
+    "sigma_y": lambda p: rms_size(p, Y),
+    "sigma_xy": lambda p: 0.5 * (rms_size(p, X) + rms_size(p, Y)),
+}
+
+_PLANES = {"x": (X, PX), "y": (Y, PY)}
+
+
+class FeedbackController:
+    """Base observe/decide/actuate loop on one named knob.
+
+    Subclasses implement :meth:`measure` (signed scalar error from the
+    particle array) and :meth:`actuation` (knob increment from that
+    error).  The base class owns the cadence (``every``), the deadband
+    / ``settle`` convergence logic, actuator clamping, instability
+    detection, and the trace counters.
+
+    Attributes
+    ----------
+    converged : currently inside the deadband for >= ``settle``
+        consecutive samples
+    converged_step : first step at which convergence was declared
+        (``None`` until then)
+    unstable : the instability trip latched; the controller has
+        stopped actuating
+    errors : |error| per sample, for post-run analysis
+    """
+
+    def __init__(
+        self,
+        knob: str,
+        gain: float = 0.1,
+        deadband: float = 0.01,
+        every: int = 5,
+        phase: int = 0,
+        settle: int = 3,
+        limits: tuple | None = None,
+        blowup: float = 5.0,
+        rising_limit: int = 8,
+        warmup: int | None = None,
+    ):
+        if gain < 0.0:
+            raise ValueError("gain must be >= 0")
+        if deadband < 0.0:
+            raise ValueError("deadband must be >= 0")
+        self.knob = str(knob)
+        self.gain = float(gain)
+        self.deadband = float(deadband)
+        self.every = max(1, int(every))
+        self.phase = int(phase) % self.every
+        self.settle = max(1, int(settle))
+        self.limits = None if limits is None else (float(limits[0]), float(limits[1]))
+        self.blowup = float(blowup)
+        self.rising_limit = int(rising_limit)
+        # the instability trips arm only after this many samples: the
+        # first observations of an oscillating beam alias the swing, so
+        # the blowup reference is their *maximum*, not the first value
+        self.warmup = max(2, int(warmup) if warmup is not None else self.settle)
+        self.converged_step = None
+        self.unstable = False
+        self.errors: list = []
+        self.actuations = 0
+        self._in_band = 0
+        self._rising = 0
+
+    # ------------------------------------------------------------------
+    # subclass surface
+    def measure(self, particles: np.ndarray) -> float:
+        """Signed scalar error (0 = on target) from the live beam."""
+        raise NotImplementedError
+
+    def actuation(self, error: float, particles: np.ndarray) -> float:
+        """Knob increment responding to ``error``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        """Convergence was declared (``settle`` consecutive in-band
+        samples at some point) and the loop has not gone unstable."""
+        return self.converged_step is not None and not self.unstable
+
+    # set by subclasses: actuation() returns the knob's new absolute
+    # value instead of an increment
+    absolute = False
+
+    def update(self, scenario, step_index: int, particles: np.ndarray) -> None:
+        """One control-loop closure; called by ``Scenario.step()``."""
+        if step_index % self.every != self.phase or self.unstable:
+            return
+        error = float(self.measure(particles))
+        magnitude = abs(error)
+        self.errors.append(magnitude)
+        count("feedback_samples")
+        if magnitude <= self.deadband:
+            self._in_band += 1
+            self._rising = 0
+            if self._in_band == self.settle and self.converged_step is None:
+                self.converged_step = step_index
+                count("feedback_converged")
+            if not self.absolute:
+                # integral loops go hands-off inside the deadband; an
+                # absolute loop keeps tracking (its actuator must follow
+                # the observable or a stale setting re-excites the error)
+                return
+        else:
+            self._in_band = 0
+            # instability trip: error far past its warmup-window
+            # reference, or rising monotonically sample after sample
+            if len(self.errors) >= 2 and magnitude > self.errors[-2] * (1.0 + 1e-9):
+                self._rising += 1
+            else:
+                self._rising = 0
+            if len(self.errors) > self.warmup:
+                ref = max(max(self.errors[: self.warmup]), self.deadband, 1e-12)
+                if magnitude > self.blowup * ref or self._rising >= self.rising_limit:
+                    self.unstable = True
+                    count("feedback_unstable")
+                    return
+        out = float(self.actuation(error, particles))
+        value = out if self.absolute else scenario.get_strength(self.knob) + out
+        if not self.absolute and out == 0.0:
+            return
+        if self.limits is not None:
+            value = min(max(value, self.limits[0]), self.limits[1])
+        scenario.set_strength(self.knob, value)
+        self.actuations += 1
+        count("feedback_actuations")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = (
+            "unstable"
+            if self.unstable
+            else ("converged" if self.converged else "seeking")
+        )
+        return f"{type(self).__name__}(knob={self.knob!r}, {state})"
+
+
+class EnvelopeController(FeedbackController):
+    """Integral matching loop: drive an rms size onto a target.
+
+    ``observable`` is one of ``sigma_x`` / ``sigma_y`` / ``sigma_xy``;
+    the increment is ``direction * gain * (smoothed - target)``.  For a
+    focusing quad (``qf``-style, k > 0 focuses the measured plane) a
+    too-large beam needs *more* strength, so ``direction=+1``; for a
+    knob whose spec strength is negative in the measured plane's
+    focusing sense (the ``qd`` quad observed in y) use
+    ``direction=-1``.
+
+    A mismatched envelope *oscillates* at twice the betatron frequency,
+    and per-cell sampling aliases that swing; the controller therefore
+    regulates the exponential moving average of the observable
+    (``smooth`` is the EMA weight of each new sample; 1 disables
+    smoothing), i.e. the DC level the quad strength actually moves.
+    """
+
+    def __init__(
+        self,
+        knob: str,
+        target: float,
+        observable: str = "sigma_x",
+        direction: float = 1.0,
+        smooth: float = 0.2,
+        **kwargs,
+    ):
+        if observable not in _OBSERVABLES:
+            raise ValueError(
+                f"unknown observable {observable!r}; "
+                f"available: {', '.join(sorted(_OBSERVABLES))}"
+            )
+        if not 0.0 < smooth <= 1.0:
+            raise ValueError("smooth must be in (0, 1]")
+        super().__init__(knob, **kwargs)
+        self.target = float(target)
+        self.observable = str(observable)
+        self.direction = float(direction)
+        self.smooth = float(smooth)
+        self._ema = None
+
+    def measure(self, particles: np.ndarray) -> float:
+        raw = _OBSERVABLES[self.observable](particles)
+        if self._ema is None:
+            self._ema = raw
+        else:
+            self._ema += self.smooth * (raw - self._ema)
+        return self._ema - self.target
+
+    def actuation(self, error: float, particles: np.ndarray) -> float:
+        return self.direction * self.gain * error
+
+
+class OrbitController(FeedbackController):
+    """Steering loop: drive the beam centroid onto the axis.
+
+    Observes the centroid of one transverse plane and *sets* the
+    corrector kick to ``-(gain * <q> + gain_p * <p>)`` -- fast orbit
+    feedback.  The momentum term is what damps: the centroid follows
+    the bare symplectic lattice, so a position-only kick merely
+    re-phases the oscillation, while ``gain_p = 1`` removes the whole
+    centroid momentum at the corrector (deadbeat in p; the lattice
+    rotation then walks the position error down each period).
+
+    Sampling phase matters: set ``every`` to the lattice period (in
+    steps) and ``phase`` so the sample lands immediately *before* the
+    corrector -- sampling after it closes the loop around a full-period
+    delay, which is unstable at any useful gain.  Deadband and
+    convergence act on the position error.
+    """
+
+    absolute = True
+
+    def __init__(
+        self,
+        knob: str,
+        plane: str = "x",
+        gain: float = 0.0,
+        gain_p: float = 1.0,
+        **kwargs,
+    ):
+        if plane not in _PLANES:
+            raise ValueError(f"unknown plane {plane!r}; use 'x' or 'y'")
+        super().__init__(knob, gain=gain, **kwargs)
+        self.plane = str(plane)
+        self.gain_p = float(gain_p)
+
+    def measure(self, particles: np.ndarray) -> float:
+        q, _ = _PLANES[self.plane]
+        return float(particles[:, q].mean())
+
+    def actuation(self, error: float, particles: np.ndarray) -> float:
+        _, p = _PLANES[self.plane]
+        return -(self.gain * error + self.gain_p * float(particles[:, p].mean()))
+
+
+_CONTROLLER_TYPES = {"envelope": EnvelopeController, "orbit": OrbitController}
+
+
+def controllers_from_spec(spec) -> list:
+    """Instantiate a spec's declarative controllers.
+
+    Each entry of ``ScenarioSpec.controllers`` is a dict with a
+    ``type`` key (``"envelope"`` or ``"orbit"``) plus the matching
+    constructor's keyword arguments.  Raises
+    :class:`~repro.core.errors.FormatError` on an unknown type or bad
+    arguments -- controller dicts are spec *data*, so damage is a
+    format error (CLI exit 3), not a programming error.
+    """
+    controllers = []
+    for entry in spec.controllers:
+        entry = dict(entry)
+        kind = entry.pop("type", None)
+        cls = _CONTROLLER_TYPES.get(kind)
+        if cls is None:
+            raise FormatError(
+                f"unknown controller type {kind!r}; "
+                f"available: {', '.join(sorted(_CONTROLLER_TYPES))}"
+            )
+        if "limits" in entry and entry["limits"] is not None:
+            entry["limits"] = tuple(entry["limits"])
+        try:
+            controllers.append(cls(**entry))
+        except (TypeError, ValueError) as exc:
+            raise FormatError(f"bad {kind} controller spec {entry!r}: {exc}") from exc
+    return controllers

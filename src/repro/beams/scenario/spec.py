@@ -1,0 +1,676 @@
+"""Declarative lattice and scenario specifications.
+
+The digital-twin split (pytac/pyAT in Diamond's Virtac): a *spec* is
+pure data -- JSON-serializable, versioned, diffable -- and compiles to
+the physics engine (:class:`repro.beams.simulation.BeamSimulation`)
+on demand.  A control layer (:mod:`repro.beams.scenario.feedback`)
+then mutates named element strengths on the live machine while the
+engine responds.
+
+Three layers:
+
+``ElementSpec``
+    one beamline element: a ``kind`` (drift, quad, solenoid, rf_gap,
+    kicker_x, kicker_y), an optional ``name`` shared by every element
+    the same knob drives, a ``length``, and a single scalar
+    ``strength`` (the settable knob: quad k, solenoid b, RF kz,
+    corrector kick).
+
+``LatticeSpec``
+    an element sequence repeated ``repeat`` times -- one cell of a
+    periodic channel plus its period count.  Composable with ``+``;
+    ``build()`` emits the concrete element list;
+    ``with_strength(name, v)`` re-derives a spec with one knob moved.
+
+``ScenarioSpec``
+    a lattice plus the beam (loader, sizes, mismatch, seed), space
+    charge, an optional step budget, and declarative feedback
+    controllers.  ``build()`` yields a :class:`Scenario` -- the live
+    simulation with named-knob access -- and ``run_sweep``
+    (:mod:`repro.beams.scenario.sweep`) fans grids of overridden
+    copies through the crash-safe executor.
+
+Schema
+------
+``to_dict`` stamps ``{"schema": "repro/scenario", "version": 1}``
+(``repro/lattice`` for a bare lattice); ``from_dict`` / :func:`load_scenario`
+raise :class:`repro.core.errors.FormatError` on a foreign schema, an
+unsupported version, or a damaged file -- the package-wide failure
+vocabulary, so the CLI maps it to exit code 3.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.beams.elements import Corrector, Solenoid, ThinRFGap
+from repro.beams.lattice import Drift, Quadrupole, one_turn_matrix
+from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.atomic import atomic_write_bytes
+from repro.core.errors import FormatError
+
+__all__ = [
+    "ElementSpec",
+    "LatticeSpec",
+    "ScenarioSpec",
+    "Scenario",
+    "load_scenario",
+    "SCHEMA_VERSION",
+    "ELEMENT_KINDS",
+]
+
+SCHEMA_VERSION = 1
+SCENARIO_SCHEMA = "repro/scenario"
+LATTICE_SCHEMA = "repro/lattice"
+
+# kind -> (element class, the attribute its scalar strength drives)
+ELEMENT_KINDS = {
+    "drift": (Drift, None),
+    "quad": (Quadrupole, "k"),
+    "solenoid": (Solenoid, "b"),
+    "rf_gap": (ThinRFGap, "kz"),
+    "kicker_x": (Corrector, "kick_x"),
+    "kicker_y": (Corrector, "kick_y"),
+}
+
+# kinds whose element is thin regardless of the declared length
+_THIN_KINDS = frozenset({"rf_gap"})
+
+
+@dataclass(frozen=True)
+class ElementSpec:
+    """One declarative beamline element.
+
+    ``strength`` is the single settable knob; what it drives depends
+    on ``kind`` (see :data:`ELEMENT_KINDS`).  ``name`` groups elements
+    under one knob: every element sharing a name moves together when a
+    controller or a sweep axis sets that name's strength.
+    """
+
+    kind: str
+    name: str = ""
+    length: float = 0.0
+    strength: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in ELEMENT_KINDS:
+            raise ValueError(
+                f"unknown element kind {self.kind!r}; "
+                f"available: {', '.join(sorted(ELEMENT_KINDS))}"
+            )
+        if self.length < 0.0:
+            raise ValueError(f"element length must be >= 0, got {self.length}")
+
+    def build(self):
+        """The concrete :class:`~repro.beams.lattice.Element`."""
+        if self.kind == "drift":
+            return Drift(self.length)
+        if self.kind == "quad":
+            return Quadrupole(self.length, self.strength)
+        if self.kind == "solenoid":
+            return Solenoid(self.length, self.strength)
+        if self.kind == "rf_gap":
+            return ThinRFGap(self.strength)
+        if self.kind == "kicker_x":
+            return Corrector(self.length, kick_x=self.strength)
+        return Corrector(self.length, kick_y=self.strength)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "length": float(self.length),
+            "strength": float(self.strength),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ElementSpec":
+        """Rebuild from :meth:`to_dict` output (FormatError on damage)."""
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                name=str(data.get("name", "")),
+                length=float(data.get("length", 0.0)),
+                strength=float(data.get("strength", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"bad element spec {data!r}: {exc}") from exc
+
+
+def _schema_check(data: dict, schema: str, what: str) -> None:
+    """Validate the schema/version stamp of a spec dict."""
+    if not isinstance(data, dict):
+        raise FormatError(f"{what}: expected a JSON object, got {type(data).__name__}")
+    found = data.get("schema")
+    if found is not None and found != schema:
+        raise FormatError(f"{what}: schema {found!r} is not {schema!r}")
+    version = data.get("version", SCHEMA_VERSION if found is None else None)
+    if version != SCHEMA_VERSION:
+        raise FormatError(
+            f"{what}: unsupported schema version {version!r} "
+            f"(this release reads version {SCHEMA_VERSION})"
+        )
+
+
+@dataclass(frozen=True)
+class LatticeSpec:
+    """A declarative channel: one cell of elements, repeated.
+
+    ``build()`` flattens the cell ``repeat`` times into the concrete
+    element list :class:`~repro.beams.simulation.BeamSimulation`
+    tracks through.  Specs concatenate with ``+`` (the left operand's
+    repeats are unrolled), and every named element is a knob:
+    :meth:`with_strength` re-derives the spec with one knob moved,
+    :meth:`strengths` reads them all.
+    """
+
+    elements: tuple = ()
+    repeat: int = 1
+    name: str = "lattice"
+
+    def __post_init__(self):
+        elements = tuple(
+            e if isinstance(e, ElementSpec) else ElementSpec(**e)
+            for e in self.elements
+        )
+        object.__setattr__(self, "elements", elements)
+        if not elements:
+            raise ValueError("lattice needs at least one element")
+        if int(self.repeat) < 1:
+            raise ValueError("repeat must be >= 1")
+        object.__setattr__(self, "repeat", int(self.repeat))
+
+    # ------------------------------------------------------------------
+    # composition
+    def __add__(self, other: "LatticeSpec") -> "LatticeSpec":
+        if not isinstance(other, LatticeSpec):
+            return NotImplemented
+        return LatticeSpec(
+            elements=self.elements * self.repeat + other.elements * other.repeat,
+            repeat=1,
+            name=f"{self.name}+{other.name}",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        """Element count of the built (flattened) lattice."""
+        return len(self.elements) * self.repeat
+
+    @property
+    def cell_length(self) -> float:
+        """Path length of one cell."""
+        return float(sum(e.length for e in self.elements))
+
+    @property
+    def length(self) -> float:
+        """Total path length of the built lattice."""
+        return self.cell_length * self.repeat
+
+    def build(self) -> list:
+        """The concrete element list, cell repeated ``repeat`` times."""
+        cell = [e.build() for e in self.elements]
+        if self.repeat == 1:
+            return cell
+        return [el for _ in range(self.repeat) for el in cell]
+
+    # ------------------------------------------------------------------
+    # knobs
+    def knob_names(self) -> list:
+        """Ordered unique names of the settable (named) elements."""
+        seen: list = []
+        for e in self.elements:
+            if e.name and e.name not in seen:
+                seen.append(e.name)
+        return seen
+
+    def strengths(self) -> dict:
+        """name -> strength of every named knob (first occurrence)."""
+        out: dict = {}
+        for e in self.elements:
+            if e.name and e.name not in out:
+                out[e.name] = e.strength
+        return out
+
+    def with_strength(self, name: str, value: float) -> "LatticeSpec":
+        """Copy with every element named ``name`` set to ``value``."""
+        if name not in self.knob_names():
+            raise KeyError(
+                f"no element named {name!r}; knobs: {self.knob_names()}"
+            )
+        return replace(
+            self,
+            elements=tuple(
+                replace(e, strength=float(value)) if e.name == name else e
+                for e in self.elements
+            ),
+        )
+
+    def element_indices(self, name: str) -> list:
+        """Indices of ``name``'s elements in the built lattice."""
+        cell = [i for i, e in enumerate(self.elements) if e.name == name]
+        if not cell:
+            raise KeyError(
+                f"no element named {name!r}; knobs: {self.knob_names()}"
+            )
+        m = len(self.elements)
+        return [r * m + i for r in range(self.repeat) for i in cell]
+
+    def strength_attr(self, name: str) -> str:
+        """The element attribute ``name``'s strength drives (e.g. 'k')."""
+        for e in self.elements:
+            if e.name == name:
+                attr = ELEMENT_KINDS[e.kind][1]
+                if attr is None:
+                    raise ValueError(f"element {name!r} ({e.kind}) has no knob")
+                return attr
+        raise KeyError(f"no element named {name!r}; knobs: {self.knob_names()}")
+
+    # ------------------------------------------------------------------
+    def is_stable(self) -> bool:
+        """Is one cell's per-plane linear motion stable (|trace| < 2)?
+
+        Uses the per-plane projections (exact for drifts/quads; the
+        focusing block of coupled elements), so it is the same check
+        the FODO driver always ran.
+        """
+        mx, my = one_turn_matrix([e.build() for e in self.elements])
+        return bool(abs(np.trace(mx)) < 2.0 and abs(np.trace(my)) < 2.0)
+
+    # ------------------------------------------------------------------
+    # serialization
+    def to_dict(self) -> dict:
+        """Versioned plain-dict form (JSON-serializable)."""
+        return {
+            "schema": LATTICE_SCHEMA,
+            "version": SCHEMA_VERSION,
+            "name": self.name,
+            "repeat": self.repeat,
+            "elements": [e.to_dict() for e in self.elements],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatticeSpec":
+        """Rebuild from :meth:`to_dict` output.
+
+        Accepts both the stamped file form and the bare ``asdict``
+        form nested inside pipeline configs; raises
+        :class:`FormatError` on a foreign schema or version.
+        """
+        _schema_check(data, LATTICE_SCHEMA, "lattice spec")
+        try:
+            return cls(
+                elements=tuple(
+                    ElementSpec.from_dict(e) for e in data["elements"]
+                ),
+                repeat=int(data.get("repeat", 1)),
+                name=str(data.get("name", "lattice")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"bad lattice spec: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # builders
+    @classmethod
+    def fodo(
+        cls,
+        n_cells: int = 50,
+        quad_length: float = 0.2,
+        drift_length: float = 0.8,
+        quad_k: float = 6.0,
+        rf_kz: float = 0.0,
+        correctors: bool = False,
+        name: str = "fodo",
+    ) -> "LatticeSpec":
+        """The classic symmetric FODO cell as a named-knob spec.
+
+        Builds exactly the element sequence of
+        :func:`repro.beams.lattice.fodo_channel` -- QF/2, O, QD, O,
+        QF/2 per cell -- with the focusing quads grouped under knob
+        ``"qf"`` and the defocusing quad under ``"qd"``.  ``rf_kz``
+        appends a thin RF gap (knob ``"rf"``) to each cell;
+        ``correctors`` appends thin x/y steering kickers (knobs
+        ``"ckx"`` / ``"cky"``) for orbit feedback.
+        """
+        half_f = ElementSpec("quad", "qf", quad_length / 2.0, +quad_k)
+        cell = [
+            half_f,
+            ElementSpec("drift", "", drift_length),
+            ElementSpec("quad", "qd", quad_length, -quad_k),
+            ElementSpec("drift", "", drift_length),
+            half_f,
+        ]
+        if rf_kz != 0.0:
+            cell.append(ElementSpec("rf_gap", "rf", 0.0, rf_kz))
+        if correctors:
+            cell.append(ElementSpec("kicker_x", "ckx", 0.0, 0.0))
+            cell.append(ElementSpec("kicker_y", "cky", 0.0, 0.0))
+        return cls(elements=tuple(cell), repeat=int(n_cells), name=name)
+
+    @classmethod
+    def solenoid_channel(
+        cls,
+        n_cells: int = 20,
+        sol_length: float = 0.5,
+        drift_length: float = 0.5,
+        b: float = 2.0,
+        name: str = "solenoid",
+    ) -> "LatticeSpec":
+        """A periodic solenoid focusing channel (knob ``"sol"``).
+
+        The transversely-coupled channel the per-plane FODO driver
+        could never build: each cell is a hard-edge solenoid plus a
+        drift, focusing both planes equally in the Larmor frame.
+        """
+        cell = (
+            ElementSpec("solenoid", "sol", sol_length, b),
+            ElementSpec("drift", "", drift_length),
+        )
+        return cls(elements=cell, repeat=int(n_cells), name=name)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative run: lattice + beam + loop closures.
+
+    ``controllers`` holds declarative feedback-controller dicts (see
+    :func:`repro.beams.scenario.feedback.controllers_from_spec`);
+    ``steps`` bounds the run (``None`` tracks the whole channel).
+    The spec is pure data: :meth:`to_dict` / :meth:`from_dict` round-trip
+    through JSON, :meth:`with_overrides` derives sweep members, and
+    :meth:`build` compiles it to a live :class:`Scenario`.
+    """
+
+    lattice: LatticeSpec = field(default_factory=LatticeSpec.fodo)
+    name: str = "scenario"
+    n_particles: int = 20_000
+    distribution: str = "semi_gaussian"
+    sigmas: tuple = (1.0, 1.0, 4.0, 0.35, 0.35, 0.08)
+    mismatch: float = 1.0
+    space_charge: bool = True
+    sc_strength: float = 0.05
+    sc_grid: tuple = (32, 32, 32)
+    sc_every: int = 1
+    seed: int = 1234
+    steps: int | None = None
+    controllers: tuple = ()
+
+    def __post_init__(self):
+        if isinstance(self.lattice, dict):
+            object.__setattr__(self, "lattice", LatticeSpec.from_dict(self.lattice))
+        object.__setattr__(self, "sigmas", tuple(float(s) for s in self.sigmas))
+        object.__setattr__(self, "sc_grid", tuple(int(g) for g in self.sc_grid))
+        object.__setattr__(
+            self, "controllers", tuple(dict(c) for c in self.controllers)
+        )
+
+    # ------------------------------------------------------------------
+    def to_beam_config(self) -> BeamConfig:
+        """The :class:`BeamConfig` this scenario compiles to."""
+        return BeamConfig(
+            n_particles=self.n_particles,
+            distribution=self.distribution,
+            sigmas=self.sigmas,
+            mismatch=self.mismatch,
+            space_charge=self.space_charge,
+            sc_strength=self.sc_strength,
+            sc_grid=self.sc_grid,
+            sc_every=self.sc_every,
+            seed=self.seed,
+            lattice=self.lattice,
+        )
+
+    def build_simulation(self) -> BeamSimulation:
+        """Compile to a bare :class:`BeamSimulation` (no control layer)."""
+        return BeamSimulation(self.to_beam_config())
+
+    def build(self, controllers=None) -> "Scenario":
+        """Compile to a live :class:`Scenario`.
+
+        ``controllers=None`` instantiates the spec's own declarative
+        controllers; pass a sequence to override them (empty for an
+        open-loop run).
+        """
+        if controllers is None:
+            from repro.beams.scenario.feedback import controllers_from_spec
+
+            controllers = controllers_from_spec(self)
+        return Scenario(self, controllers=controllers)
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, overrides: dict) -> "ScenarioSpec":
+        """Copy with dotted-path overrides applied.
+
+        ``"lattice.<knob>"`` moves a named element strength; any
+        scalar field name (``"mismatch"``, ``"seed"``,
+        ``"sc_strength"``, ...) replaces that field, coerced to the
+        field's type.  Unknown paths raise ``KeyError`` so a typoed
+        sweep axis fails before any member runs.
+        """
+        spec = self
+        scalars = {
+            f.name: f.type
+            for f in fields(ScenarioSpec)
+            if f.name not in ("lattice", "controllers", "sigmas", "sc_grid")
+        }
+        for path, value in overrides.items():
+            if path.startswith("lattice."):
+                spec = replace(
+                    spec,
+                    lattice=spec.lattice.with_strength(
+                        path[len("lattice."):], float(value)
+                    ),
+                )
+            elif path in ("sigmas", "sc_grid"):
+                spec = replace(spec, **{path: tuple(value)})
+            elif path in scalars:
+                current = getattr(spec, path)
+                if isinstance(current, bool):
+                    value = bool(value)
+                elif isinstance(current, int):
+                    value = int(value)
+                elif isinstance(current, float):
+                    value = float(value)
+                spec = replace(spec, **{path: value})
+            else:
+                raise KeyError(
+                    f"unknown override path {path!r}; use a scalar field "
+                    f"name or 'lattice.<knob>' with one of "
+                    f"{self.lattice.knob_names()}"
+                )
+        return spec
+
+    # ------------------------------------------------------------------
+    # serialization
+    def to_dict(self) -> dict:
+        """Versioned plain-dict form (JSON-serializable)."""
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "version": SCHEMA_VERSION,
+            "name": self.name,
+            "lattice": self.lattice.to_dict(),
+            "n_particles": int(self.n_particles),
+            "distribution": self.distribution,
+            "sigmas": list(self.sigmas),
+            "mismatch": float(self.mismatch),
+            "space_charge": bool(self.space_charge),
+            "sc_strength": float(self.sc_strength),
+            "sc_grid": list(self.sc_grid),
+            "sc_every": int(self.sc_every),
+            "seed": int(self.seed),
+            "steps": None if self.steps is None else int(self.steps),
+            "controllers": [dict(c) for c in self.controllers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild from :meth:`to_dict` output (FormatError on damage)."""
+        _schema_check(data, SCENARIO_SCHEMA, "scenario spec")
+        data = {
+            k: v for k, v in data.items() if k not in ("schema", "version")
+        }
+        try:
+            if "lattice" in data:
+                data["lattice"] = LatticeSpec.from_dict(data["lattice"])
+            steps = data.get("steps")
+            if steps is not None:
+                data["steps"] = int(steps)
+            return cls(**data)
+        except FormatError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FormatError(f"bad scenario spec: {exc}") from exc
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path) -> Path:
+        """Atomically write the spec as a JSON file."""
+        path = Path(path)
+        atomic_write_bytes(path, self.to_json().encode())
+        return path
+
+
+def load_scenario(path) -> ScenarioSpec:
+    """Read a :class:`ScenarioSpec` from a JSON file.
+
+    Raises :class:`FormatError` (CLI exit 3) when the file is not
+    JSON, not a scenario spec, or from an unsupported schema version.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{path}: not a JSON scenario spec ({exc})") from exc
+    try:
+        return ScenarioSpec.from_dict(data)
+    except FormatError as exc:
+        raise FormatError(f"{path}: {exc}") from exc
+
+
+class Scenario:
+    """A live scenario: the compiled simulation plus its control layer.
+
+    The digital-twin seam: ``set_strength``/``get_strength`` mutate
+    named lattice knobs on the *running* machine (elements are frozen;
+    setting a knob swaps in replacements at every index the name
+    covers), and attached feedback controllers observe each frame and
+    actuate those same knobs.  ``run`` mirrors
+    :meth:`BeamSimulation.run` with the control loop closed after
+    every step.
+    """
+
+    def __init__(self, spec: ScenarioSpec, controllers=()):
+        self.spec = spec
+        self.sim = spec.build_simulation()
+        self.controllers = list(controllers)
+        lattice = spec.lattice
+        m = len(lattice.elements)
+        self._knobs = {}
+        for name in lattice.knob_names():
+            especs = [
+                (i, e) for i, e in enumerate(lattice.elements) if e.name == name
+            ]
+            attr = ELEMENT_KINDS[especs[0][1].kind][1]
+            if attr is None:
+                continue
+            # (spec, built-lattice indices) per distinct cell position, so
+            # same-named elements of different geometry each rebuild right
+            self._knobs[name] = (
+                attr,
+                [
+                    (e, [r * m + i for r in range(lattice.repeat)])
+                    for i, e in especs
+                ],
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def particles(self) -> np.ndarray:
+        """The live particle buffer."""
+        return self.sim.particles
+
+    @property
+    def step_index(self) -> int:
+        return self.sim.step_index
+
+    def knob_names(self) -> list:
+        """Settable knob names of the underlying lattice."""
+        return list(self._knobs)
+
+    def get_strength(self, name: str) -> float:
+        """Current live strength of a named knob."""
+        attr, groups = self._lookup(name)
+        _, indices = groups[0]
+        return float(getattr(self.sim.lattice[indices[0]], attr))
+
+    def set_strength(self, name: str, value: float) -> None:
+        """Set a named knob on the live lattice (every occurrence).
+
+        Elements are frozen, so each covered spec is rebuilt at the
+        new strength and the fresh element swapped in at every index
+        it occupies.
+        """
+        _, groups = self._lookup(name)
+        value = float(value)
+        for espec, indices in groups:
+            element = replace(espec, strength=value).build()
+            for i in indices:
+                self.sim.lattice[i] = element
+
+    def _lookup(self, name: str):
+        try:
+            return self._knobs[name]
+        except KeyError:
+            raise KeyError(
+                f"no knob named {name!r}; knobs: {list(self._knobs)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def step(self) -> np.ndarray:
+        """One element advance plus one control-loop closure."""
+        particles = self.sim.step()
+        for controller in self.controllers:
+            controller.update(self, self.sim.step_index, particles)
+        return particles
+
+    def run(self, n_steps: int | None = None, on_frame=None, frame_every: int = 1):
+        """Run ``n_steps`` elements (default: the spec's budget, else
+        the whole channel), closing the loop after every element.
+
+        ``on_frame(step_index, particles)`` fires every
+        ``frame_every`` steps plus once for the initial state, exactly
+        like :meth:`BeamSimulation.run`.
+        """
+        if n_steps is None:
+            n_steps = self.spec.steps
+        if n_steps is None:
+            n_steps = self.sim.n_steps_total - self.sim._element_cursor
+        n_steps = min(
+            int(n_steps), self.sim.n_steps_total - self.sim._element_cursor
+        )
+        if on_frame is not None and self.sim.step_index == 0:
+            on_frame(0, self.sim.particles)
+        for _ in range(n_steps):
+            self.step()
+            if on_frame is not None and self.sim.step_index % frame_every == 0:
+                on_frame(self.sim.step_index, self.sim.particles)
+        return self.sim.particles
+
+    @property
+    def converged(self) -> bool:
+        """Every attached controller currently within its deadband
+        (vacuously true for an open-loop scenario)."""
+        return all(c.converged for c in self.controllers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"Scenario({self.spec.name!r}, step {self.sim.step_index}/"
+            f"{self.sim.n_steps_total}, {len(self.controllers)} controller(s))"
+        )

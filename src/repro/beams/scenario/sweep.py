@@ -1,0 +1,300 @@
+"""Ensemble sweep driver: parameter grids fanned over scenarios.
+
+The paper's terascale context is campaign-scale: mapping an operating
+envelope means running the same lattice across a grid of quad
+strengths, mismatch factors, and intensities, then visualizing every
+member.  :func:`run_sweep` is that driver in miniature --
+
+- :func:`expand_axes` turns ``{"lattice.qf": [...], "mismatch": [...]}``
+  into the cartesian member grid (each member a dotted-path override
+  dict for :meth:`ScenarioSpec.with_overrides`);
+- each member tracks its scenario (feedback loops closed) in a worker
+  process via the crash-safe :func:`repro.core.executor.run_shards`,
+  so a killed worker costs a retry, not the campaign;
+- each member lands as a :class:`repro.core.store.ShardedStore`
+  directory -- the package's render-ready on-disk format, consumable
+  by the forest partitioner, the LOD builder, and the remote service
+  -- plus a ``member.json`` sidecar recording its overrides and
+  feedback outcome;
+- the sweep itself is resumable: a member directory whose store
+  manifest is committed and whose recorded overrides match is *not*
+  re-run (``sweep_members_resumed`` in a trace), so re-invoking a
+  killed sweep finishes only the missing members.
+
+``sweep.json`` (schema ``repro/sweep`` v1, written atomically last) is
+the campaign manifest: the spec, the axes, and every member's record.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.beams.diagnostics import rms_size
+from repro.beams.distributions import X, Y
+from repro.beams.scenario.spec import SCHEMA_VERSION, ScenarioSpec, _schema_check
+from repro.core.atomic import atomic_write_bytes
+from repro.core.checkpoint import Checkpoint
+from repro.core.errors import FormatError
+from repro.core.executor import run_shards
+from repro.core.store import create_store, is_store_dir
+from repro.core.trace import count, gauge, span
+
+__all__ = ["expand_axes", "run_sweep", "SweepResult", "load_sweep"]
+
+SWEEP_SCHEMA = "repro/sweep"
+
+
+def expand_axes(axes: dict) -> list:
+    """The cartesian member grid of a sweep's axes.
+
+    ``axes`` maps dotted override paths (``"lattice.qf"``,
+    ``"mismatch"``, ``"seed"``, ...) to value lists; the result is one
+    override dict per grid point, in deterministic row-major order
+    (last axis fastest), ready for
+    :meth:`ScenarioSpec.with_overrides`.
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    grids = [list(axes[n]) for n in names]
+    for name, values in zip(names, grids):
+        if not values:
+            raise ValueError(f"sweep axis {name!r} has no values")
+    return [dict(zip(names, combo)) for combo in itertools.product(*grids)]
+
+
+def member_dirname(index: int) -> str:
+    """Canonical member directory name (``member_0003``)."""
+    return f"member_{index:04d}"
+
+
+def _member_record_path(directory) -> Path:
+    return Path(directory) / "member.json"
+
+
+def _run_member(task: dict) -> dict:
+    """Track one sweep member and land it as a store directory.
+
+    Module-level so it pickles into worker processes.  The store
+    manifest (``store.json``) commits last and ``member.json`` after
+    that, so a half-written member from a killed worker fails the
+    resume validity check and is simply re-run.
+    """
+    spec = ScenarioSpec.from_dict(task["spec"]).with_overrides(task["overrides"])
+    directory = Path(task["directory"])
+    scenario = spec.build()
+    scenario.run()
+    particles = scenario.particles
+    store = create_store(
+        directory,
+        particles,
+        shard_rows=int(task["shard_rows"]),
+        step=scenario.step_index,
+    )
+    record = {
+        "index": int(task["index"]),
+        "dir": directory.name,
+        "overrides": dict(task["overrides"]),
+        "steps_run": int(scenario.step_index),
+        "n_particles": int(store.n_particles),
+        "sigma_x": float(rms_size(particles, X)),
+        "sigma_y": float(rms_size(particles, Y)),
+        "converged": bool(scenario.converged),
+        "converged_step": max(
+            (c.converged_step for c in scenario.controllers),
+            key=lambda s: -1 if s is None else s,
+            default=None,
+        ),
+        "unstable": any(c.unstable for c in scenario.controllers),
+        "final_strengths": {
+            name: scenario.get_strength(name) for name in scenario.knob_names()
+        },
+    }
+    atomic_write_bytes(
+        _member_record_path(directory),
+        json.dumps(record, indent=2, sort_keys=True).encode(),
+    )
+    return record
+
+
+def _completed_record(directory, overrides: dict):
+    """The member's prior record iff it finished with these overrides."""
+    path = _member_record_path(directory)
+    if not path.is_file() or not is_store_dir(directory):
+        return None
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if record.get("overrides") != overrides:
+        return None
+    return record
+
+
+@dataclass
+class SweepResult:
+    """A finished (or loaded) sweep campaign.
+
+    ``members`` holds one record dict per grid point, in grid order;
+    ``resumed`` counts the members satisfied from disk instead of
+    re-run.
+    """
+
+    directory: Path
+    spec: ScenarioSpec
+    axes: dict
+    members: list = field(default_factory=list)
+    resumed: int = 0
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def n_converged(self) -> int:
+        """Members whose every controller settled inside its deadband."""
+        return sum(1 for m in self.members if m.get("converged"))
+
+    def member_dir(self, index: int) -> Path:
+        """The store directory of member ``index``."""
+        return Path(self.directory) / self.members[index]["dir"]
+
+    def open_store(self, index: int):
+        """Open member ``index``'s :class:`ShardedStore`."""
+        from repro.core.store import ShardedStore
+
+        return ShardedStore.open(self.member_dir(index))
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SWEEP_SCHEMA,
+            "version": SCHEMA_VERSION,
+            "spec": self.spec.to_dict(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "members": list(self.members),
+        }
+
+    def save(self) -> Path:
+        path = Path(self.directory) / "sweep.json"
+        atomic_write_bytes(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True).encode()
+        )
+        return path
+
+
+def load_sweep(directory) -> SweepResult:
+    """Open a finished sweep from its ``sweep.json`` manifest."""
+    directory = Path(directory)
+    path = directory / "sweep.json"
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise FormatError(f"{directory} is not a sweep directory: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"{path}: damaged sweep manifest ({exc})") from exc
+    _schema_check(data, SWEEP_SCHEMA, "sweep manifest")
+    try:
+        return SweepResult(
+            directory=directory,
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            axes=dict(data["axes"]),
+            members=list(data["members"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise FormatError(f"{path}: bad sweep manifest: {exc}") from exc
+
+
+def run_sweep(
+    spec: ScenarioSpec,
+    axes: dict,
+    directory,
+    workers: int = 1,
+    shard_rows: int = 50_000,
+    checkpoint_dir=None,
+    max_retries: int = 2,
+    _member_fn=None,
+) -> SweepResult:
+    """Fan a parameter grid over a scenario, one store per member.
+
+    Each grid point of ``axes`` (see :func:`expand_axes`) derives a
+    member spec via ``spec.with_overrides``, tracks it (feedback loops
+    attached) in a worker process, and lands it as a
+    :class:`~repro.core.store.ShardedStore` under
+    ``directory/member_NNNN``.  Worker death is survived by
+    :func:`~repro.core.executor.run_shards`; re-invoking a killed
+    sweep re-runs only members without a committed store + matching
+    ``member.json``.
+
+    ``checkpoint_dir`` additionally records member completion into a
+    :class:`~repro.core.checkpoint.Checkpoint` as results stream in,
+    and marks the ``members`` stage done when the campaign closes.
+
+    ``_member_fn`` is the fault-injection seam (tests wrap the member
+    function in :class:`~repro.core.faults.CrashOnce`); leave it
+    ``None`` for real runs.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    ckpt = Checkpoint(checkpoint_dir) if checkpoint_dir is not None else None
+    grid = expand_axes(axes)
+    # fail a typoed axis before any member burns CPU
+    for overrides in grid:
+        spec.with_overrides(overrides)
+    spec_dict = spec.to_dict()
+
+    members: list = [None] * len(grid)
+    tasks = []
+    for index, overrides in enumerate(grid):
+        member_dir = directory / member_dirname(index)
+        prior = _completed_record(member_dir, overrides)
+        if prior is not None:
+            members[index] = prior
+            count("sweep_members_resumed")
+            if ckpt is not None:
+                ckpt.record_step("members", index)
+            continue
+        tasks.append(
+            {
+                "index": index,
+                "overrides": overrides,
+                "directory": str(member_dir),
+                "spec": spec_dict,
+                "shard_rows": int(shard_rows),
+            }
+        )
+
+    fn = _member_fn if _member_fn is not None else _run_member
+
+    def _record(task, record):
+        if ckpt is not None:
+            ckpt.record_step("members", int(record["index"]))
+
+    resumed = len(grid) - len(tasks)
+    gauge("sweep_members", len(grid))
+    with span("sweep", members=len(grid), fresh=len(tasks), resumed=resumed):
+        results = run_shards(
+            fn,
+            tasks,
+            workers=workers,
+            max_retries=max_retries,
+            label="sweep",
+            on_result=_record,
+        )
+    for record in results:
+        members[int(record["index"])] = record
+        count("sweep_members_run")
+
+    result = SweepResult(
+        directory=directory,
+        spec=spec,
+        axes=dict(axes),
+        members=members,
+        resumed=resumed,
+    )
+    result.save()
+    if ckpt is not None:
+        ckpt.mark_done("members", n_members=len(grid))
+    return result

@@ -15,7 +15,8 @@ paper's Figures 2 and 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -39,8 +40,15 @@ class BeamConfig:
     distribution : initial loader name (see beams.distributions)
     sigmas : 6 rms sizes for the loader
     mismatch : transverse mismatch factor; != 1 pumps the halo
-    n_cells : FODO cells in the channel
-    quad_k, quad_length, drift_length : channel geometry
+    lattice : the channel to track through -- a
+        :class:`repro.beams.scenario.spec.LatticeSpec` (or any object
+        with a ``build()`` method yielding elements) or an explicit
+        element list.  ``None`` falls back to the implicit FODO channel
+        built from the legacy geometry knobs below -- a deprecated
+        path kept for one release (see :meth:`resolved`).
+    n_cells : FODO cells in the channel (implicit-lattice path only)
+    quad_k, quad_length, drift_length : channel geometry (implicit-
+        lattice path only)
     space_charge : enable the PIC kick
     sc_strength : perveance-like coupling
     sc_grid : Poisson grid shape
@@ -61,11 +69,88 @@ class BeamConfig:
     sc_grid: tuple = (32, 32, 32)
     sc_every: int = 1
     seed: int = 1234
+    lattice: object | None = None
     extra: dict = field(default_factory=dict)
+
+    def resolved(self) -> "BeamConfig":
+        """Copy with the implicit FODO channel made explicit.
+
+        Turns the legacy geometry knobs (``n_cells`` / ``quad_k`` /
+        ``quad_length`` / ``drift_length``) into an equivalent
+        :class:`~repro.beams.scenario.spec.LatticeSpec` so the
+        deprecation shim in :class:`BeamSimulation` stays silent.
+        Configs that already carry a lattice are returned unchanged.
+        """
+        if self.lattice is not None:
+            return self
+        from repro.beams.scenario.spec import LatticeSpec
+
+        return replace(
+            self,
+            lattice=LatticeSpec.fodo(
+                n_cells=self.n_cells,
+                quad_length=self.quad_length,
+                drift_length=self.drift_length,
+                quad_k=self.quad_k,
+            ),
+        )
+
+
+def _resolve_lattice(cfg: BeamConfig) -> list:
+    """The element list a config tracks through.
+
+    Accepts a ``LatticeSpec`` (anything with ``build()``), an explicit
+    element sequence, or -- deprecated, one more release -- ``None``,
+    which rebuilds the legacy implicit FODO channel with its original
+    stability check.
+    """
+    lattice = cfg.lattice
+    if lattice is None:
+        warnings.warn(
+            "BeamConfig without an explicit lattice is deprecated; pass "
+            "BeamConfig(lattice=LatticeSpec.fodo(...)) or an element list "
+            "(or call config.resolved()).  The implicit FODO channel will "
+            "stop being built next release.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        lattice = fodo_channel(
+            cfg.n_cells,
+            quad_length=cfg.quad_length,
+            drift_length=cfg.drift_length,
+            k=cfg.quad_k,
+        )
+        mx, my = one_turn_matrix(lattice[:5])
+        if abs(np.trace(mx)) >= 2.0 or abs(np.trace(my)) >= 2.0:
+            raise ValueError(
+                "FODO cell is unstable (|trace| >= 2); reduce quad_k or lengths"
+            )
+        return lattice
+    if hasattr(lattice, "build"):
+        lattice = lattice.build()
+    lattice = list(lattice)
+    if not lattice:
+        raise ValueError("lattice is empty")
+    for el in lattice:
+        if not (hasattr(el, "transport") or hasattr(el, "matrices")):
+            raise TypeError(
+                f"lattice entry {el!r} is not an element (needs a "
+                "transport() or matrices() method)"
+            )
+    return lattice
 
 
 class BeamSimulation:
-    """Time-steps a particle bunch through a quadrupole channel."""
+    """Time-steps a particle bunch through a lattice.
+
+    The lattice comes from the config: the classic FODO quadrupole
+    channel by default, or any declarative
+    :class:`~repro.beams.scenario.spec.LatticeSpec` / element list --
+    solenoid channels, RF-gap bunchers, and corrector-steered lines
+    track through the same split-operator loop
+    (:func:`repro.beams.transport.track_step` dispatches coupled
+    elements through their ``transport`` method).
+    """
 
     def __init__(self, config: BeamConfig | None = None):
         self.config = config or BeamConfig()
@@ -78,17 +163,7 @@ class BeamSimulation:
             rng=self.rng,
             mismatch=cfg.mismatch,
         )
-        self.lattice = fodo_channel(
-            cfg.n_cells,
-            quad_length=cfg.quad_length,
-            drift_length=cfg.drift_length,
-            k=cfg.quad_k,
-        )
-        mx, my = one_turn_matrix(self.lattice[:5])
-        if abs(np.trace(mx)) >= 2.0 or abs(np.trace(my)) >= 2.0:
-            raise ValueError(
-                "FODO cell is unstable (|trace| >= 2); reduce quad_k or lengths"
-            )
+        self.lattice = _resolve_lattice(cfg)
         self.solver = (
             SpaceChargeSolver(grid_shape=cfg.sc_grid, strength=cfg.sc_strength)
             if cfg.space_charge

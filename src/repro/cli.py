@@ -14,6 +14,10 @@ the same program boundaries over the library:
     repro forest    partition run/store --bricks 2 --out run/forest
     repro forest    render run/forest --out forest.ppm --workers 4
     repro fieldlines --cells 3 --lines 150 --out lines.bin --image lines.ppm
+    repro scenario  run spec.json --out run/final --set lattice.qf=5.5
+    repro scenario  sweep spec.json --out run/sweep --axis lattice.qf=5,6 \\
+                    --axis mismatch=1.0,1.3 --workers 4 --checkpoint run/ck
+    repro scenario  info run/sweep
     repro info      run/p50.hybrid
     repro service   serve run/p50 --port 9000 --duration 60
     repro service   stats 127.0.0.1:9000
@@ -288,6 +292,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=512)
     p.set_defaults(func=_cmd_fieldlines)
 
+    p = sub.add_parser("scenario", parents=[common],
+                       help="declarative digital-twin scenarios: run one, "
+                            "sweep a parameter grid, or describe a spec / "
+                            "sweep directory")
+    p.add_argument("action", choices=["run", "sweep", "info"],
+                   help="run: track one scenario (feedback loops closed) "
+                        "and optionally land the final beam as a sharded "
+                        "store; sweep: fan a parameter grid through the "
+                        "crash-safe executor, one store per member; info: "
+                        "describe a scenario spec file or a sweep directory")
+    p.add_argument("path", help="a scenario spec JSON file (run/sweep/info) "
+                                "or a sweep directory (info)")
+    p.add_argument("--out", default=None,
+                   help="output store directory (run) or sweep directory "
+                        "(sweep)")
+    p.add_argument("--set", dest="overrides", action="append", default=[],
+                   metavar="PATH=VALUE",
+                   help="override a spec field or lattice knob, e.g. "
+                        "mismatch=1.3 or lattice.qf=5.5 (repeatable)")
+    p.add_argument("--axis", dest="axes", action="append", default=[],
+                   metavar="PATH=V1,V2,...",
+                   help="sweep axis: comma-separated values for one "
+                        "override path (repeatable; the grid is the "
+                        "cartesian product)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="step budget (default: the spec's own, else the "
+                        "whole channel)")
+    p.add_argument("--open-loop", action="store_true",
+                   help="drop the spec's feedback controllers (run)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="sweep member processes")
+    p.add_argument("--shard-rows", type=int, default=50_000,
+                   help="particles per store shard")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="record per-member completion so a killed sweep "
+                        "resumes instead of recomputing")
+    p.set_defaults(func=_cmd_scenario)
+
     p = sub.add_parser("eigen", parents=[common],
                        help="find cavity eigenfrequencies")
     p.add_argument("--radius", type=float, default=1.0)
@@ -325,7 +367,7 @@ def _cmd_simulate(args) -> int:
             n_cells=args.cells,
             mismatch=args.mismatch,
             seed=args.seed,
-        )
+        ).resolved()
     )
     writer = FrameWriter(args.out)
     with span("simulate", n_particles=args.particles):
@@ -700,6 +742,143 @@ def _cmd_fieldlines(args) -> int:
     if args.image:
         write_ppm(args.image, result.image)
         print(f"rendered -> {args.image}")
+    return 0
+
+
+def _parse_override_value(text: str):
+    """``--set`` / ``--axis`` value: int if it looks like one, else float."""
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            raise SystemExit(
+                f"override value {text!r} is not a number"
+            ) from None
+
+
+def _parse_overrides(pairs) -> dict:
+    out = {}
+    for pair in pairs:
+        path, sep, value = pair.partition("=")
+        if not sep or not path:
+            raise SystemExit(f"--set expects PATH=VALUE, got {pair!r}")
+        out[path] = _parse_override_value(value)
+    return out
+
+
+def _parse_axes(pairs) -> dict:
+    axes = {}
+    for pair in pairs:
+        path, sep, values = pair.partition("=")
+        if not sep or not path or not values:
+            raise SystemExit(f"--axis expects PATH=V1,V2,..., got {pair!r}")
+        axes[path] = [_parse_override_value(v) for v in values.split(",")]
+    return axes
+
+
+def _controller_report(controllers) -> None:
+    for c in controllers:
+        if c.unstable:
+            state = "UNSTABLE (tripped off)"
+        elif c.converged:
+            state = f"converged at step {c.converged_step}"
+        else:
+            state = "not converged"
+        last = f", last error {c.errors[-1]:.4g}" if c.errors else ""
+        print(f"  {type(c).__name__}[{c.knob}]: {state} "
+              f"({c.actuations} actuation(s){last})")
+
+
+def _cmd_scenario(args) -> int:
+    from repro.beams.diagnostics import rms_size
+    from repro.beams.distributions import X, Y
+    from repro.beams.scenario import load_scenario, load_sweep, run_sweep
+    from repro.core.store import create_store
+
+    if args.action == "info":
+        path = Path(args.path)
+        if path.is_dir():
+            sweep = load_sweep(path)
+            print(
+                f"sweep: {sweep.n_members} member(s) over axes "
+                f"{', '.join(sweep.axes) or '(none)'}; "
+                f"{sweep.n_converged} converged"
+            )
+            for m in sweep.members:
+                knobs = ", ".join(
+                    f"{k}={v:.4g}" for k, v in sorted(m["overrides"].items())
+                )
+                print(
+                    f"  {m['dir']}: {knobs or '(baseline)'} -> "
+                    f"sigma_x {m['sigma_x']:.4g}, sigma_y {m['sigma_y']:.4g}"
+                    f"{', converged' if m['converged'] else ''}"
+                    f"{', UNSTABLE' if m.get('unstable') else ''}"
+                )
+            return 0
+        spec = load_scenario(path)
+        lat = spec.lattice
+        print(
+            f"scenario {spec.name!r}: {spec.n_particles} particles "
+            f"({spec.distribution}), lattice {lat.name!r} with "
+            f"{lat.n_elements} elements over {lat.length:g} m, "
+            f"{len(spec.controllers)} controller(s), "
+            f"steps {spec.steps if spec.steps is not None else 'all'}"
+        )
+        strengths = lat.strengths()
+        if strengths:
+            print("  knobs: " + ", ".join(
+                f"{k}={v:g}" for k, v in strengths.items()
+            ))
+        print(f"  stable cell: {lat.is_stable()}")
+        return 0
+
+    spec = load_scenario(args.path)
+    overrides = _parse_overrides(args.overrides)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    if args.steps is not None:
+        from dataclasses import replace as _replace
+
+        spec = _replace(spec, steps=args.steps)
+
+    if args.action == "run":
+        scenario = spec.build(controllers=() if args.open_loop else None)
+        with span("scenario_run", steps=spec.steps or 0):
+            scenario.run()
+        p = scenario.particles
+        print(
+            f"ran scenario {spec.name!r} for {scenario.step_index} step(s): "
+            f"sigma_x {rms_size(p, X):.4g}, sigma_y {rms_size(p, Y):.4g}"
+        )
+        _controller_report(scenario.controllers)
+        if args.out is not None:
+            store = create_store(
+                args.out, p, shard_rows=args.shard_rows,
+                step=scenario.step_index,
+            )
+            print(
+                f"stored final beam: {store.n_particles} particles in "
+                f"{store.n_shards} shard(s) at {args.out}"
+            )
+        return 0
+
+    # sweep
+    if args.out is None:
+        raise SystemExit("scenario sweep needs --out DIR")
+    axes = _parse_axes(args.axes)
+    result = run_sweep(
+        spec, axes, args.out,
+        workers=args.workers, shard_rows=args.shard_rows,
+        checkpoint_dir=args.checkpoint,
+    )
+    print(
+        f"swept {result.n_members} member(s) over "
+        f"{', '.join(axes) or '(no axes)'} "
+        f"({result.resumed} resumed from disk, "
+        f"{result.n_converged} converged) -> {args.out}"
+    )
     return 0
 
 

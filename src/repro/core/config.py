@@ -83,6 +83,10 @@ class BeamPipelineConfig(_DictConfigMixin):
                 beam["sigmas"] = tuple(beam["sigmas"])
             if isinstance(beam.get("sc_grid"), list):
                 beam["sc_grid"] = tuple(beam["sc_grid"])
+            if isinstance(beam.get("lattice"), dict):
+                from repro.beams.scenario.spec import LatticeSpec
+
+                beam["lattice"] = LatticeSpec.from_dict(beam["lattice"])
             data["beam"] = BeamConfig(**beam)
         return cls(**data)
 

@@ -44,6 +44,7 @@ def run_shards(
     workers: int = 1,
     max_retries: int = 2,
     label: str = "shards",
+    on_result=None,
 ):
     """Map ``fn`` over ``tasks`` on worker processes, surviving worker
     death; returns results in task order.
@@ -52,10 +53,21 @@ def run_shards(
     single task) runs serially in the parent.  After ``max_retries``
     broken pools, the still-unfinished shards fall back to serial
     execution with a warning.
+
+    ``on_result(task, result)`` fires in the parent as each shard
+    completes (in completion order, exactly once per shard) -- the
+    hook incremental checkpointing hangs off, so a killed parent keeps
+    the shards that finished before the kill.
     """
     tasks = list(tasks)
     if workers <= 1 or len(tasks) <= 1:
-        return [fn(t) for t in tasks]
+        out = []
+        for t in tasks:
+            r = fn(t)
+            if on_result is not None:
+                on_result(t, r)
+            out.append(r)
+        return out
 
     results = [_UNSET] * len(tasks)
     pending = list(range(len(tasks)))
@@ -72,6 +84,8 @@ def run_shards(
             with span("serial_fallback", label=label, shards=len(pending)):
                 for i in pending:
                     results[i] = fn(tasks[i])
+                    if on_result is not None:
+                        on_result(tasks[i], results[i])
             break
         broke = False
         try:
@@ -82,6 +96,9 @@ def run_shards(
                         results[i] = future.result()
                     except BrokenProcessPool:
                         broke = True
+                    else:
+                        if on_result is not None:
+                            on_result(tasks[i], results[i])
         except BrokenProcessPool:
             # pool shutdown itself can re-raise after a break
             broke = True

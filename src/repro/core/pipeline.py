@@ -99,7 +99,7 @@ def beam_pipeline(
                 steps.append(int(step))
                 count("checkpoint_steps_resumed")
     else:
-        sim = BeamSimulation(config.beam)
+        sim = BeamSimulation(config.beam.resolved())
         # drive the frame generator so simulation stepping and per-frame
         # partitioning land in separate stage spans
         frames = sim.frames(frame_every=config.frame_every)

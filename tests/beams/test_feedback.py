@@ -1,0 +1,278 @@
+"""Closed-loop feedback regression tests.
+
+The three behaviors a control loop must demonstrate before anyone
+trusts it on a machine: it converges from a realistic error, it
+detects its own instability instead of wrecking the beam, and it is
+deterministic under a fixed seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.beams.distributions import X
+from repro.beams.lattice import fodo_cell
+from repro.beams.matching import matched_sigmas
+from repro.beams.scenario import (
+    EnvelopeController,
+    LatticeSpec,
+    OrbitController,
+    ScenarioSpec,
+    controllers_from_spec,
+)
+from repro.core.errors import FormatError
+from repro.core.trace import capture
+
+MATCHED = matched_sigmas(fodo_cell(), 0.35, 0.35)
+
+
+def orbit_scenario(n_cells=60, **kw):
+    """A correctored FODO channel with a 0.5-unit injection offset."""
+    defaults = dict(
+        n_particles=2000,
+        space_charge=False,
+        sigmas=MATCHED,
+        mismatch=1.0,
+        seed=3,
+    )
+    defaults.update(kw)
+    return ScenarioSpec(
+        lattice=LatticeSpec.fodo(n_cells=n_cells, correctors=True), **defaults
+    )
+
+
+def orbit_controller(**kw):
+    """Sampling just before the kicker (phase=5 of the 7-element cell),
+    deadbeat momentum removal -- the validated stable configuration."""
+    defaults = dict(
+        plane="x", deadband=0.02, every=7, phase=5, settle=3, blowup=10.0
+    )
+    defaults.update(kw)
+    return OrbitController("ckx", **defaults)
+
+
+class TestOrbitFeedback:
+    def test_converges_from_injection_offset(self):
+        ctrl = orbit_controller()
+        live = orbit_scenario().build(controllers=[ctrl])
+        live.particles[:, X] += 0.5
+        live.run()
+        assert ctrl.converged
+        assert ctrl.converged_step is not None
+        assert abs(float(live.particles[:, X].mean())) < ctrl.deadband
+        # open loop, the same offset just oscillates forever
+        open_live = orbit_scenario().build(controllers=())
+        open_live.particles[:, X] += 0.5
+        open_live.run()
+        assert abs(float(open_live.particles[:, X].mean())) > ctrl.deadband
+
+    def test_converges_with_space_charge(self):
+        ctrl = orbit_controller()
+        live = orbit_scenario(
+            n_cells=45, space_charge=True, sc_strength=0.05
+        ).build(controllers=[ctrl])
+        live.particles[:, X] += 0.5
+        live.run()
+        assert ctrl.converged
+
+    def test_position_only_gain_cannot_damp(self):
+        """The momentum term is load-bearing: a mild position-only kick
+        on a symplectic lattice re-phases the oscillation instead of
+        damping it -- the loop never settles into its deadband."""
+        ctrl = orbit_controller(gain=0.3, gain_p=0.0)
+        live = orbit_scenario().build(controllers=[ctrl])
+        live.particles[:, X] += 0.5
+        live.run()
+        assert not ctrl.converged
+        assert ctrl.converged_step is None
+        assert max(ctrl.errors[-6:]) > ctrl.deadband
+
+    def test_aggressive_position_gain_trips_unstable(self):
+        """Crank the position-only gain and the re-phasing turns into
+        growth; the controller must catch its own failure."""
+        ctrl = orbit_controller(gain=1.0, gain_p=0.0)
+        live = orbit_scenario().build(controllers=[ctrl])
+        live.particles[:, X] += 0.5
+        live.run()
+        assert ctrl.unstable
+        assert not ctrl.converged
+
+    def test_instability_trip_latches(self):
+        ctrl = orbit_controller(gain=1.0, gain_p=0.0)
+        live = orbit_scenario().build(controllers=[ctrl])
+        live.particles[:, X] += 0.5
+        live.run(300)
+        assert ctrl.unstable
+        samples_at_trip = len(ctrl.errors)
+        actuations_at_trip = ctrl.actuations
+        # further stepping neither samples nor actuates: the trip latched
+        for _ in range(14):
+            live.step()
+        assert len(ctrl.errors) == samples_at_trip
+        assert ctrl.actuations == actuations_at_trip
+
+    def test_deterministic_under_fixed_seed(self):
+        def run_once():
+            ctrl = orbit_controller()
+            live = orbit_scenario(n_cells=30).build(controllers=[ctrl])
+            live.particles[:, X] += 0.5
+            live.run()
+            return ctrl.errors, live.get_strength("ckx"), ctrl.converged_step
+
+        a = run_once()
+        b = run_once()
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+        assert a[2] == b[2]
+
+
+def envelope_scenario(**kw):
+    """Matched beam into a detuned lattice: the feedback loop's job is
+    to walk the quads back to the nominal focusing strength."""
+    defaults = dict(
+        lattice=LatticeSpec.fodo(n_cells=120)
+        .with_strength("qf", 4.5)
+        .with_strength("qd", -4.5),
+        n_particles=4000,
+        sigmas=MATCHED,
+        mismatch=1.0,
+        space_charge=True,
+        sc_strength=0.05,
+        seed=11,
+    )
+    defaults.update(kw)
+    return ScenarioSpec(**defaults)
+
+
+def envelope_controller(**kw):
+    defaults = dict(
+        target=MATCHED[0],
+        gain=2.0,
+        smooth=0.2,
+        deadband=0.02,
+        every=5,
+        settle=5,
+        blowup=6.0,
+        warmup=6,
+        limits=(3.5, 8.5),
+    )
+    defaults.update(kw)
+    return EnvelopeController("qf", **defaults)
+
+
+class TestEnvelopeFeedback:
+    # the documented convergence budget (BENCH_scenarios.json); the
+    # validated run converges at step 55, the gate allows drift to 200
+    STEP_BUDGET = 200
+
+    def test_converges_onto_matched_size(self):
+        ctrl = envelope_controller()
+        live = envelope_scenario().build(controllers=[ctrl])
+        live.run()
+        assert ctrl.converged
+        assert ctrl.converged_step is not None
+        assert ctrl.converged_step <= self.STEP_BUDGET
+        # the quad actually moved up from the detuned 4.5 (the exact
+        # endpoint sits below the bare-lattice 6.0: space charge
+        # depresses the focusing needed for the matched size)
+        assert live.get_strength("qf") > 4.8
+        assert abs(ctrl._ema - ctrl.target) < 2 * ctrl.deadband
+
+    def test_open_loop_stays_mismatched(self):
+        """Without the controller the detuned lattice settles at a beam
+        size well off target -- the loop is demonstrably load-bearing."""
+        live = envelope_scenario().build(controllers=())
+        probe = envelope_controller(gain=0.0)
+        sizes = []
+        live.run(on_frame=lambda i, p: sizes.append(float(p[:, X].std())),
+                 frame_every=5)
+        settled = float(np.mean(sizes[-20:]))
+        assert abs(settled - probe.target) > 0.04
+
+    def test_excessive_gain_trips_unstable(self):
+        ctrl = envelope_controller(
+            gain=20.0, smooth=0.5, blowup=4.0, limits=(2.0, 14.0)
+        )
+        live = envelope_scenario().build(controllers=[ctrl])
+        live.run(400)
+        assert ctrl.unstable
+        assert not ctrl.converged
+        assert not live.converged
+        # latched: the trip ended all actuation
+        actuations = ctrl.actuations
+        for _ in range(10):
+            live.step()
+        assert ctrl.actuations == actuations
+
+    def test_trace_counters(self):
+        with capture(enabled=True) as tracer:
+            ctrl = envelope_controller()
+            live = envelope_scenario(
+                lattice=LatticeSpec.fodo(n_cells=40)
+                .with_strength("qf", 4.5)
+                .with_strength("qd", -4.5),
+                n_particles=1500,
+            ).build(controllers=[ctrl])
+            live.run()
+        counters = tracer.counters
+        assert counters["feedback_samples"] == len(ctrl.errors)
+        assert counters["feedback_actuations"] == ctrl.actuations > 0
+        if ctrl.converged:
+            assert counters["feedback_converged"] == 1
+        assert "feedback_unstable" not in counters
+
+
+class TestControllerValidation:
+    def test_bad_gain_and_deadband(self):
+        with pytest.raises(ValueError, match="gain"):
+            EnvelopeController("qf", target=1.0, gain=-1.0)
+        with pytest.raises(ValueError, match="deadband"):
+            EnvelopeController("qf", target=1.0, deadband=-0.1)
+
+    def test_bad_observable_and_plane(self):
+        with pytest.raises(ValueError, match="observable"):
+            EnvelopeController("qf", target=1.0, observable="sigma_q")
+        with pytest.raises(ValueError, match="plane"):
+            OrbitController("ckx", plane="z")
+
+    def test_bad_smooth(self):
+        with pytest.raises(ValueError, match="smooth"):
+            EnvelopeController("qf", target=1.0, smooth=0.0)
+
+
+class TestControllersFromSpec:
+    def test_builds_declared_controllers(self):
+        spec = ScenarioSpec(
+            lattice=LatticeSpec.fodo(correctors=True),
+            controllers=(
+                {"type": "envelope", "knob": "qf", "target": 1.0,
+                 "limits": [3.0, 9.0]},
+                {"type": "orbit", "knob": "ckx", "plane": "x"},
+            ),
+        )
+        ctrls = controllers_from_spec(spec)
+        assert isinstance(ctrls[0], EnvelopeController)
+        assert ctrls[0].limits == (3.0, 9.0)
+        assert isinstance(ctrls[1], OrbitController)
+
+    def test_unknown_type_is_format_error(self):
+        spec = ScenarioSpec(controllers=({"type": "pid", "knob": "qf"},))
+        with pytest.raises(FormatError, match="unknown controller type"):
+            controllers_from_spec(spec)
+
+    def test_bad_kwargs_is_format_error(self):
+        spec = ScenarioSpec(
+            controllers=({"type": "envelope", "knob": "qf"},)  # no target
+        )
+        with pytest.raises(FormatError, match="bad envelope controller"):
+            controllers_from_spec(spec)
+
+    def test_build_wires_controllers_into_scenario(self):
+        spec = ScenarioSpec(
+            lattice=LatticeSpec.fodo(n_cells=2),
+            n_particles=100,
+            space_charge=False,
+            controllers=({"type": "envelope", "knob": "qf", "target": 1.0},),
+        )
+        live = spec.build()
+        assert len(live.controllers) == 1
+        assert live.controllers[0].knob == "qf"

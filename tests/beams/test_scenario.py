@@ -1,0 +1,310 @@
+"""The declarative scenario layer: specs, schema, and live knobs."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.beams.elements import Corrector, Solenoid, ThinRFGap
+from repro.beams.lattice import Drift, Quadrupole, fodo_channel
+from repro.beams.scenario import (
+    ElementSpec,
+    LatticeSpec,
+    ScenarioSpec,
+    load_scenario,
+)
+from repro.beams.simulation import BeamConfig, BeamSimulation
+from repro.core.errors import FormatError
+
+
+class TestElementSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown element kind"):
+            ElementSpec("bending_magnet")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            ElementSpec("drift", length=-1.0)
+
+    @pytest.mark.parametrize(
+        "kind,strength,cls,attr",
+        [
+            ("drift", 0.0, Drift, None),
+            ("quad", 3.0, Quadrupole, "k"),
+            ("solenoid", 2.0, Solenoid, "b"),
+            ("rf_gap", 0.2, ThinRFGap, "kz"),
+            ("kicker_x", 0.1, Corrector, "kick_x"),
+            ("kicker_y", -0.1, Corrector, "kick_y"),
+        ],
+    )
+    def test_builds_concrete_element(self, kind, strength, cls, attr):
+        el = ElementSpec(kind, length=0.5 if kind != "rf_gap" else 0.0,
+                         strength=strength).build()
+        assert isinstance(el, cls)
+        if attr is not None:
+            assert getattr(el, attr) == strength
+
+    def test_round_trip(self):
+        spec = ElementSpec("quad", "qf", 0.2, 6.0)
+        assert ElementSpec.from_dict(spec.to_dict()) == spec
+
+    def test_damaged_dict_is_format_error(self):
+        with pytest.raises(FormatError):
+            ElementSpec.from_dict({"name": "q"})  # no kind
+        with pytest.raises(FormatError):
+            ElementSpec.from_dict({"kind": "quad", "length": "wide"})
+
+
+class TestLatticeSpec:
+    def test_fodo_matches_legacy_channel(self):
+        """The declarative FODO builds element-for-element what
+        fodo_channel always built -- the compatibility anchor of the
+        deprecation shim."""
+        built = LatticeSpec.fodo(n_cells=4).build()
+        legacy = fodo_channel(4)
+        assert len(built) == len(legacy)
+        for a, b in zip(built, legacy):
+            assert type(a) is type(b)
+            assert a == b
+
+    def test_knobs(self):
+        lat = LatticeSpec.fodo(n_cells=3)
+        assert lat.knob_names() == ["qf", "qd"]
+        assert lat.strengths() == {"qf": 6.0, "qd": -6.0}
+
+    def test_with_strength_moves_every_occurrence(self):
+        lat = LatticeSpec.fodo(n_cells=3).with_strength("qf", 5.0)
+        for el in lat.elements:
+            if el.name == "qf":
+                assert el.strength == 5.0
+        # builds propagate the move
+        quads = [e for e in lat.build() if isinstance(e, Quadrupole) and e.k > 0]
+        assert all(q.k == 5.0 for q in quads)
+
+    def test_with_strength_unknown_knob(self):
+        with pytest.raises(KeyError, match="nope"):
+            LatticeSpec.fodo().with_strength("nope", 1.0)
+
+    def test_element_indices_account_for_repeat(self):
+        lat = LatticeSpec.fodo(n_cells=3)
+        idx = lat.element_indices("qd")
+        assert idx == [2, 7, 12]
+        built = lat.build()
+        assert all(built[i].k == -6.0 for i in idx)
+
+    def test_lengths(self):
+        lat = LatticeSpec.fodo(n_cells=5)
+        assert lat.n_elements == 25
+        assert lat.cell_length == pytest.approx(2.0)
+        assert lat.length == pytest.approx(10.0)
+
+    def test_composition(self):
+        a = LatticeSpec.fodo(n_cells=2)
+        b = LatticeSpec.solenoid_channel(n_cells=3)
+        combo = a + b
+        assert combo.n_elements == a.n_elements + b.n_elements
+        built = combo.build()
+        assert isinstance(built[0], Quadrupole)
+        assert isinstance(built[-2], Solenoid)
+
+    def test_solenoid_channel(self):
+        lat = LatticeSpec.solenoid_channel(n_cells=2, b=1.5)
+        built = lat.build()
+        assert isinstance(built[0], Solenoid) and built[0].b == 1.5
+        assert lat.knob_names() == ["sol"]
+
+    def test_stability_check(self):
+        assert LatticeSpec.fodo().is_stable()
+        assert not LatticeSpec.fodo(quad_k=40.0).is_stable()
+
+    def test_round_trip_with_schema(self):
+        lat = LatticeSpec.fodo(n_cells=2, rf_kz=0.1, correctors=True)
+        data = json.loads(json.dumps(lat.to_dict()))
+        assert data["schema"] == "repro/lattice"
+        assert LatticeSpec.from_dict(data) == lat
+
+    def test_bare_asdict_form_accepted(self):
+        """dataclasses.asdict output (no schema stamp) re-inflates --
+        the nested-config round-trip path."""
+        from dataclasses import asdict
+
+        lat = LatticeSpec.fodo(n_cells=2)
+        assert LatticeSpec.from_dict(asdict(lat)) == lat
+
+    def test_wrong_schema_or_version_rejected(self):
+        lat = LatticeSpec.fodo().to_dict()
+        with pytest.raises(FormatError, match="schema"):
+            LatticeSpec.from_dict({**lat, "schema": "repro/other"})
+        with pytest.raises(FormatError, match="version"):
+            LatticeSpec.from_dict({**lat, "version": 99})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LatticeSpec(elements=())
+
+
+class TestScenarioSpec:
+    def test_json_round_trip(self):
+        spec = ScenarioSpec(
+            lattice=LatticeSpec.fodo(n_cells=3),
+            n_particles=1000,
+            mismatch=1.2,
+            steps=12,
+            controllers=({"type": "envelope", "knob": "qf", "target": 1.0},),
+        )
+        again = ScenarioSpec.from_dict(json.loads(spec.to_json()))
+        assert again == spec
+
+    def test_save_and_load(self, tmp_path):
+        spec = ScenarioSpec(lattice=LatticeSpec.fodo(n_cells=2), n_particles=500)
+        path = spec.save(tmp_path / "spec.json")
+        assert load_scenario(path) == spec
+
+    def test_load_damaged_file_is_format_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FormatError, match="not a JSON"):
+            load_scenario(bad)
+        bad.write_text(json.dumps({"schema": "repro/scenario", "version": 42}))
+        with pytest.raises(FormatError, match="version"):
+            load_scenario(bad)
+
+    def test_overrides(self):
+        spec = ScenarioSpec(lattice=LatticeSpec.fodo(n_cells=2))
+        out = spec.with_overrides(
+            {"lattice.qf": 5.0, "mismatch": 1.4, "seed": 9, "sc_grid": [16, 16, 16]}
+        )
+        assert out.lattice.strengths()["qf"] == 5.0
+        assert out.mismatch == 1.4
+        assert out.seed == 9 and isinstance(out.seed, int)
+        assert out.sc_grid == (16, 16, 16)
+        # the original is untouched (specs are values)
+        assert spec.lattice.strengths()["qf"] == 6.0
+
+    def test_unknown_override_path_fails_fast(self):
+        spec = ScenarioSpec(lattice=LatticeSpec.fodo(n_cells=2))
+        with pytest.raises(KeyError, match="unknown override path"):
+            spec.with_overrides({"quad_kk": 5.0})
+
+    def test_compiles_to_simulation(self):
+        spec = ScenarioSpec(lattice=LatticeSpec.fodo(n_cells=2), n_particles=300)
+        sim = spec.build_simulation()
+        assert isinstance(sim, BeamSimulation)
+        assert sim.n_steps_total == spec.lattice.n_elements
+
+    def test_to_beam_config_carries_lattice(self):
+        spec = ScenarioSpec(lattice=LatticeSpec.fodo(n_cells=2), n_particles=300)
+        cfg = spec.to_beam_config()
+        assert cfg.lattice is spec.lattice
+        assert cfg.n_particles == 300
+
+
+class TestScenarioLiveKnobs:
+    def _scenario(self, **kw):
+        spec = ScenarioSpec(
+            lattice=LatticeSpec.fodo(n_cells=3, rf_kz=0.05),
+            n_particles=200,
+            space_charge=False,
+            **kw,
+        )
+        return spec.build(controllers=())
+
+    def test_get_set_strength(self):
+        live = self._scenario()
+        assert live.get_strength("qf") == 6.0
+        live.set_strength("qf", 5.5)
+        assert live.get_strength("qf") == 5.5
+        # every occurrence in the built lattice moved
+        for i in live.spec.lattice.element_indices("qf"):
+            assert live.sim.lattice[i].k == 5.5
+
+    def test_set_thin_rf_gap_strength(self):
+        """ThinRFGap has a custom __init__ (no length parameter); the
+        knob path must rebuild it from its spec, not dataclasses.replace."""
+        live = self._scenario()
+        live.set_strength("rf", 0.2)
+        assert live.get_strength("rf") == 0.2
+        idx = live.spec.lattice.element_indices("rf")
+        assert all(isinstance(live.sim.lattice[i], ThinRFGap) for i in idx)
+
+    def test_unknown_knob(self):
+        live = self._scenario()
+        with pytest.raises(KeyError, match="no knob named"):
+            live.set_strength("dipole", 1.0)
+
+    def test_run_respects_step_budget(self):
+        live = self._scenario(steps=7)
+        live.run()
+        assert live.step_index == 7
+
+    def test_open_loop_scenario_is_vacuously_converged(self):
+        assert self._scenario().converged
+
+
+class TestBeamConfigLattice:
+    def test_element_list_accepted(self):
+        lattice = [Drift(0.5), Quadrupole(0.2, 4.0), Drift(0.5)]
+        sim = BeamSimulation(
+            BeamConfig(n_particles=100, space_charge=False, lattice=lattice)
+        )
+        assert sim.n_steps_total == 3
+
+    def test_lattice_spec_accepted(self):
+        sim = BeamSimulation(
+            BeamConfig(
+                n_particles=100,
+                space_charge=False,
+                lattice=LatticeSpec.fodo(n_cells=2),
+            )
+        )
+        assert sim.n_steps_total == 10
+
+    def test_resolved_makes_implicit_fodo_explicit(self):
+        cfg = BeamConfig(n_particles=100, n_cells=4).resolved()
+        assert isinstance(cfg.lattice, LatticeSpec)
+        assert cfg.lattice.build() == fodo_channel(4)
+        # already-explicit configs pass through unchanged
+        assert cfg.resolved() is cfg
+
+    def test_resolved_config_builds_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            BeamSimulation(
+                BeamConfig(n_particles=100, space_charge=False).resolved()
+            )
+
+    def test_empty_lattice_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BeamSimulation(BeamConfig(n_particles=100, lattice=[]))
+
+    def test_non_element_rejected(self):
+        with pytest.raises(TypeError, match="not an element"):
+            BeamSimulation(BeamConfig(n_particles=100, lattice=["quad"]))
+
+    def test_pipeline_config_reinflates_lattice(self):
+        from repro.core.config import BeamPipelineConfig
+
+        cfg = BeamPipelineConfig(
+            beam=BeamConfig(n_particles=100, lattice=LatticeSpec.fodo(n_cells=2))
+        )
+        again = BeamPipelineConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert again.beam.lattice == cfg.beam.lattice
+        assert isinstance(again.beam.lattice, LatticeSpec)
+
+
+class TestCorrectorElement:
+    def test_kick_moves_centroid_only(self):
+        rng = np.random.default_rng(7)
+        particles = rng.normal(0.0, 1.0, (5000, 6))
+        before_std = particles[:, 3].std()
+        Corrector(kick_x=0.25).transport(particles)
+        assert particles[:, 3].mean() == pytest.approx(0.25, abs=0.05)
+        assert particles[:, 3].std() == pytest.approx(before_std, rel=1e-12)
+
+    def test_split_preserves_total_kick(self):
+        parts = Corrector(0.4, kick_x=0.1, kick_y=-0.2).split(4)
+        assert len(parts) == 4
+        assert sum(p.length for p in parts) == pytest.approx(0.4)
+        assert sum(p.kick_x for p in parts) == pytest.approx(0.1)
+        assert sum(p.kick_y for p in parts) == pytest.approx(-0.2)

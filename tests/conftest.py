@@ -30,7 +30,7 @@ def rng():
 @pytest.fixture(scope="session")
 def small_beam():
     """A 20k-particle beam run to the end of a 6-cell channel."""
-    sim = BeamSimulation(BeamConfig(n_particles=20_000, n_cells=6, seed=7))
+    sim = BeamSimulation(BeamConfig(n_particles=20_000, n_cells=6, seed=7).resolved())
     sim.run()
     return sim.particles.copy()
 

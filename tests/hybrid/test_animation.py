@@ -17,7 +17,7 @@ from repro.render.camera import Camera
 def frame_dir(tmp_path_factory):
     out = tmp_path_factory.mktemp("anim")
     sim = BeamSimulation(
-        BeamConfig(n_particles=6_000, n_cells=3, seed=21, sc_grid=(16, 16, 16))
+        BeamConfig(n_particles=6_000, n_cells=3, seed=21, sc_grid=(16, 16, 16)).resolved()
     )
     i = 0
     threshold = None

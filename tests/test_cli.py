@@ -299,3 +299,97 @@ class TestStoreWorkflow:
     def test_info_on_plain_dir(self, tmp_path, capsys):
         assert main(["info", str(tmp_path)]) == 1
         assert "without a store manifest" in capsys.readouterr().err
+
+
+class TestScenarioWorkflow:
+    """The digital-twin chain: spec file -> run/sweep -> info."""
+
+    @pytest.fixture(scope="class")
+    def spec_path(self, tmp_path_factory):
+        from repro.beams.scenario import LatticeSpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            lattice=LatticeSpec.fodo(n_cells=4),
+            name="cli-demo",
+            n_particles=600,
+            space_charge=False,
+            steps=10,
+        )
+        return spec.save(tmp_path_factory.mktemp("scenario") / "spec.json")
+
+    def test_scenario_info(self, spec_path, capsys):
+        assert main(["scenario", "info", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-demo" in out
+        assert "qf=6" in out
+        assert "stable cell: True" in out
+
+    def test_scenario_run_with_override_and_store(self, spec_path, tmp_path,
+                                                  capsys):
+        store = tmp_path / "final"
+        assert main(["scenario", "run", str(spec_path),
+                     "--set", "lattice.qf=5.5", "--set", "seed=7",
+                     "--out", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "ran scenario 'cli-demo' for 10 step(s)" in out
+        assert "stored final beam: 600 particles" in out
+        # the landed store is a first-class citizen of the existing CLI
+        assert main(["store", "info", str(store)]) == 0
+        assert "sharded store" in capsys.readouterr().out
+
+    def test_scenario_run_reports_controllers(self, tmp_path, capsys):
+        from repro.beams.scenario import LatticeSpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            lattice=LatticeSpec.fodo(n_cells=6),
+            n_particles=400,
+            space_charge=False,
+            controllers=(
+                {"type": "envelope", "knob": "qf", "target": 1.07,
+                 "deadband": 5.0, "settle": 2},
+            ),
+        )
+        path = spec.save(tmp_path / "fb.json")
+        assert main(["scenario", "run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "EnvelopeController[qf]" in out
+        # --open-loop detaches the declared controllers
+        assert main(["scenario", "run", str(path), "--open-loop"]) == 0
+        assert "EnvelopeController" not in capsys.readouterr().out
+
+    def test_scenario_sweep_and_info(self, spec_path, tmp_path, capsys):
+        out_dir = tmp_path / "sweep"
+        assert main(["scenario", "sweep", str(spec_path),
+                     "--axis", "lattice.qf=5.5,6.0",
+                     "--axis", "mismatch=1.0,1.2",
+                     "--out", str(out_dir),
+                     "--workers", "1",
+                     "--checkpoint", str(tmp_path / "ck")]) == 0
+        out = capsys.readouterr().out
+        assert "swept 4 member(s)" in out
+        # resume: nothing re-runs
+        assert main(["scenario", "sweep", str(spec_path),
+                     "--axis", "lattice.qf=5.5,6.0",
+                     "--axis", "mismatch=1.0,1.2",
+                     "--out", str(out_dir)]) == 0
+        assert "4 resumed from disk" in capsys.readouterr().out
+        assert main(["scenario", "info", str(out_dir)]) == 0
+        info = capsys.readouterr().out
+        assert "sweep: 4 member(s)" in info
+        assert "member_0000" in info
+        # each member is an ordinary store to the rest of the CLI
+        assert main(["info", str(out_dir / "member_0003")]) == 0
+
+    def test_damaged_spec_exits_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["scenario", "run", str(bad)]) == 3
+        assert "damaged data file" in capsys.readouterr().err
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        assert main(["scenario", "info", str(tmp_path / "nope.json")]) == 2
+
+    def test_bad_override_value_is_usage_error(self, spec_path):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", str(spec_path),
+                  "--set", "lattice.qf=strong"])

@@ -102,3 +102,48 @@ class TestRenderMixedContract:
                 hybrid_frame.lo, hybrid_frame.hi, width=48, height=48
             )
             HybridRenderer(n_slices=16).render(hybrid_frame, camera=cam)
+
+
+class TestImplicitLatticeShim:
+    """PR 10 makes the lattice explicit; the implicit FODO path warns
+    for one release, then the geometry knobs stop building a channel."""
+
+    def test_implicit_fodo_warns_on_construction(self):
+        from repro.beams.simulation import BeamConfig, BeamSimulation
+
+        cfg = BeamConfig(n_particles=100, space_charge=False)
+        with pytest.warns(DeprecationWarning, match="explicit lattice"):
+            sim = BeamSimulation(cfg)
+        # the shim still builds the legacy channel exactly
+        assert sim.n_steps_total == 5 * cfg.n_cells
+
+    def test_explicit_lattice_is_silent(self):
+        from repro.beams.scenario import LatticeSpec
+        from repro.beams.simulation import BeamConfig, BeamSimulation
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            BeamSimulation(
+                BeamConfig(
+                    n_particles=100,
+                    space_charge=False,
+                    lattice=LatticeSpec.fodo(n_cells=3),
+                )
+            )
+
+    def test_resolved_is_silent_and_equivalent(self):
+        from repro.beams.simulation import BeamConfig, BeamSimulation
+
+        cfg = BeamConfig(n_particles=100, space_charge=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sim = BeamSimulation(cfg.resolved())
+        assert sim.n_steps_total == 5 * cfg.n_cells
+
+    def test_shim_keeps_stability_check(self):
+        from repro.beams.simulation import BeamConfig, BeamSimulation
+
+        cfg = BeamConfig(n_particles=100, quad_k=40.0)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unstable"):
+                BeamSimulation(cfg)

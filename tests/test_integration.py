@@ -20,7 +20,7 @@ class TestBeamWorkflow:
 
     def test_disk_based_workflow(self, tmp_path):
         sim = BeamSimulation(
-            BeamConfig(n_particles=6_000, n_cells=2, seed=3, sc_grid=(16, 16, 16))
+            BeamConfig(n_particles=6_000, n_cells=2, seed=3, sc_grid=(16, 16, 16)).resolved()
         )
         writer = FrameWriter(tmp_path / "raw")
         sim.run(on_frame=lambda s, p: writer.write(p, s), frame_every=5)
@@ -58,7 +58,7 @@ class TestBeamWorkflow:
         sizes = []
         for n in (5_000, 20_000):
             sim = BeamSimulation(
-                BeamConfig(n_particles=n, n_cells=2, seed=4, sc_grid=(16, 16, 16))
+                BeamConfig(n_particles=n, n_cells=2, seed=4, sc_grid=(16, 16, 16)).resolved()
             )
             sim.run()
             pf = partition(as_dataset(sim.particles), "xyz", max_level=5, capacity=32)
@@ -77,7 +77,7 @@ class TestBeamWorkflow:
             BeamConfig(
                 n_particles=20_000, n_cells=4, seed=5, mismatch=1.6,
                 sc_grid=(16, 16, 16),
-            )
+            ).resolved()
         )
         sim.run()
         pf = partition(as_dataset(sim.particles), "xyz", max_level=6, capacity=32)

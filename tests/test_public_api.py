@@ -28,6 +28,10 @@ MODULES = [
     "repro.beams.cavity",
     "repro.beams.diagnostics",
     "repro.beams.io",
+    "repro.beams.scenario",
+    "repro.beams.scenario.spec",
+    "repro.beams.scenario.feedback",
+    "repro.beams.scenario.sweep",
     "repro.fields.mesh",
     "repro.fields.geometry",
     "repro.fields.modes",
@@ -144,6 +148,20 @@ FACADE_REQUIRED = [
     "ChaosSchedule",
     "run_fleet",
     "ServiceBusyError",
+    # the digital-twin scenario layer (PR 10)
+    "ElementSpec",
+    "LatticeSpec",
+    "ScenarioSpec",
+    "Scenario",
+    "load_scenario",
+    "FeedbackController",
+    "EnvelopeController",
+    "OrbitController",
+    "controllers_from_spec",
+    "run_sweep",
+    "expand_axes",
+    "load_sweep",
+    "SweepResult",
     # adaptive AMR volumes + Gaussian splatting (PR 9)
     "AmrVolume",
     "build_amr",
